@@ -1,0 +1,250 @@
+package falcondown
+
+// One benchmark per figure/table of the paper's evaluation section (see
+// DESIGN.md §4). The benchmarks run reduced-size campaigns so that
+// `go test -bench=.` completes in minutes; cmd/figures reproduces the
+// full-scale series (10k traces at the calibrated noise), and
+// EXPERIMENTS.md records those numbers against the paper's.
+//
+// Metrics reported via b.ReportMetric:
+//   traces_to_sig — measurements needed for 99.99 % significance
+//   exact_ties    — unresolvable false positives (mantissa multiplication)
+//   recovered     — 1 when the attacked value/key came out exactly
+
+import (
+	"testing"
+
+	"falcondown/internal/experiments"
+)
+
+// benchSetup is the reduced-size configuration used by the benchmarks.
+func benchSetup() experiments.Setup {
+	return experiments.Setup{N: 16, NoiseSigma: 2, Seed: 1, Traces: 2500, Coeff: 2}
+}
+
+func BenchmarkFig3ExampleTrace(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3ExampleTrace(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFig4Time(b *testing.B, comp experiments.Fig4Component) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig4CorrelationVsTime(s, comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.ExactTies), "exact_ties")
+			peak := -2.0
+			for _, c := range r.Corr[r.CorrectIdx] {
+				if c > peak {
+					peak = c
+				}
+			}
+			b.ReportMetric(peak, "correct_peak_corr")
+		}
+	}
+}
+
+func BenchmarkFig4aSignCorrelation(b *testing.B) {
+	benchFig4Time(b, experiments.Fig4Sign)
+}
+
+func BenchmarkFig4bExponentCorrelation(b *testing.B) {
+	benchFig4Time(b, experiments.Fig4Exponent)
+}
+
+func BenchmarkFig4cMantissaMulFalsePositives(b *testing.B) {
+	benchFig4Time(b, experiments.Fig4MantissaMul)
+}
+
+func BenchmarkFig4dMantissaAddPrune(b *testing.B) {
+	benchFig4Time(b, experiments.Fig4MantissaAdd)
+}
+
+func BenchmarkFig4ehCorrelationEvolution(b *testing.B) {
+	s := benchSetup()
+	comps := []experiments.Fig4Component{
+		experiments.Fig4Sign, experiments.Fig4Exponent,
+		experiments.Fig4MantissaMul, experiments.Fig4MantissaAdd,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, comp := range comps {
+			r, err := experiments.Fig4CorrelationEvolution(s, comp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(r.TracesToSignificance), comp.String()+"_traces_to_sig")
+			}
+		}
+	}
+}
+
+func BenchmarkTable1TracesToSignificance(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1TracesToSignificance(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			worst := 0
+			for _, r := range rows {
+				if r.TracesToSignificance > worst {
+					worst = r.TracesToSignificance
+				}
+			}
+			b.ReportMetric(float64(worst), "worst_traces_to_sig")
+		}
+	}
+}
+
+func BenchmarkEndToEndKeyRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.EndToEnd(16, 1500, 2, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			rec := 0.0
+			if r.Recovered && r.ForgeryVerified && r.FExact {
+				rec = 1
+			}
+			b.ReportMetric(rec, "recovered")
+			b.ReportMetric(r.MinPruneCorr, "min_prune_corr")
+		}
+	}
+}
+
+func BenchmarkNTTvsFFTLeakage(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NTTvsFFT(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.NTTTraces), "ntt_traces")
+			b.ReportMetric(float64(r.FFTTraces), "fft_traces")
+		}
+	}
+}
+
+func BenchmarkCountermeasureShuffling(b *testing.B) {
+	s := benchSetup()
+	s.Traces = 1200
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CountermeasureShuffling(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.BaselineCorrect), "baseline_correct")
+			b.ReportMetric(float64(r.ShuffledCorrect), "shuffled_correct")
+		}
+	}
+}
+
+func BenchmarkLeakageModels(b *testing.B) {
+	s := benchSetup()
+	s.Traces = 1200
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.LeakageModelAblation(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				v := 0.0
+				if r.Recovered {
+					v = 1
+				}
+				b.ReportMetric(v, r.Model+"_recovered")
+			}
+		}
+	}
+}
+
+func BenchmarkNoiseSweep(b *testing.B) {
+	s := benchSetup()
+	s.Traces = 1500
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.NoiseSweep(s, []float64{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.ReportMetric(float64(r.TracesToSignificance), "sigma_"+itoa(int(r.NoiseSigma))+"_traces")
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkCountermeasureBlinding(b *testing.B) {
+	s := benchSetup()
+	s.Traces = 1200
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CountermeasureBlinding(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				v := 0.0
+				if r.MantOK {
+					v = 1
+				}
+				b.ReportMetric(v, r.Countermeasure+"_mant_recovered")
+			}
+		}
+	}
+}
+
+func BenchmarkTemplateVsCPA(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TemplateVsCPA(s, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(r.TemplateCorrectRank), "template_rank")
+			b.ReportMetric(float64(r.CPACorrectRank), "cpa_rank")
+		}
+	}
+}
+
+func BenchmarkTVLA(b *testing.B) {
+	s := benchSetup()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TVLA(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(r.MaxAbsT, "max_abs_t")
+			b.ReportMetric(float64(r.LeakyOps), "leaky_samples")
+		}
+	}
+}

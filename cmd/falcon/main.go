@@ -1,0 +1,176 @@
+// Command falcon is a small CLI for the FALCON implementation: key
+// generation, signing and verification with file-based keys.
+//
+// Usage:
+//
+//	falcon keygen -n 512 -priv priv.key -pub pub.key [-seed 1]
+//	falcon sign   -priv priv.key -msg file -sig out.sig
+//	falcon verify -pub pub.key -msg file -sig out.sig
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/bits"
+	"os"
+
+	"falcondown/internal/codec"
+	"falcondown/internal/falcon"
+	"falcondown/internal/ntru"
+	"falcondown/internal/rng"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = keygen(os.Args[2:])
+	case "sign":
+		err = sign(os.Args[2:])
+	case "verify":
+		err = verify(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "falcon:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  falcon keygen -n 512 -priv priv.key -pub pub.key [-seed N]
+  falcon sign   -priv priv.key -msg file -sig out.sig [-seed N]
+  falcon verify -pub pub.key -msg file -sig file`)
+	os.Exit(2)
+}
+
+func rngFor(seed uint64) *rng.Xoshiro {
+	if seed == 0 {
+		return rng.NewEntropy()
+	}
+	return rng.New(seed)
+}
+
+func keygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	n := fs.Int("n", 512, "ring degree (power of two, 8..1024)")
+	privPath := fs.String("priv", "falcon.priv", "private key output")
+	pubPath := fs.String("pub", "falcon.pub", "public key output")
+	seed := fs.Uint64("seed", 0, "deterministic seed (0 = OS entropy)")
+	fs.Parse(args)
+
+	priv, pub, err := falcon.GenerateKey(*n, rngFor(*seed))
+	if err != nil {
+		return err
+	}
+	logn := bits.Len(uint(*n)) - 1
+	sk, err := codec.EncodeSecretKey(priv.Fs, priv.Gs, priv.F, logn)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*privPath, sk, 0o600); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*pubPath, codec.EncodePublicKey(pub.H, logn), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("FALCON-%d key pair written: %s (%d bytes), %s (%d bytes)\n",
+		*n, *privPath, len(sk), *pubPath, 1+(14*(*n)+7)/8)
+	return nil
+}
+
+func loadPrivate(path string, n int) (*falcon.PrivateKey, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	logn := bits.Len(uint(n)) - 1
+	f, g, F, err := codec.DecodeSecretKey(b, logn)
+	if err != nil {
+		return nil, err
+	}
+	// G is recomputed from the NTRU equation.
+	_, G, err := ntru.Solve(f, g)
+	if err != nil {
+		return nil, fmt.Errorf("re-deriving G: %w", err)
+	}
+	return falcon.NewPrivateKey(n, f, g, F, G)
+}
+
+func sign(args []string) error {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	privPath := fs.String("priv", "falcon.priv", "private key")
+	msgPath := fs.String("msg", "", "message file")
+	sigPath := fs.String("sig", "falcon.sig", "signature output")
+	n := fs.Int("n", 512, "ring degree of the key")
+	seed := fs.Uint64("seed", 0, "deterministic seed (0 = OS entropy)")
+	fs.Parse(args)
+
+	priv, err := loadPrivate(*privPath, *n)
+	if err != nil {
+		return err
+	}
+	msg, err := os.ReadFile(*msgPath)
+	if err != nil {
+		return err
+	}
+	sig, err := priv.Sign(msg, rngFor(*seed))
+	if err != nil {
+		return err
+	}
+	enc, err := sig.Encode(priv.Params.LogN, priv.Params.SigByteLen)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*sigPath, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("signature written: %s (%d bytes)\n", *sigPath, len(enc))
+	return nil
+}
+
+func verify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	pubPath := fs.String("pub", "falcon.pub", "public key")
+	msgPath := fs.String("msg", "", "message file")
+	sigPath := fs.String("sig", "falcon.sig", "signature")
+	n := fs.Int("n", 512, "ring degree of the key")
+	fs.Parse(args)
+
+	b, err := os.ReadFile(*pubPath)
+	if err != nil {
+		return err
+	}
+	logn := bits.Len(uint(*n)) - 1
+	h, err := codec.DecodePublicKey(b, logn)
+	if err != nil {
+		return err
+	}
+	params, err := falcon.ParamsForDegree(*n)
+	if err != nil {
+		return err
+	}
+	pub := &falcon.PublicKey{Params: params, H: h}
+	msg, err := os.ReadFile(*msgPath)
+	if err != nil {
+		return err
+	}
+	sb, err := os.ReadFile(*sigPath)
+	if err != nil {
+		return err
+	}
+	sig, err := falcon.DecodeSignature(sb, logn, params.SigByteLen)
+	if err != nil {
+		return err
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		return err
+	}
+	fmt.Println("signature valid")
+	return nil
+}

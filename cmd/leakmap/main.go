@@ -1,0 +1,93 @@
+// Command leakmap characterizes a victim device before attacking it: it
+// runs a known-key campaign and prints, per micro-operation of the
+// attacked multiplication window, the SNR (signal-to-noise ratio of the
+// Hamming-weight classes) and the fixed-vs-random TVLA t-statistic — the
+// standard pre-attack leakage assessment toolbox.
+//
+// Usage:
+//
+//	leakmap -n 16 -traces 2000 -noise 2 -seed 1 -coeff 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/experiments"
+	"falcondown/internal/falcon"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+func main() {
+	n := flag.Int("n", 16, "ring degree of the victim key")
+	traces := flag.Int("traces", 2000, "number of measurements")
+	noise := flag.Float64("noise", 2, "probe noise sigma")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	coeff := flag.Int("coeff", 2, "coefficient window to assess")
+	flag.Parse()
+
+	if err := run(*n, *traces, *noise, *seed, *coeff); err != nil {
+		fmt.Fprintln(os.Stderr, "leakmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, traces int, noise float64, seed uint64, coeff int) error {
+	priv, _, err := falcon.GenerateKey(n, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: noise}, seed+1)
+	obs, err := emleak.NewCampaign(dev, seed+2).Collect(traces)
+	if err != nil {
+		return err
+	}
+	snr, err := emleak.SNR(obs, priv.FFTOfF())
+	if err != nil {
+		return err
+	}
+	tv, err := experiments.TVLA(experiments.Setup{
+		N: n, NoiseSigma: noise, Seed: seed, Traces: traces, Coeff: coeff})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("leakage map of coefficient %d (FALCON-%d, %d traces, σ=%g)\n", coeff, n, traces, noise)
+	fmt.Println("window  op            SNR      |t|   leaks")
+	base := coeff * emleak.SamplesPerCoeff
+	for mul := 0; mul < emleak.MulsPerCoeff; mul++ {
+		for op := 0; op < emleak.OpsPerMul; op++ {
+			idx := base + mul*emleak.OpsPerMul + op
+			off := mul*emleak.OpsPerMul + op
+			t := tv.TValues[off]
+			mark := ""
+			if t > tv.Threshold || t < -tv.Threshold {
+				mark = "LEAK"
+			}
+			fmt.Printf("mul%d    %-12s %7.3f %7.1f  %s\n",
+				mul, fpr.Op(op).String(), snr[idx], abs(t), mark)
+		}
+	}
+	for s := emleak.MulsPerCoeff * emleak.OpsPerMul; s < emleak.SamplesPerCoeff; s++ {
+		t := tv.TValues[s]
+		mark := ""
+		if t > tv.Threshold || t < -tv.Threshold {
+			mark = "LEAK"
+		}
+		fmt.Printf("combine sample%-6d %7.3f %7.1f  %s\n", s, snr[base+s], abs(t), mark)
+	}
+	fmt.Printf("max |t| = %.1f at micro-op %d; %d/%d samples above %.1f\n",
+		tv.MaxAbsT, tv.MaxAtOp, tv.LeakyOps, len(tv.TValues), tv.Threshold)
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

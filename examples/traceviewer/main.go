@@ -1,0 +1,23 @@
+// Traceviewer renders the paper's Fig. 3: a single EM measurement of one
+// floating-point multiplication with the mantissa, exponent and sign
+// regions annotated, as an ASCII oscilloscope view.
+package main
+
+import (
+	"log"
+	"os"
+
+	"falcondown/internal/experiments"
+)
+
+func main() {
+	s := experiments.DefaultSetup()
+	s.NoiseSigma = 2 // a quiet capture shows the structure best
+	res, err := experiments.Fig3ExampleTrace(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package falcondown is a research library reproducing "Falcon Down:
+// Breaking FALCON Post-Quantum Signature Scheme through Side-Channel
+// Attacks" (Karabulut & Aysu, DAC 2021).
+//
+// It bundles three layers behind one import:
+//
+//   - a complete, self-contained FALCON implementation (key generation
+//     with NTRU solving, floating-point FFT, ffSampling, signing,
+//     verification, and all codecs) whose emulated floating-point
+//     multiplier exposes the micro-operation structure the paper attacks;
+//   - a synthetic electromagnetic measurement substrate standing in for
+//     the paper's ARM-Cortex-M4 + near-field probe testbed;
+//   - the paper's differential EM attack: divide-and-conquer recovery of
+//     sign, exponent and mantissa with the extend-and-prune strategy,
+//     full key reconstruction and signature forgery.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every figure and table of the paper.
+package falcondown
+
+import (
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/fft"
+	"falcondown/internal/rng"
+)
+
+// Re-exported scheme types.
+type (
+	// PrivateKey is a FALCON signing key.
+	PrivateKey = falcon.PrivateKey
+	// PublicKey is a FALCON verification key.
+	PublicKey = falcon.PublicKey
+	// Signature is a FALCON signature (salt + short vector).
+	Signature = falcon.Signature
+	// Params is a FALCON parameter set.
+	Params = falcon.Params
+
+	// Device is a victim running the attacked computation.
+	Device = emleak.Device
+	// Observation is one captured EM measurement with its known input.
+	Observation = emleak.Observation
+	// Probe is the synthetic acquisition channel.
+	Probe = emleak.Probe
+
+	// AttackConfig tunes the extend-and-prune attack.
+	AttackConfig = core.Config
+	// AttackReport summarizes a key recovery.
+	AttackReport = core.RecoveryReport
+
+	// RNG is the deterministic random generator used across the library.
+	RNG = rng.Xoshiro
+)
+
+// Q is FALCON's modulus (12289).
+const Q = falcon.Q
+
+// NewRNG returns a deterministic generator (use NewEntropyRNG for
+// cryptographic seeding).
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewEntropyRNG returns a generator seeded from the OS entropy pool.
+func NewEntropyRNG() *RNG { return rng.NewEntropy() }
+
+// GenerateKey creates a FALCON key pair of degree n (a power of two,
+// 8…1024; 512 and 1024 are the standardized sets).
+func GenerateKey(n int, rnd *RNG) (*PrivateKey, *PublicKey, error) {
+	return falcon.GenerateKey(n, rnd)
+}
+
+// ParamsForDegree derives the parameter set for degree n.
+func ParamsForDegree(n int) (*Params, error) { return falcon.ParamsForDegree(n) }
+
+// NewVictimDevice wraps a private key into a leaky device using the
+// Hamming-weight model and the given probe.
+func NewVictimDevice(priv *PrivateKey, probe Probe, seed uint64) *Device {
+	return emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{}, probe, seed)
+}
+
+// CollectTraces runs a known-plaintext campaign of count measurements
+// against the device.
+func CollectTraces(dev *Device, count int, seed uint64) ([]Observation, error) {
+	return emleak.NewCampaign(dev, seed).Collect(count)
+}
+
+// RecoverKey runs the full Falcon-Down attack: extract FFT(f) from the
+// traces, invert to f, derive g from the public key, re-solve the NTRU
+// equation and return a signing key equivalent to the victim's.
+func RecoverKey(obs []Observation, pub *PublicKey, cfg AttackConfig) (*PrivateKey, *AttackReport, error) {
+	return core.RecoverKey(obs, pub, cfg)
+}
+
+// FFTOfSecret exposes the FFT-domain secret of a key (ground truth for
+// experiments).
+func FFTOfSecret(priv *PrivateKey) []fft.Cplx { return priv.FFTOfF() }

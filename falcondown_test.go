@@ -1,0 +1,78 @@
+package falcondown
+
+import "testing"
+
+func TestPublicAPISignVerify(t *testing.T) {
+	rnd := NewRNG(1)
+	priv, pub, err := GenerateKey(32, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("public api")
+	sig, err := priv.Sign(msg, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify([]byte("other"), sig); err == nil {
+		t.Fatal("wrong message accepted")
+	}
+}
+
+func TestPublicAPIParams(t *testing.T) {
+	p, err := ParamsForDegree(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 512 || p.SigByteLen != 666 {
+		t.Fatalf("params = %+v", p)
+	}
+	if _, err := ParamsForDegree(7); err == nil {
+		t.Fatal("degree 7 accepted")
+	}
+}
+
+func TestPublicAPIFullAttack(t *testing.T) {
+	rnd := NewRNG(11)
+	priv, pub, err := GenerateKey(8, rnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewVictimDevice(priv, Probe{Gain: 1, NoiseSigma: 2}, 12)
+	obs, err := CollectTraces(dev, 1500, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen, report, err := RecoverKey(obs, pub, AttackConfig{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if report.MinPrune <= 0 {
+		t.Errorf("min prune corr %v", report.MinPrune)
+	}
+	msg := []byte("forged through the public API")
+	sig, err := stolen.Sign(msg, NewRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatalf("forgery rejected: %v", err)
+	}
+	// Ground truth exposed for experiments matches the victim's secret.
+	secret := FFTOfSecret(priv)
+	recovered := FFTOfSecret(stolen)
+	for i := range secret {
+		if secret[i] != recovered[i] {
+			t.Fatalf("FFT(f) mismatch at %d", i)
+		}
+	}
+}
+
+func TestEntropyRNGAvailable(t *testing.T) {
+	a, b := NewEntropyRNG(), NewEntropyRNG()
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("entropy RNGs produced identical outputs")
+	}
+}

@@ -1,0 +1,3 @@
+module falcondown
+
+go 1.24

@@ -1,0 +1,249 @@
+// Package bigpoly implements arbitrary-precision polynomial arithmetic in
+// Z[x]/(x^n+1), the machinery FALCON's key generation needs to solve the
+// NTRU equation fG − gF = q.
+//
+// Coefficients are math/big integers because the tower-of-fields descent
+// (repeated field norms) squares coefficient sizes at each level; for
+// FALCON-512 intermediate coefficients reach thousands of bits before the
+// Babai reduction brings F and G back to byte-sized values.
+package bigpoly
+
+import (
+	"math"
+	"math/big"
+)
+
+// Poly is a polynomial in Z[x]/(x^n+1) with n = len(p), a power of two.
+// The zero polynomial of any length is valid.
+type Poly []*big.Int
+
+// New returns the zero polynomial of length n.
+func New(n int) Poly {
+	p := make(Poly, n)
+	for i := range p {
+		p[i] = new(big.Int)
+	}
+	return p
+}
+
+// FromInt16 builds a polynomial from small signed coefficients.
+func FromInt16(f []int16) Poly {
+	p := make(Poly, len(f))
+	for i, v := range f {
+		p[i] = big.NewInt(int64(v))
+	}
+	return p
+}
+
+// ToInt16 converts back to small coefficients. The second return value is
+// false if any coefficient does not fit in an int16.
+func (p Poly) ToInt16() ([]int16, bool) {
+	out := make([]int16, len(p))
+	for i, c := range p {
+		if !c.IsInt64() {
+			return nil, false
+		}
+		v := c.Int64()
+		if v < math.MinInt16 || v > math.MaxInt16 {
+			return nil, false
+		}
+		out[i] = int16(v)
+	}
+	return out, true
+}
+
+// Clone returns a deep copy.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	for i, c := range p {
+		q[i] = new(big.Int).Set(c)
+	}
+	return q
+}
+
+// Add returns p+q.
+func Add(p, q Poly) Poly {
+	r := make(Poly, len(p))
+	for i := range p {
+		r[i] = new(big.Int).Add(p[i], q[i])
+	}
+	return r
+}
+
+// Sub returns p-q.
+func Sub(p, q Poly) Poly {
+	r := make(Poly, len(p))
+	for i := range p {
+		r[i] = new(big.Int).Sub(p[i], q[i])
+	}
+	return r
+}
+
+// Neg returns -p.
+func Neg(p Poly) Poly {
+	r := make(Poly, len(p))
+	for i := range p {
+		r[i] = new(big.Int).Neg(p[i])
+	}
+	return r
+}
+
+// IsZero reports whether every coefficient is zero.
+func (p Poly) IsZero() bool {
+	for _, c := range p {
+		if c.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxBitLen returns the largest coefficient bit length.
+func (p Poly) MaxBitLen() int {
+	m := 0
+	for _, c := range p {
+		if l := c.BitLen(); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// karaThreshold is the size below which schoolbook multiplication is used.
+const karaThreshold = 16
+
+// linMul multiplies two coefficient slices of equal power-of-two length n,
+// returning the 2n-1 linear-convolution coefficients (Karatsuba).
+func linMul(a, b []*big.Int) []*big.Int {
+	n := len(a)
+	out := make([]*big.Int, 2*n-1)
+	for i := range out {
+		out[i] = new(big.Int)
+	}
+	if n <= karaThreshold {
+		var t big.Int
+		for i := 0; i < n; i++ {
+			if a[i].Sign() == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if b[j].Sign() == 0 {
+					continue
+				}
+				t.Mul(a[i], b[j])
+				out[i+j].Add(out[i+j], &t)
+			}
+		}
+		return out
+	}
+	h := n / 2
+	a0, a1 := a[:h], a[h:]
+	b0, b1 := b[:h], b[h:]
+	p0 := linMul(a0, b0)
+	p2 := linMul(a1, b1)
+	as := make([]*big.Int, h)
+	bs := make([]*big.Int, h)
+	for i := 0; i < h; i++ {
+		as[i] = new(big.Int).Add(a0[i], a1[i])
+		bs[i] = new(big.Int).Add(b0[i], b1[i])
+	}
+	p1 := linMul(as, bs) // (a0+a1)(b0+b1)
+	for i := range p1 {
+		p1[i].Sub(p1[i], p0[i])
+		p1[i].Sub(p1[i], p2[i])
+	}
+	for i, c := range p0 {
+		out[i].Add(out[i], c)
+	}
+	for i, c := range p1 {
+		out[i+h].Add(out[i+h], c)
+	}
+	for i, c := range p2 {
+		out[i+n].Add(out[i+n], c)
+	}
+	return out
+}
+
+// Mul returns p*q mod (x^n+1).
+func Mul(p, q Poly) Poly {
+	n := len(p)
+	if n == 1 {
+		return Poly{new(big.Int).Mul(p[0], q[0])}
+	}
+	lin := linMul(p, q)
+	out := New(n)
+	for i, c := range lin {
+		if i < n {
+			out[i].Add(out[i], c)
+		} else {
+			out[i-n].Sub(out[i-n], c)
+		}
+	}
+	return out
+}
+
+// ScalarMul returns p*k for an integer scalar.
+func ScalarMul(p Poly, k *big.Int) Poly {
+	r := make(Poly, len(p))
+	for i := range p {
+		r[i] = new(big.Int).Mul(p[i], k)
+	}
+	return r
+}
+
+// ShiftLeft returns p with every coefficient shifted left by sc bits.
+func ShiftLeft(p Poly, sc uint) Poly {
+	r := make(Poly, len(p))
+	for i := range p {
+		r[i] = new(big.Int).Lsh(p[i], sc)
+	}
+	return r
+}
+
+// GaloisConjugate returns f(-x): coefficients at odd indices negated.
+// In the 2n-th cyclotomic field this is the nontrivial automorphism used by
+// the NTRU solver's descent.
+func GaloisConjugate(p Poly) Poly {
+	r := make(Poly, len(p))
+	for i, c := range p {
+		if i&1 == 1 {
+			r[i] = new(big.Int).Neg(c)
+		} else {
+			r[i] = new(big.Int).Set(c)
+		}
+	}
+	return r
+}
+
+// FieldNorm maps f ∈ Z[x]/(x^n+1) to its field norm
+// N(f) = fe² − x·fo² ∈ Z[x]/(x^{n/2}+1), where fe and fo gather the even
+// and odd coefficients (so that f(x) = fe(x²) + x·fo(x²)).
+func FieldNorm(p Poly) Poly {
+	n := len(p)
+	h := n / 2
+	fe := make(Poly, h)
+	fo := make(Poly, h)
+	for i := 0; i < h; i++ {
+		fe[i] = p[2*i]
+		fo[i] = p[2*i+1]
+	}
+	fe2 := Mul(fe, fe)
+	fo2 := Mul(fo, fo)
+	// x·fo² mod (x^h + 1): multiply by x wraps the top coefficient with a
+	// sign flip.
+	out := New(h)
+	out[0].Sub(fe2[0], new(big.Int).Neg(fo2[h-1]))
+	for i := 1; i < h; i++ {
+		out[i].Sub(fe2[i], fo2[i-1])
+	}
+	return out
+}
+
+// Lift maps f ∈ Z[x]/(x^n+1) to f(x²) ∈ Z[x]/(x^{2n}+1).
+func Lift(p Poly) Poly {
+	out := New(2 * len(p))
+	for i, c := range p {
+		out[2*i].Set(c)
+	}
+	return out
+}

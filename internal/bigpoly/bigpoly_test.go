@@ -1,0 +1,285 @@
+package bigpoly
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func randPoly(r *rand.Rand, n, bound int) Poly {
+	p := New(n)
+	for i := range p {
+		p[i].SetInt64(int64(r.Intn(2*bound+1) - bound))
+	}
+	return p
+}
+
+// naiveMul is the O(n²) reference negacyclic product.
+func naiveMul(a, b Poly) Poly {
+	n := len(a)
+	out := New(n)
+	var t big.Int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			t.Mul(a[i], b[j])
+			k := i + j
+			if k >= n {
+				out[k-n].Sub(out[k-n], &t)
+			} else {
+				out[k].Add(out[k], &t)
+			}
+		}
+	}
+	return out
+}
+
+func polyEq(a, b Poly) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Cmp(b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		a := randPoly(r, n, 1000)
+		b := randPoly(r, n, 1000)
+		if !polyEq(Mul(a, b), naiveMul(a, b)) {
+			t.Fatalf("n=%d: Karatsuba != naive", n)
+		}
+	}
+}
+
+func TestMulLargeCoefficients(t *testing.T) {
+	// Karatsuba must stay exact with multi-word coefficients.
+	r := rand.New(rand.NewSource(2))
+	n := 32
+	a := New(n)
+	b := New(n)
+	for i := 0; i < n; i++ {
+		a[i].Rand(r, new(big.Int).Lsh(big.NewInt(1), 300))
+		a[i].Sub(a[i], new(big.Int).Lsh(big.NewInt(1), 299))
+		b[i].Rand(r, new(big.Int).Lsh(big.NewInt(1), 300))
+		b[i].Sub(b[i], new(big.Int).Lsh(big.NewInt(1), 299))
+	}
+	if !polyEq(Mul(a, b), naiveMul(a, b)) {
+		t.Fatal("Karatsuba wrong on large coefficients")
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randPoly(r, 16, 50)
+	b := randPoly(r, 16, 50)
+	if !polyEq(Sub(Add(a, b), b), a) {
+		t.Error("(a+b)-b != a")
+	}
+	if !polyEq(Add(a, Neg(a)), New(16)) {
+		t.Error("a + (-a) != 0")
+	}
+	if !New(4).IsZero() || randOne().IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+}
+
+func randOne() Poly {
+	p := New(4)
+	p[2].SetInt64(5)
+	return p
+}
+
+func TestGaloisConjugateIsEvaluationAtMinusX(t *testing.T) {
+	// f(-x) · f(x) must equal N(f)(x²) — checked via FieldNorm below; here
+	// check the simple coefficient rule and involution.
+	r := rand.New(rand.NewSource(4))
+	p := randPoly(r, 16, 100)
+	c := GaloisConjugate(p)
+	for i := range p {
+		want := new(big.Int).Set(p[i])
+		if i&1 == 1 {
+			want.Neg(want)
+		}
+		if c[i].Cmp(want) != 0 {
+			t.Fatalf("coeff %d", i)
+		}
+	}
+	if !polyEq(GaloisConjugate(c), p) {
+		t.Error("galois conjugate is not an involution")
+	}
+}
+
+func TestFieldNormIdentity(t *testing.T) {
+	// N(f)(x²) == f(x)·f(-x) in Z[x]/(x^n+1).
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{2, 4, 8, 32} {
+		f := randPoly(r, n, 100)
+		lhs := Lift(FieldNorm(f))
+		rhs := Mul(f, GaloisConjugate(f))
+		if !polyEq(lhs, rhs) {
+			t.Fatalf("n=%d: N(f)(x²) != f(x)f(-x)", n)
+		}
+	}
+}
+
+func TestFieldNormMultiplicative(t *testing.T) {
+	// N(fg) == N(f)·N(g).
+	r := rand.New(rand.NewSource(6))
+	for _, n := range []int{2, 8, 16} {
+		f := randPoly(r, n, 30)
+		g := randPoly(r, n, 30)
+		if !polyEq(FieldNorm(Mul(f, g)), Mul(FieldNorm(f), FieldNorm(g))) {
+			t.Fatalf("n=%d: field norm not multiplicative", n)
+		}
+	}
+}
+
+func TestLift(t *testing.T) {
+	p := FromInt16([]int16{1, 2, 3, 4})
+	l := Lift(p)
+	want := []int64{1, 0, 2, 0, 3, 0, 4, 0}
+	for i, w := range want {
+		if l[i].Int64() != w {
+			t.Fatalf("lift coeff %d = %v", i, l[i])
+		}
+	}
+}
+
+func TestToInt16Bounds(t *testing.T) {
+	p := New(2)
+	p[0].SetInt64(32767)
+	p[1].SetInt64(-32768)
+	v, ok := p.ToInt16()
+	if !ok || v[0] != 32767 || v[1] != -32768 {
+		t.Fatal("in-range conversion failed")
+	}
+	p[0].SetInt64(32768)
+	if _, ok := p.ToInt16(); ok {
+		t.Fatal("overflow not detected")
+	}
+	p[0].SetString("123456789012345678901234567890", 10)
+	if _, ok := p.ToInt16(); ok {
+		t.Fatal("big overflow not detected")
+	}
+}
+
+func TestScalarMulShiftLeft(t *testing.T) {
+	p := FromInt16([]int16{1, -2, 3, 0})
+	q := ScalarMul(p, big.NewInt(-3))
+	want := []int64{-3, 6, -9, 0}
+	for i := range want {
+		if q[i].Int64() != want[i] {
+			t.Fatalf("scalar mul coeff %d", i)
+		}
+	}
+	s := ShiftLeft(p, 4)
+	for i := range p {
+		if s[i].Int64() != p[i].Int64()*16 {
+			t.Fatalf("shift coeff %d", i)
+		}
+	}
+}
+
+func TestFloatFFTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 4, 16, 128} {
+		f := make([]float64, n)
+		for i := range f {
+			f[i] = float64(r.Intn(2001) - 1000)
+		}
+		back := FloatInvFFT(FloatFFT(f))
+		for i := range f {
+			if d := back[i] - f[i]; d > 1e-6 || d < -1e-6 {
+				t.Fatalf("n=%d i=%d: %v != %v", n, i, back[i], f[i])
+			}
+		}
+	}
+}
+
+func TestMaxBitLen(t *testing.T) {
+	p := New(3)
+	if p.MaxBitLen() != 0 {
+		t.Error("zero poly bitlen")
+	}
+	p[1].SetInt64(255)
+	if p.MaxBitLen() != 8 {
+		t.Errorf("bitlen = %d", p.MaxBitLen())
+	}
+	p[2].SetInt64(-1 << 20)
+	if p.MaxBitLen() != 21 {
+		t.Errorf("bitlen = %d", p.MaxBitLen())
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := FromInt16([]int16{1, 2})
+	q := p.Clone()
+	q[0].SetInt64(99)
+	if p[0].Int64() != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestReduceShrinks(t *testing.T) {
+	// Build an artificially inflated (F, G) = (F0 + k·f, G0 + k·g) and
+	// check Reduce brings the coefficients back near the original size
+	// while preserving fG − gF.
+	r := rand.New(rand.NewSource(8))
+	n := 16
+	f := randPoly(r, n, 5)
+	g := randPoly(r, n, 5)
+	F0 := randPoly(r, n, 50)
+	G0 := randPoly(r, n, 50)
+	k := randPoly(r, n, 1<<20)
+	F := Add(F0, Mul(k, f))
+	G := Add(G0, Mul(k, g))
+	det0 := Sub(Mul(f, G), Mul(g, F))
+	before := F.MaxBitLen()
+	Reduce(f, g, F, G)
+	det1 := Sub(Mul(f, G), Mul(g, F))
+	if !polyEq(det0, det1) {
+		t.Fatal("Reduce changed fG − gF")
+	}
+	if F.MaxBitLen() >= before {
+		t.Fatalf("Reduce did not shrink: %d -> %d", before, F.MaxBitLen())
+	}
+	if F.MaxBitLen() > 30 {
+		t.Fatalf("Reduce left F large: %d bits", F.MaxBitLen())
+	}
+}
+
+func TestReduceTerminatesOnInconsistentInput(t *testing.T) {
+	// Reduce must not oscillate forever when (F, G) is unrelated to (f, g)
+	// (the stall guard): it should return quickly, preserving fG − gF.
+	r := rand.New(rand.NewSource(9))
+	n := 8
+	f := randPoly(r, n, 3)
+	g := randPoly(r, n, 3)
+	F := randPoly(r, n, 1<<30)
+	G := randPoly(r, n, 1<<30)
+	det0 := Sub(Mul(f, G), Mul(g, F))
+	done := make(chan struct{})
+	go func() {
+		Reduce(f, g, F, G)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-timeAfter():
+		t.Fatal("Reduce did not terminate within the deadline")
+	}
+	det1 := Sub(Mul(f, G), Mul(g, F))
+	if !polyEq(det0, det1) {
+		t.Fatal("Reduce changed fG − gF")
+	}
+}
+
+// timeAfter returns a 30-second deadline channel (kept out of the import
+// list juggling above).
+func timeAfter() <-chan time.Time { return time.After(30 * time.Second) }

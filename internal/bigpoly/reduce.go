@@ -1,0 +1,148 @@
+package bigpoly
+
+import (
+	"math"
+	"math/big"
+	"math/cmplx"
+)
+
+// FloatFFT evaluates a real-coefficient polynomial (given as float64s) at the
+// n/2 principal roots of x^n+1 using hardware complex arithmetic. Key
+// generation only needs ~53-bit relative accuracy here; the side-channel
+// target uses the exact emulated FFT in internal/fft instead.
+func FloatFFT(f []float64) []complex128 {
+	n := len(f)
+	if n == 1 {
+		return []complex128{complex(f[0], 0)}
+	}
+	if n == 2 {
+		return []complex128{complex(f[0], f[1])}
+	}
+	h := n / 2
+	qn := n / 4
+	fe := make([]float64, h)
+	fo := make([]float64, h)
+	for i := 0; i < h; i++ {
+		fe[i], fo[i] = f[2*i], f[2*i+1]
+	}
+	e := FloatFFT(fe)
+	o := FloatFFT(fo)
+	out := make([]complex128, h)
+	for k := 0; k < h; k++ {
+		var ek, ok complex128
+		if k < qn {
+			ek, ok = e[k], o[k]
+		} else {
+			j := h - 1 - k
+			ek, ok = cmplx.Conj(e[j]), cmplx.Conj(o[j])
+		}
+		w := cmplx.Exp(complex(0, math.Pi*float64(2*k+1)/float64(n)))
+		out[k] = ek + w*ok
+	}
+	return out
+}
+
+// FloatInvFFT inverts FloatFFT.
+func FloatInvFFT(F []complex128) []float64 {
+	h := len(F)
+	n := 2 * h
+	if n == 2 {
+		return []float64{real(F[0]), imag(F[0])}
+	}
+	qn := h / 2
+	e := make([]complex128, qn)
+	o := make([]complex128, qn)
+	for k := 0; k < qn; k++ {
+		a := F[k]
+		b := cmplx.Conj(F[h-1-k])
+		w := cmplx.Exp(complex(0, math.Pi*float64(2*k+1)/float64(n)))
+		e[k] = (a + b) / 2
+		o[k] = (a - b) * cmplx.Conj(w) / 2
+	}
+	fe := FloatInvFFT(e)
+	fo := FloatInvFFT(o)
+	f := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		f[2*i] = fe[i]
+		f[2*i+1] = fo[i]
+	}
+	return f
+}
+
+// adjustToFloat scales the polynomial's coefficients down by 2^(size-53)
+// and converts them to float64, preserving the leading ~53 bits.
+func adjustToFloat(p Poly, size int) []float64 {
+	sh := uint(0)
+	if size > 53 {
+		sh = uint(size - 53)
+	}
+	out := make([]float64, len(p))
+	var t big.Int
+	for i, c := range p {
+		t.Rsh(c, sh)
+		f, _ := new(big.Float).SetInt(&t).Float64()
+		out[i] = f
+	}
+	return out
+}
+
+// Reduce performs Babai's nearest-plane-style length reduction of (F, G)
+// against (f, g) in place: it repeatedly subtracts k·(f, g) with
+// k = round((F·adj(f) + G·adj(g)) / (f·adj(f) + g·adj(g))), working on
+// 53-bit windows of the big coefficients, until k becomes zero. This is the
+// reduction step of FALCON's NTRUSolve.
+func Reduce(f, g, F, G Poly) {
+	size := max(53, f.MaxBitLen(), g.MaxBitLen())
+	fa := FloatFFT(adjustToFloat(f, size))
+	ga := FloatFFT(adjustToFloat(g, size))
+	den := make([]complex128, len(fa))
+	for i := range fa {
+		den[i] = fa[i]*cmplx.Conj(fa[i]) + ga[i]*cmplx.Conj(ga[i])
+	}
+	prevSize := 1 << 30
+	stall := 0
+	for iter := 0; iter < 2000; iter++ {
+		bigSize := max(53, F.MaxBitLen(), G.MaxBitLen())
+		if bigSize < size {
+			break
+		}
+		// Babai converges by shrinking the coefficients; on adversarial or
+		// inconsistent inputs the rounding can oscillate without progress
+		// (or even grow), so stop after a bounded stall.
+		if bigSize >= prevSize {
+			stall++
+			if stall > 8 || bigSize > prevSize+64 {
+				break
+			}
+		} else {
+			stall = 0
+			prevSize = bigSize
+		}
+		Fa := FloatFFT(adjustToFloat(F, bigSize))
+		Ga := FloatFFT(adjustToFloat(G, bigSize))
+		num := make([]complex128, len(Fa))
+		for i := range Fa {
+			num[i] = (Fa[i]*cmplx.Conj(fa[i]) + Ga[i]*cmplx.Conj(ga[i])) / den[i]
+		}
+		kf := FloatInvFFT(num)
+		k := New(len(kf))
+		zero := true
+		for i, v := range kf {
+			r := math.Round(v)
+			if r != 0 {
+				zero = false
+			}
+			k[i].SetInt64(int64(r))
+		}
+		if zero {
+			break
+		}
+		sh := uint(bigSize - size)
+		fk := ShiftLeft(Mul(f, k), sh)
+		gk := ShiftLeft(Mul(g, k), sh)
+		for i := range F {
+			F[i].Sub(F[i], fk[i])
+			G[i].Sub(G[i], gk[i])
+		}
+	}
+}

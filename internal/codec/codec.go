@@ -1,0 +1,250 @@
+// Package codec implements FALCON's serialization formats: the SHAKE256
+// hash-to-point of salted messages, the Golomb–Rice compression of
+// signature vectors, and the fixed-width public/secret key encodings.
+package codec
+
+import (
+	"crypto/sha3"
+	"errors"
+	"fmt"
+
+	"falcondown/internal/ntt"
+)
+
+// Q is FALCON's modulus.
+const Q = ntt.Q
+
+// SaltLen is the byte length of the signature salt r (320 bits).
+const SaltLen = 40
+
+// ErrEncode reports a signature too long for the fixed field.
+var ErrEncode = errors.New("codec: signature does not fit (⊥)")
+
+// ErrDecode reports a malformed encoded object.
+var ErrDecode = errors.New("codec: malformed encoding")
+
+// HashToPoint derives the polynomial c ∈ Z_q[x]/(x^n+1) from salt‖message
+// with SHAKE256, by rejection sampling 16-bit big-endian chunks below
+// ⌊2^16/q⌋·q = 61445.
+func HashToPoint(salt, msg []byte, n int) []uint16 {
+	h := sha3.NewSHAKE256()
+	h.Write(salt)
+	h.Write(msg)
+	c := make([]uint16, n)
+	var buf [2]byte
+	for i := 0; i < n; {
+		h.Read(buf[:])
+		v := uint32(buf[0])<<8 | uint32(buf[1])
+		if v < 61445 {
+			c[i] = uint16(v % Q)
+			i++
+		}
+	}
+	return c
+}
+
+// Compress encodes the signature polynomial s (centered coefficients) into
+// exactly byteLen bytes: per coefficient one sign bit, the 7 low magnitude
+// bits, and the remaining magnitude in unary terminated by a 1. Returns
+// ErrEncode when the stream exceeds byteLen (the ⊥ case of Algorithm 2,
+// which makes the signer retry with fresh randomness).
+func Compress(s []int16, byteLen int) ([]byte, error) {
+	bw := newBitWriter(byteLen)
+	for _, x := range s {
+		mag := int(x)
+		sign := 0
+		if mag < 0 {
+			sign = 1
+			mag = -mag
+		}
+		if mag > 2047 {
+			return nil, ErrEncode
+		}
+		if !bw.put(uint(sign), 1) ||
+			!bw.put(uint(mag&0x7F), 7) ||
+			!bw.unary(mag>>7) {
+			return nil, ErrEncode
+		}
+	}
+	return bw.bytes(), nil
+}
+
+// Decompress decodes n coefficients from buf, enforcing canonicality: no
+// "-0" encoding and zero padding after the last coefficient.
+func Decompress(buf []byte, n int) ([]int16, error) {
+	br := bitReader{buf: buf}
+	s := make([]int16, n)
+	for i := 0; i < n; i++ {
+		sign, ok := br.get(1)
+		if !ok {
+			return nil, ErrDecode
+		}
+		low, ok := br.get(7)
+		if !ok {
+			return nil, ErrDecode
+		}
+		high := 0
+		for {
+			b, ok := br.get(1)
+			if !ok {
+				return nil, ErrDecode
+			}
+			if b == 1 {
+				break
+			}
+			high++
+			if high > 15 {
+				return nil, ErrDecode
+			}
+		}
+		mag := high<<7 | int(low)
+		if mag == 0 && sign == 1 {
+			return nil, fmt.Errorf("%w: minus zero", ErrDecode)
+		}
+		if sign == 1 {
+			s[i] = int16(-mag)
+		} else {
+			s[i] = int16(mag)
+		}
+	}
+	// Remaining bits must all be zero padding.
+	for {
+		b, ok := br.get(1)
+		if !ok {
+			break
+		}
+		if b != 0 {
+			return nil, fmt.Errorf("%w: nonzero padding", ErrDecode)
+		}
+	}
+	return s, nil
+}
+
+// EncodePublicKey packs h (coefficients in [0, q)) with 14 bits per
+// coefficient after a header byte 0x00|logn.
+func EncodePublicKey(h []uint16, logn int) []byte {
+	bw := newBitWriter(1 + (14*len(h)+7)/8)
+	bw.buf[0] = byte(logn)
+	bw.pos = 8
+	for _, v := range h {
+		bw.put(uint(v), 14)
+	}
+	return bw.bytes()
+}
+
+// DecodePublicKey reverses EncodePublicKey, validating the header and the
+// coefficient range.
+func DecodePublicKey(b []byte, logn int) ([]uint16, error) {
+	n := 1 << logn
+	if len(b) != 1+(14*n+7)/8 {
+		return nil, fmt.Errorf("%w: public key length %d", ErrDecode, len(b))
+	}
+	if b[0] != byte(logn) {
+		return nil, fmt.Errorf("%w: public key header %#x", ErrDecode, b[0])
+	}
+	br := bitReader{buf: b, pos: 8}
+	h := make([]uint16, n)
+	for i := range h {
+		v, ok := br.get(14)
+		if !ok {
+			return nil, ErrDecode
+		}
+		if v >= Q {
+			return nil, fmt.Errorf("%w: coefficient %d out of range", ErrDecode, v)
+		}
+		h[i] = uint16(v)
+	}
+	return h, nil
+}
+
+// EncodeSecretKey packs (f, g, F) with 8 bits per signed coefficient after
+// a header byte 0x50|logn (G is recomputed from the NTRU equation).
+func EncodeSecretKey(f, g, F []int16, logn int) ([]byte, error) {
+	n := 1 << logn
+	out := make([]byte, 1+3*n)
+	out[0] = 0x50 | byte(logn)
+	for i, p := range [][]int16{f, g, F} {
+		for j, v := range p {
+			if v < -127 || v > 127 {
+				return nil, fmt.Errorf("%w: coefficient %d outside ±127", ErrEncode, v)
+			}
+			out[1+i*n+j] = byte(int8(v))
+		}
+	}
+	return out, nil
+}
+
+// DecodeSecretKey reverses EncodeSecretKey.
+func DecodeSecretKey(b []byte, logn int) (f, g, F []int16, err error) {
+	n := 1 << logn
+	if len(b) != 1+3*n {
+		return nil, nil, nil, fmt.Errorf("%w: secret key length %d", ErrDecode, len(b))
+	}
+	if b[0] != 0x50|byte(logn) {
+		return nil, nil, nil, fmt.Errorf("%w: secret key header %#x", ErrDecode, b[0])
+	}
+	dec := func(off int) []int16 {
+		p := make([]int16, n)
+		for i := range p {
+			p[i] = int16(int8(b[1+off*n+i]))
+		}
+		return p
+	}
+	return dec(0), dec(1), dec(2), nil
+}
+
+// bitWriter assembles a most-significant-bit-first stream of fixed size.
+type bitWriter struct {
+	buf []byte
+	pos int // bit position
+}
+
+func newBitWriter(byteLen int) *bitWriter {
+	return &bitWriter{buf: make([]byte, byteLen)}
+}
+
+// put appends the low `width` bits of v, MSB first. It reports false when
+// the buffer would overflow.
+func (w *bitWriter) put(v uint, width int) bool {
+	if w.pos+width > 8*len(w.buf) {
+		return false
+	}
+	for i := width - 1; i >= 0; i-- {
+		if v>>uint(i)&1 == 1 {
+			w.buf[w.pos/8] |= 1 << uint(7-w.pos%8)
+		}
+		w.pos++
+	}
+	return true
+}
+
+// unary appends k zeros followed by a one.
+func (w *bitWriter) unary(k int) bool {
+	if w.pos+k+1 > 8*len(w.buf) {
+		return false
+	}
+	w.pos += k
+	w.buf[w.pos/8] |= 1 << uint(7-w.pos%8)
+	w.pos++
+	return true
+}
+
+func (w *bitWriter) bytes() []byte { return w.buf }
+
+// bitReader consumes a MSB-first stream.
+type bitReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *bitReader) get(width int) (uint, bool) {
+	if r.pos+width > 8*len(r.buf) {
+		return 0, false
+	}
+	var v uint
+	for i := 0; i < width; i++ {
+		v = v<<1 | uint(r.buf[r.pos/8]>>uint(7-r.pos%8)&1)
+		r.pos++
+	}
+	return v, true
+}

@@ -1,0 +1,279 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashToPointRangeAndDeterminism(t *testing.T) {
+	salt := bytes.Repeat([]byte{7}, SaltLen)
+	c1 := HashToPoint(salt, []byte("message"), 512)
+	c2 := HashToPoint(salt, []byte("message"), 512)
+	if len(c1) != 512 {
+		t.Fatalf("length %d", len(c1))
+	}
+	for i := range c1 {
+		if c1[i] >= Q {
+			t.Fatalf("coefficient %d out of range", c1[i])
+		}
+		if c1[i] != c2[i] {
+			t.Fatal("hash not deterministic")
+		}
+	}
+	c3 := HashToPoint(salt, []byte("messagf"), 512)
+	diff := 0
+	for i := range c1 {
+		if c1[i] != c3[i] {
+			diff++
+		}
+	}
+	if diff < 400 {
+		t.Fatalf("only %d/512 coefficients changed for a different message", diff)
+	}
+	c4 := HashToPoint(bytes.Repeat([]byte{8}, SaltLen), []byte("message"), 512)
+	diff = 0
+	for i := range c1 {
+		if c1[i] != c4[i] {
+			diff++
+		}
+	}
+	if diff < 400 {
+		t.Fatalf("only %d/512 coefficients changed for a different salt", diff)
+	}
+}
+
+func TestHashToPointUniformity(t *testing.T) {
+	// Mean of uniform [0, q) is (q-1)/2 ≈ 6144.
+	c := HashToPoint([]byte("salt"), []byte("uniformity"), 1024)
+	var sum float64
+	for _, v := range c {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(c))
+	if mean < 5800 || mean > 6500 {
+		t.Fatalf("mean %v far from q/2", mean)
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 64
+		s := make([]int16, n)
+		for i := range s {
+			s[i] = int16(r.Intn(601) - 300) // typical signature magnitudes
+		}
+		buf, err := Compress(s, 122-SaltLen-1)
+		if err != nil {
+			continue // occasionally too large; that's the ⊥ path
+		}
+		got, err := Decompress(buf, n)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				t.Fatalf("trial %d coeff %d: %d != %d", trial, i, got[i], s[i])
+			}
+		}
+	}
+}
+
+func TestCompressRejectsOversized(t *testing.T) {
+	s := make([]int16, 64)
+	for i := range s {
+		s[i] = 2000 // large magnitudes blow the unary budget
+	}
+	if _, err := Compress(s, 81); !errors.Is(err, ErrEncode) {
+		t.Fatalf("expected ErrEncode, got %v", err)
+	}
+	s[0] = 3000 // beyond the representable 2047
+	if _, err := Compress(s, 10000); !errors.Is(err, ErrEncode) {
+		t.Fatalf("expected ErrEncode for magnitude > 2047, got %v", err)
+	}
+}
+
+func TestDecompressRejectsMinusZero(t *testing.T) {
+	// sign=1, low7=0, unary terminator immediately: the non-canonical −0.
+	buf := make([]byte, 4)
+	buf[0] = 0x80 | 0x01 // 1 0000000 1 ... => -0
+	if _, err := Decompress(buf, 1); err == nil {
+		t.Fatal("minus zero accepted")
+	}
+}
+
+func TestDecompressRejectsNonzeroPadding(t *testing.T) {
+	s := []int16{5, -3}
+	buf, err := Compress(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] |= 1 // flip a padding bit
+	if _, err := Decompress(buf, 2); err == nil {
+		t.Fatal("nonzero padding accepted")
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	s := []int16{100, -200, 300}
+	buf, err := Compress(s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(buf[:2], 3); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := Decompress(nil, 1); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestDecompressRunawayUnary(t *testing.T) {
+	// A stream of zeros never terminates the unary part; must be rejected
+	// by the high cap rather than looping to the end.
+	buf := make([]byte, 300)
+	if _, err := Decompress(buf, 1); err == nil {
+		t.Fatal("runaway unary accepted")
+	}
+}
+
+func TestQuickCompressRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 16
+		s := make([]int16, n)
+		for i := range s {
+			s[i] = int16(r.Intn(4095) - 2047)
+		}
+		buf, err := Compress(s, 200)
+		if err != nil {
+			return true // ⊥ is acceptable
+		}
+		got, err := Decompress(buf, n)
+		if err != nil {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPublicKeyCodec(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, logn := range []int{3, 6, 9} {
+		n := 1 << logn
+		h := make([]uint16, n)
+		for i := range h {
+			h[i] = uint16(r.Intn(Q))
+		}
+		enc := EncodePublicKey(h, logn)
+		dec, err := DecodePublicKey(enc, logn)
+		if err != nil {
+			t.Fatalf("logn=%d: %v", logn, err)
+		}
+		for i := range h {
+			if dec[i] != h[i] {
+				t.Fatalf("logn=%d coeff %d mismatch", logn, i)
+			}
+		}
+		// Corrupt header.
+		enc[0] ^= 0xFF
+		if _, err := DecodePublicKey(enc, logn); err == nil {
+			t.Fatal("bad header accepted")
+		}
+		enc[0] ^= 0xFF
+		// Wrong length.
+		if _, err := DecodePublicKey(enc[:len(enc)-1], logn); err == nil {
+			t.Fatal("short key accepted")
+		}
+	}
+}
+
+func TestPublicKeyCodecRejectsOutOfRange(t *testing.T) {
+	h := make([]uint16, 8)
+	h[3] = Q // out of range
+	enc := EncodePublicKey(h, 3)
+	if _, err := DecodePublicKey(enc, 3); err == nil {
+		t.Fatal("coefficient q accepted")
+	}
+}
+
+func TestSecretKeyCodec(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	logn := 5
+	n := 1 << logn
+	mk := func() []int16 {
+		p := make([]int16, n)
+		for i := range p {
+			p[i] = int16(r.Intn(255) - 127)
+		}
+		return p
+	}
+	f, g, F := mk(), mk(), mk()
+	enc, err := EncodeSecretKey(f, g, F, logn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, dg, dF, err := DecodeSecretKey(enc, logn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if df[i] != f[i] || dg[i] != g[i] || dF[i] != F[i] {
+			t.Fatal("secret key mismatch")
+		}
+	}
+	// Out-of-range coefficient.
+	f[0] = 128
+	if _, err := EncodeSecretKey(f, g, F, logn); err == nil {
+		t.Fatal("coefficient 128 accepted")
+	}
+	// Bad header / length.
+	enc[0] = 0
+	if _, _, _, err := DecodeSecretKey(enc, logn); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	if _, _, _, err := DecodeSecretKey(enc[:5], logn); err == nil {
+		t.Fatal("short secret key accepted")
+	}
+}
+
+func TestBitWriterReader(t *testing.T) {
+	w := newBitWriter(4)
+	if !w.put(0b101, 3) || !w.put(0b0110, 4) || !w.unary(3) {
+		t.Fatal("writes failed unexpectedly")
+	}
+	r := bitReader{buf: w.bytes()}
+	if v, ok := r.get(3); !ok || v != 0b101 {
+		t.Fatalf("read1 %v", v)
+	}
+	if v, ok := r.get(4); !ok || v != 0b0110 {
+		t.Fatalf("read2 %v", v)
+	}
+	for i := 0; i < 3; i++ {
+		if v, ok := r.get(1); !ok || v != 0 {
+			t.Fatal("unary zeros")
+		}
+	}
+	if v, ok := r.get(1); !ok || v != 1 {
+		t.Fatal("unary terminator")
+	}
+	// Overflow.
+	w2 := newBitWriter(1)
+	if w2.put(0xFFFF, 16) {
+		t.Fatal("overflow write accepted")
+	}
+	if w2.unary(9) {
+		t.Fatal("overflow unary accepted")
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+// deviceFor builds a victim device around a fresh FALCON key.
+func deviceFor(t *testing.T, n int, noise float64, seed uint64) (*emleak.Device, *falcon.PrivateKey, *falcon.PublicKey) {
+	t.Helper()
+	priv, pub, err := falcon.GenerateKey(n, rng.New(seed))
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{}, emleak.Probe{Gain: 1, NoiseSigma: noise}, seed+1)
+	return dev, priv, pub
+}
+
+func collect(t *testing.T, dev *emleak.Device, count int, seed uint64) []emleak.Observation {
+	t.Helper()
+	obs, err := emleak.NewCampaign(dev, seed).Collect(count)
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	return obs
+}
+
+func TestAttackValueRecoversExactBits(t *testing.T) {
+	dev, priv, _ := deviceFor(t, 8, 2.0, 1)
+	obs := collect(t, dev, 1500, 2)
+	secret := priv.FFTOfF()
+	for _, k := range []int{0, 3} {
+		for _, part := range []Part{PartRe, PartIm} {
+			res, err := AttackValue(obs, k, part, Config{})
+			if err != nil {
+				t.Fatalf("attack: %v", err)
+			}
+			want := part.known(secret[k])
+			if res.Value != want {
+				t.Fatalf("coeff %d part %d: recovered %#x, want %#x", k, part, uint64(res.Value), uint64(want))
+			}
+			if res.TracesUsed != 1500 {
+				t.Errorf("TracesUsed = %d", res.TracesUsed)
+			}
+		}
+	}
+}
+
+func TestAttackValueSignificanceAtLowNoise(t *testing.T) {
+	dev, priv, _ := deviceFor(t, 8, 1.0, 3)
+	obs := collect(t, dev, 4000, 4)
+	res, err := AttackValue(obs, 1, PartRe, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != priv.FFTOfF()[1].Re {
+		t.Fatalf("wrong value recovered")
+	}
+	if !res.Significant {
+		t.Errorf("expected statistical significance: sign=%.3f exp=%.3f prune=%.3f",
+			res.SignCorr, res.ExpCorr, res.PruneCorr)
+	}
+	if res.RunnerUpGap <= 0 {
+		t.Errorf("runner-up gap %v not positive", res.RunnerUpGap)
+	}
+}
+
+func TestAttackNoTraces(t *testing.T) {
+	if _, err := AttackValue(nil, 0, PartRe, Config{}); !errors.Is(err, errNoTraces) {
+		t.Fatalf("expected errNoTraces, got %v", err)
+	}
+	if _, _, err := AttackFFTf(nil, Config{}); !errors.Is(err, errNoTraces) {
+		t.Fatalf("expected errNoTraces, got %v", err)
+	}
+}
+
+func TestNaiveAttackExhibitsFalsePositives(t *testing.T) {
+	// The paper's Fig. 4(c): full-width CPA on the mantissa multiplication
+	// cannot separate d from its in-range shifts — their correlations tie
+	// exactly (HW is shift invariant).
+	dev, priv, _ := deviceFor(t, 8, 2.0, 5)
+	obs := collect(t, dev, 1200, 6)
+	secret := priv.FFTOfF()[2].Re
+	_, d := secret.MantissaHalves()
+	if d == 0 {
+		t.Skip("degenerate zero low half")
+	}
+	pool := shiftPool(d)
+	r := rng.New(7)
+	for len(pool) < 21 {
+		pool = append(pool, uint64(r.Intn(1<<25)))
+	}
+	ranked := NaiveMantissaAttack(obs, 2, PartRe, pool)
+	// Count pool members whose correlation is within epsilon of the top —
+	// the shifted duplicates must all tie with the winner.
+	ties := 0
+	for _, g := range ranked {
+		if ranked[0].Corr-g.Corr < 1e-9 {
+			ties++
+		}
+	}
+	wantTies := len(shiftPool(d))
+	if ties < wantTies {
+		t.Fatalf("only %d exact ties, want >= %d (shift false positives)", ties, wantTies)
+	}
+}
+
+// shiftPool returns d together with every in-range shift of it that
+// preserves the Hamming weight of all its products (left shifts staying
+// below 2^25, right shifts while no set bit falls off).
+func shiftPool(d uint64) []uint64 {
+	pool := []uint64{d}
+	for v := d << 1; v < 1<<25 && v != 0; v <<= 1 {
+		pool = append(pool, v)
+	}
+	for v := d; v&1 == 0 && v > 1; {
+		v >>= 1
+		pool = append(pool, v)
+	}
+	return pool
+}
+
+func TestPruneEliminatesFalsePositives(t *testing.T) {
+	// The paper's Fig. 4(d): rescoring the naive candidates on the
+	// intermediate additions leaves a unique winner — the true value.
+	dev, priv, _ := deviceFor(t, 8, 2.0, 8)
+	obs := collect(t, dev, 1200, 9)
+	secret := priv.FFTOfF()[2].Re
+	c, d := secret.MantissaHalves()
+	if d == 0 {
+		t.Skip("degenerate zero low half")
+	}
+	pool := shiftPool(d)
+	r := rng.New(10)
+	for len(pool) < 16 {
+		pool = append(pool, uint64(r.Intn(1<<25)))
+	}
+	ranked := PruneCandidates(obs, 2, PartRe, pool, []uint64{c})
+	if pool[ranked[0].Index] != d {
+		t.Fatalf("prune winner %#x, want %#x", pool[ranked[0].Index], d)
+	}
+	if len(ranked) > 1 && ranked[0].Corr-ranked[1].Corr < 1e-6 {
+		t.Fatalf("prune left a tie: %.6f vs %.6f", ranked[0].Corr, ranked[1].Corr)
+	}
+}
+
+func TestDirectAdditionAttackIsWeaker(t *testing.T) {
+	// Ablation for the paper's design note: attacking the addition without
+	// the multiplication stage weakens the distinguisher because the D×B
+	// and D×A bit positions do not align.
+	dev, priv, _ := deviceFor(t, 8, 2.0, 11)
+	obs := collect(t, dev, 1500, 12)
+	secret := priv.FFTOfF()[0].Re
+	_, d := secret.MantissaHalves()
+	pool := []uint64{d}
+	r := rng.New(13)
+	for len(pool) < 32 {
+		pool = append(pool, uint64(r.Intn(1<<25)))
+	}
+	direct := DirectAdditionAttack(obs, 0, PartRe, pool)
+	naive := NaiveMantissaAttack(obs, 0, PartRe, pool)
+	if direct[0].Corr >= naive[0].Corr {
+		t.Fatalf("direct addition attack (%.4f) not weaker than multiplication CPA (%.4f)",
+			direct[0].Corr, naive[0].Corr)
+	}
+}
+
+func TestRecoverKeyEndToEndAndForge(t *testing.T) {
+	// The full break: traces → FFT(f) → f → g → (F, G) → forged signature
+	// accepted by the real public key.
+	dev, priv, pub := deviceFor(t, 16, 2.0, 14)
+	obs := collect(t, dev, 1500, 15)
+	recovered, report, err := RecoverKey(obs, pub, Config{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	for i := range recovered.Fs {
+		if recovered.Fs[i] != priv.Fs[i] {
+			t.Fatalf("f[%d] = %d, want %d", i, recovered.Fs[i], priv.Fs[i])
+		}
+		if recovered.Gs[i] != priv.Gs[i] {
+			t.Fatalf("g[%d] = %d, want %d", i, recovered.Gs[i], priv.Gs[i])
+		}
+	}
+	if len(report.Values) != 16 {
+		t.Fatalf("report has %d values", len(report.Values))
+	}
+	// Forge a signature on an arbitrary message with the recovered key.
+	msg := []byte("forged by the adversary — never signed by the victim")
+	sig, err := recovered.Sign(msg, rng.New(99))
+	if err != nil {
+		t.Fatalf("forging failed: %v", err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatalf("forged signature rejected: %v", err)
+	}
+}
+
+func TestRecoverKeyDetectsGarbage(t *testing.T) {
+	// Failure injection: with overwhelming noise the attack must report
+	// failure rather than fabricate a key.
+	dev, _, pub := deviceFor(t, 8, 1e6, 16)
+	obs := collect(t, dev, 50, 17)
+	_, _, err := RecoverKey(obs, pub, Config{})
+	if err == nil {
+		t.Fatal("recovery claimed success on pure noise")
+	}
+	if !errors.Is(err, ErrImplausibleKey) {
+		t.Fatalf("expected ErrImplausibleKey, got %v", err)
+	}
+}
+
+func TestShufflingCountermeasureDegradesAttack(t *testing.T) {
+	// §V.B: randomizing the coefficient processing order misaligns the
+	// windows; the per-coefficient attack should stop recovering exact
+	// values.
+	dev, priv, _ := deviceFor(t, 16, 1.0, 18)
+	dev.Shuffle = true
+	obs := collect(t, dev, 1200, 19)
+	secret := priv.FFTOfF()
+	matches := 0
+	for k := 0; k < 4; k++ {
+		res, err := AttackValue(obs, k, PartRe, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value == secret[k].Re {
+			matches++
+		}
+	}
+	if matches == 4 {
+		t.Fatal("attack fully succeeded despite shuffling countermeasure")
+	}
+}
+
+func TestAttackWithHammingDistanceModel(t *testing.T) {
+	// The attack assumes HW leakage; under an HD device the predictions
+	// still correlate (registers change from related values), but exact
+	// recovery is not guaranteed. This test just asserts the machinery
+	// runs and reports sane statistics.
+	priv, _, err := falcon.GenerateKey(8, rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingDistance{}, emleak.Probe{Gain: 1, NoiseSigma: 1}, 21)
+	obs := collect(t, dev, 400, 22)
+	res, err := AttackValue(obs, 0, PartRe, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.PruneCorr) || res.PruneCorr < -1 || res.PruneCorr > 1 {
+		t.Fatalf("insane correlation %v", res.PruneCorr)
+	}
+}
+
+func TestPartAccessors(t *testing.T) {
+	z := fft.Cplx{Re: fpr.One, Im: fpr.Two}
+	if PartRe.known(z) != fpr.One || PartIm.known(z) != fpr.Two {
+		t.Fatal("part accessors broken")
+	}
+	if PartRe.mulSlot() != emleak.MulReRe || PartIm.mulSlot() != emleak.MulImIm {
+		t.Fatal("mul slots broken")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.TopK != 8 || c.Window != 5 || c.Confidence != 0.9999 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	c = Config{TopK: 4, Window: 3, Confidence: 0.99}.withDefaults()
+	if c.TopK != 4 || c.Window != 3 || c.Confidence != 0.99 {
+		t.Fatalf("overrides lost: %+v", c)
+	}
+}

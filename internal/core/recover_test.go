@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"falcondown/internal/falcon"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+func TestWithExponent(t *testing.T) {
+	v := fpr.FromFloat64(-3.75)
+	w := withExponent(v, 1030)
+	if w.BiasedExp() != 1030 {
+		t.Fatalf("exponent = %d", w.BiasedExp())
+	}
+	if w.Sign() != v.Sign() || w.Mantissa() != v.Mantissa() {
+		t.Fatal("sign/mantissa disturbed")
+	}
+}
+
+func TestCorrectExponentsRepairsSingleTieError(t *testing.T) {
+	// Simulate the exponent tie-break picking a +16 family member on one
+	// value: the error-correction pass must find the true exponent among
+	// the recorded alternatives via the public-key consistency check.
+	priv, pub, err := falcon.GenerateKey(16, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := priv.FFTOfF()
+	trueExp := vec[3].Re.BiasedExp()
+	vec[3].Re = withExponent(vec[3].Re, trueExp+16)
+
+	values := make([]ValueResult, 2*len(vec))
+	for i := range values {
+		values[i].ExpCorr = 0.5
+	}
+	// Record the true exponent as a tie alternative of the corrupted value.
+	values[2*3].ExpAlternatives = []int{trueExp}
+	values[2*3].ExpCorr = 0.2 // least confident -> tried first
+
+	f, g, ok := correctExponents(pub, vec, values)
+	if !ok {
+		t.Fatal("correction failed")
+	}
+	for i := range f {
+		if f[i] != priv.Fs[i] {
+			t.Fatalf("f[%d] = %d, want %d", i, f[i], priv.Fs[i])
+		}
+		if g[i] != priv.Gs[i] {
+			t.Fatalf("g[%d] = %d, want %d", i, g[i], priv.Gs[i])
+		}
+	}
+}
+
+func TestCorrectExponentsGivesUpOnGarbage(t *testing.T) {
+	priv, pub, err := falcon.GenerateKey(8, rng.New(78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := priv.FFTOfF()
+	// Corrupt two values beyond any recorded alternative.
+	vec[0].Re = withExponent(vec[0].Re, 1200)
+	vec[1].Im = withExponent(vec[1].Im, 900)
+	values := make([]ValueResult, 2*len(vec))
+	values[0].ExpAlternatives = []int{1201} // wrong alternative
+	if _, _, ok := correctExponents(pub, vec, values); ok {
+		t.Fatal("correction claimed success on unfixable corruption")
+	}
+}
+
+func TestDeriveG(t *testing.T) {
+	priv, pub, err := falcon.GenerateKey(8, rng.New(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := deriveG(pub, priv.Fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g {
+		if g[i] != priv.Gs[i] {
+			t.Fatalf("g[%d] mismatch", i)
+		}
+	}
+	// A corrupted f must be rejected.
+	bad := append([]int16(nil), priv.Fs...)
+	bad[0] += 3
+	if _, err := deriveG(pub, bad); err == nil {
+		t.Fatal("corrupted f accepted")
+	}
+}

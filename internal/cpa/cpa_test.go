@@ -1,0 +1,190 @@
+package cpa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEngineRecoversPlantedCorrelation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	eng := NewEngine(3)
+	for i := 0; i < 20000; i++ {
+		x := r.Float64()
+		h := []float64{
+			x,           // perfectly correlated
+			-x,          // perfectly anti-correlated
+			r.Float64(), // independent
+		}
+		eng.Update(h, 2*x+0.3+0.01*r.NormFloat64())
+	}
+	c := eng.Corr()
+	if c[0] < 0.99 {
+		t.Errorf("corr[0] = %v", c[0])
+	}
+	if c[1] > -0.99 {
+		t.Errorf("corr[1] = %v", c[1])
+	}
+	if math.Abs(c[2]) > 0.05 {
+		t.Errorf("corr[2] = %v", c[2])
+	}
+	if eng.Traces() != 20000 || eng.NHyp() != 3 {
+		t.Errorf("metadata wrong")
+	}
+}
+
+func TestEngineAffineInvariance(t *testing.T) {
+	// Pearson correlation must be invariant under affine transforms of the
+	// prediction — the property behind both the attack's robustness to
+	// probe gain and the exponent-tie degeneracy documented in core.
+	r := rand.New(rand.NewSource(2))
+	eng := NewEngine(2)
+	for i := 0; i < 5000; i++ {
+		x := r.Float64()
+		eng.Update([]float64{x, 5*x - 7}, x+0.1*r.NormFloat64())
+	}
+	c := eng.Corr()
+	if math.Abs(c[0]-c[1]) > 1e-12 {
+		t.Fatalf("affine predictions disagree: %v vs %v", c[0], c[1])
+	}
+}
+
+func TestEngineDegenerateInputs(t *testing.T) {
+	eng := NewEngine(2)
+	if c := eng.Corr(); c[0] != 0 || c[1] != 0 {
+		t.Error("empty engine nonzero")
+	}
+	eng.Update([]float64{1, 2}, 5)
+	if c := eng.Corr(); c[0] != 0 {
+		t.Error("single trace nonzero")
+	}
+	// Constant hypothesis -> zero (not NaN).
+	eng2 := NewEngine(1)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		eng2.Update([]float64{42}, r.Float64())
+	}
+	if c := eng2.Corr()[0]; c != 0 || math.IsNaN(c) {
+		t.Errorf("constant hypothesis corr = %v", c)
+	}
+	// Constant trace -> zero everywhere.
+	eng3 := NewEngine(1)
+	for i := 0; i < 100; i++ {
+		eng3.Update([]float64{r.Float64()}, 7)
+	}
+	if c := eng3.Corr()[0]; c != 0 || math.IsNaN(c) {
+		t.Errorf("constant trace corr = %v", c)
+	}
+}
+
+func TestRankAndTopK(t *testing.T) {
+	corr := []float64{0.1, 0.9, -0.5, 0.7}
+	r := Rank(corr)
+	wantOrder := []int{1, 3, 0, 2}
+	for i, w := range wantOrder {
+		if r[i].Index != w {
+			t.Fatalf("rank %d = %d, want %d", i, r[i].Index, w)
+		}
+	}
+	top := TopK(corr, 2)
+	if len(top) != 2 || top[0].Index != 1 || top[1].Index != 3 {
+		t.Fatalf("TopK wrong: %+v", top)
+	}
+	if got := TopK(corr, 10); len(got) != 4 {
+		t.Fatalf("TopK over-length wrong")
+	}
+}
+
+func TestThresholdProperties(t *testing.T) {
+	// More traces -> lower threshold; higher confidence -> higher threshold.
+	if Threshold9999(100) <= Threshold9999(10000) {
+		t.Error("threshold must shrink with trace count")
+	}
+	if Threshold(0.9999, 1000) <= Threshold(0.95, 1000) {
+		t.Error("threshold must grow with confidence")
+	}
+	if Threshold9999(2) != 1 {
+		t.Error("degenerate trace count must saturate")
+	}
+	// Spot value: z(99.99% two-sided) = 3.8906; d=10000 ->
+	// tanh(3.8906/99.985) ≈ 0.03890.
+	got := Threshold9999(10000)
+	if math.Abs(got-0.0389) > 0.0005 {
+		t.Errorf("Threshold9999(10000) = %v", got)
+	}
+}
+
+func TestErfInv(t *testing.T) {
+	for _, x := range []float64{-0.999, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.9999} {
+		if got := math.Erf(erfInv(x)); math.Abs(got-x) > 1e-10 {
+			t.Errorf("erf(erfInv(%v)) = %v", x, got)
+		}
+	}
+	if !math.IsInf(erfInv(1), 1) || !math.IsInf(erfInv(-1), -1) {
+		t.Error("erfInv(±1) not infinite")
+	}
+	if !math.IsNaN(erfInv(2)) {
+		t.Error("erfInv(2) not NaN")
+	}
+}
+
+func TestFalsePositiveRateUnderNull(t *testing.T) {
+	// Under the null (independent hypothesis), |r| should exceed the 99.99%
+	// threshold about 0.01% of the time. With 2000 independent hypotheses
+	// we expect ~0.2 exceedances; tolerate a handful.
+	r := rand.New(rand.NewSource(4))
+	const nHyp, d = 2000, 2000
+	eng := NewEngine(nHyp)
+	h := make([]float64, nHyp)
+	for i := 0; i < d; i++ {
+		for j := range h {
+			h[j] = r.Float64()
+		}
+		eng.Update(h, r.NormFloat64())
+	}
+	thr := Threshold9999(d)
+	exceed := 0
+	for _, c := range eng.Corr() {
+		if math.Abs(c) > thr {
+			exceed++
+		}
+	}
+	if exceed > 5 {
+		t.Fatalf("%d/%d null hypotheses exceeded the 99.99%% threshold", exceed, nHyp)
+	}
+}
+
+func TestMultiEngine(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	eng := NewMultiEngine(2, 3)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		// Sample 1 leaks hypothesis 0; sample 2 leaks nothing.
+		tr := []float64{0.5 * r.NormFloat64(), x + 0.2*r.NormFloat64(), r.NormFloat64()}
+		eng.Update([]float64{x, r.Float64()}, tr)
+	}
+	c := eng.Corr()
+	if c[0][1] < 0.8 {
+		t.Errorf("planted leak corr = %v", c[0][1])
+	}
+	if math.Abs(c[0][0]) > 0.05 || math.Abs(c[0][2]) > 0.05 {
+		t.Errorf("non-leaky samples correlate: %v %v", c[0][0], c[0][2])
+	}
+	if math.Abs(c[1][1]) > 0.05 {
+		t.Errorf("wrong hypothesis correlates: %v", c[1][1])
+	}
+	if eng.PeakSample(0) != 1 {
+		t.Errorf("peak sample = %d", eng.PeakSample(0))
+	}
+	if eng.Traces() != 10000 {
+		t.Error("trace count")
+	}
+}
+
+func TestMultiEngineEmpty(t *testing.T) {
+	eng := NewMultiEngine(1, 2)
+	c := eng.Corr()
+	if c[0][0] != 0 || c[0][1] != 0 {
+		t.Error("empty multi engine nonzero")
+	}
+}

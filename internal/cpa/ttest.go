@@ -1,0 +1,77 @@
+package cpa
+
+import "math"
+
+// Welch implements Welch's t-test between two populations of trace
+// samples, the TVLA ("test vector leakage assessment") methodology used
+// throughout the side-channel literature to certify that an
+// implementation leaks before mounting a key-recovery attack. The paper's
+// premise — that FALCON's floating-point multiplier leaks key-dependent
+// information — is exactly a TVLA statement.
+type Welch struct {
+	nA, nB       int
+	sumA, sumSqA []float64
+	sumB, sumSqB []float64
+}
+
+// NewWelch returns a t-test accumulator over nSamples trace points.
+func NewWelch(nSamples int) *Welch {
+	return &Welch{
+		sumA: make([]float64, nSamples), sumSqA: make([]float64, nSamples),
+		sumB: make([]float64, nSamples), sumSqB: make([]float64, nSamples),
+	}
+}
+
+// AddA folds a trace into the first population (e.g. fixed input).
+func (w *Welch) AddA(t []float64) {
+	w.nA++
+	for j, v := range t {
+		w.sumA[j] += v
+		w.sumSqA[j] += v * v
+	}
+}
+
+// AddB folds a trace into the second population (e.g. random input).
+func (w *Welch) AddB(t []float64) {
+	w.nB++
+	for j, v := range t {
+		w.sumB[j] += v
+		w.sumSqB[j] += v * v
+	}
+}
+
+// TValues returns the per-sample Welch t statistic. |t| > 4.5 is the
+// conventional TVLA threshold for leakage with high confidence.
+func (w *Welch) TValues() []float64 {
+	out := make([]float64, len(w.sumA))
+	if w.nA < 2 || w.nB < 2 {
+		return out
+	}
+	na, nb := float64(w.nA), float64(w.nB)
+	for j := range out {
+		ma := w.sumA[j] / na
+		mb := w.sumB[j] / nb
+		va := w.sumSqA[j]/na - ma*ma
+		vb := w.sumSqB[j]/nb - mb*mb
+		den := math.Sqrt(va/na + vb/nb)
+		if den == 0 {
+			continue
+		}
+		out[j] = (ma - mb) / den
+	}
+	return out
+}
+
+// TVLAThreshold is the conventional |t| threshold for declaring leakage.
+const TVLAThreshold = 4.5
+
+// MaxAbs returns the largest |t| and its sample index.
+func MaxAbs(t []float64) (float64, int) {
+	best, at := 0.0, 0
+	for j, v := range t {
+		if a := math.Abs(v); a > best {
+			best, at = a, j
+		}
+	}
+	return best, at
+}

@@ -1,0 +1,73 @@
+package cpa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchDetectsMeanShift(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := NewWelch(3)
+	for i := 0; i < 5000; i++ {
+		// Sample 1 has a population-dependent mean; samples 0 and 2 don't.
+		a := []float64{r.NormFloat64(), 1 + r.NormFloat64(), r.NormFloat64()}
+		b := []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		w.AddA(a)
+		w.AddB(b)
+	}
+	tv := w.TValues()
+	if math.Abs(tv[1]) < TVLAThreshold {
+		t.Errorf("leaky sample t = %v, want > %v", tv[1], TVLAThreshold)
+	}
+	if math.Abs(tv[0]) > TVLAThreshold || math.Abs(tv[2]) > TVLAThreshold {
+		t.Errorf("non-leaky samples flagged: %v %v", tv[0], tv[2])
+	}
+	best, at := MaxAbs(tv)
+	if at != 1 || best < TVLAThreshold {
+		t.Errorf("MaxAbs = %v at %d", best, at)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	w := NewWelch(2)
+	if tv := w.TValues(); tv[0] != 0 || tv[1] != 0 {
+		t.Error("empty accumulator nonzero")
+	}
+	w.AddA([]float64{1, 2})
+	w.AddB([]float64{1, 2})
+	if tv := w.TValues(); tv[0] != 0 {
+		t.Error("single-trace populations nonzero")
+	}
+	// Constant populations: zero variance must not produce NaN.
+	w2 := NewWelch(1)
+	for i := 0; i < 10; i++ {
+		w2.AddA([]float64{5})
+		w2.AddB([]float64{5})
+	}
+	if tv := w2.TValues(); math.IsNaN(tv[0]) || tv[0] != 0 {
+		t.Errorf("constant populations t = %v", tv[0])
+	}
+}
+
+func TestWelchNullDistribution(t *testing.T) {
+	// Same distribution in both populations: |t| should stay below the
+	// TVLA threshold (false-positive probability ~1e-5 per sample).
+	r := rand.New(rand.NewSource(2))
+	w := NewWelch(20)
+	tr := make([]float64, 20)
+	for i := 0; i < 4000; i++ {
+		for j := range tr {
+			tr[j] = 3 * r.NormFloat64()
+		}
+		if i%2 == 0 {
+			w.AddA(tr)
+		} else {
+			w.AddB(tr)
+		}
+	}
+	best, _ := MaxAbs(w.TValues())
+	if best > TVLAThreshold {
+		t.Errorf("null experiment flagged leakage: max |t| = %v", best)
+	}
+}

@@ -1,0 +1,225 @@
+package emleak
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"falcondown/internal/codec"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+// Campaign draws fresh adversary-known inputs (hash-to-point outputs of
+// random messages, exactly as a signing oracle would produce) and collects
+// measurements from a Device. The attack is known-plaintext: the adversary
+// needs no control over the hashed values, matching the paper's threat
+// model.
+type Campaign struct {
+	dev *Device
+	rnd *rng.Xoshiro
+	ctr uint64
+}
+
+// NewCampaign returns a campaign with a deterministic message stream.
+func NewCampaign(dev *Device, seed uint64) *Campaign {
+	return &Campaign{dev: dev, rnd: rng.New(seed)}
+}
+
+// Next produces one observation: a fresh salted message is hashed to a
+// point c, transformed to the FFT domain, and multiplied against the
+// device secret while the probe listens.
+func (c *Campaign) Next() (Observation, error) {
+	salt := make([]byte, codec.SaltLen)
+	c.rnd.Bytes(salt)
+	c.ctr++
+	msg := binary.LittleEndian.AppendUint64(nil, c.ctr)
+	point := codec.HashToPoint(salt, msg, c.dev.N())
+	return c.dev.ObserveMul(fft.FFTUint16Centered(point))
+}
+
+// Collect gathers count observations.
+func (c *Campaign) Collect(count int) ([]Observation, error) {
+	obs := make([]Observation, 0, count)
+	for i := 0; i < count; i++ {
+		o, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		obs = append(obs, o)
+	}
+	return obs, nil
+}
+
+// Serialization format (little endian):
+//
+//	magic "FDTR" | version u32 | n u32 | count u32
+//	per observation: n/2 × (re u64, im u64) | n/2·SamplesPerCoeff × f64
+const (
+	traceMagic   = "FDTR"
+	traceVersion = 1
+)
+
+var errBadTraceFile = errors.New("emleak: malformed trace file")
+
+// WriteObservations streams a campaign to w.
+func WriteObservations(w io.Writer, n int, obs []Observation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	hdr := []uint32{traceVersion, uint32(n), uint32(len(obs))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i, o := range obs {
+		if len(o.CFFT) != n/2 || len(o.Trace.Samples) != n/2*SamplesPerCoeff {
+			return fmt.Errorf("emleak: observation %d has inconsistent shape", i)
+		}
+		for _, z := range o.CFFT {
+			if err := binary.Write(bw, binary.LittleEndian, uint64(z.Re)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint64(z.Im)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, o.Trace.Samples); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObservations loads a trace file written by WriteObservations.
+func ReadObservations(r io.Reader) (n int, obs []Observation, err error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != traceMagic {
+		return 0, nil, errBadTraceFile
+	}
+	var hdr [3]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return 0, nil, errBadTraceFile
+		}
+	}
+	if hdr[0] != traceVersion {
+		return 0, nil, fmt.Errorf("%w: version %d", errBadTraceFile, hdr[0])
+	}
+	n = int(hdr[1])
+	count := int(hdr[2])
+	if n < 2 || n > 4096 || n%2 != 0 || count < 0 || count > 1<<24 {
+		return 0, nil, errBadTraceFile
+	}
+	obs = make([]Observation, count)
+	for i := range obs {
+		cf := make([]fft.Cplx, n/2)
+		for k := range cf {
+			var re, im uint64
+			if err := binary.Read(br, binary.LittleEndian, &re); err != nil {
+				return 0, nil, errBadTraceFile
+			}
+			if err := binary.Read(br, binary.LittleEndian, &im); err != nil {
+				return 0, nil, errBadTraceFile
+			}
+			cf[k] = fft.Cplx{Re: fprFromBits(re), Im: fprFromBits(im)}
+		}
+		samples := make([]float64, n/2*SamplesPerCoeff)
+		if err := binary.Read(br, binary.LittleEndian, samples); err != nil {
+			return 0, nil, errBadTraceFile
+		}
+		obs[i] = Observation{CFFT: cf, Trace: Trace{Samples: samples}}
+	}
+	return n, obs, nil
+}
+
+// CropToCoefficient reduces an observation to a single coefficient's
+// window: the known input coefficient and its SamplesPerCoeff samples.
+// Single-coefficient experiments use it to keep 10k-trace campaigns small.
+func CropToCoefficient(o Observation, coeff int) Observation {
+	return Observation{
+		CFFT: []fft.Cplx{o.CFFT[coeff]},
+		Trace: Trace{Samples: append([]float64(nil),
+			o.Trace.Samples[coeff*SamplesPerCoeff:(coeff+1)*SamplesPerCoeff]...)},
+	}
+}
+
+// CollectCoefficient gathers count observations cropped to one
+// coefficient window.
+func (c *Campaign) CollectCoefficient(count, coeff int) ([]Observation, error) {
+	obs := make([]Observation, 0, count)
+	for i := 0; i < count; i++ {
+		o, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		obs = append(obs, CropToCoefficient(o, coeff))
+	}
+	return obs, nil
+}
+
+// SNR estimates the per-sample signal-to-noise ratio of a campaign:
+// Var(E[t | class]) / E[Var(t | class)], with the class taken as the
+// noiseless Hamming-weight leakage recomputed from the known inputs and a
+// candidate secret. It is the standard first-order leakage metric used to
+// locate the most informative samples before mounting a CPA.
+func SNR(obs []Observation, secret []fft.Cplx) ([]float64, error) {
+	if len(obs) == 0 {
+		return nil, errors.New("emleak: no observations")
+	}
+	nSamples := len(obs[0].Trace.Samples)
+	type acc struct {
+		n          map[int]int
+		sum, sumSq map[int]float64
+	}
+	accs := make([]acc, nSamples)
+	for j := range accs {
+		accs[j] = acc{n: map[int]int{}, sum: map[int]float64{}, sumSq: map[int]float64{}}
+	}
+	var rec fpr.SliceRecorder
+	for _, o := range obs {
+		rec.Reset()
+		for k := range o.CFFT {
+			fft.MulTraced(o.CFFT[k], secret[k], &rec)
+		}
+		if rec.Len() != nSamples {
+			return nil, fmt.Errorf("emleak: replay produced %d micro-ops, want %d", rec.Len(), nSamples)
+		}
+		for j := 0; j < nSamples; j++ {
+			cls := bits.OnesCount64(rec.Values[j])
+			t := o.Trace.Samples[j]
+			accs[j].n[cls]++
+			accs[j].sum[cls] += t
+			accs[j].sumSq[cls] += t * t
+		}
+	}
+	out := make([]float64, nSamples)
+	for j, a := range accs {
+		var total, totalN float64
+		for cls, n := range a.n {
+			total += a.sum[cls]
+			totalN += float64(n)
+			_ = cls
+		}
+		grand := total / totalN
+		var between, within float64
+		for cls, n := range a.n {
+			fn := float64(n)
+			m := a.sum[cls] / fn
+			v := a.sumSq[cls]/fn - m*m
+			between += fn / totalN * (m - grand) * (m - grand)
+			within += fn / totalN * v
+		}
+		if within > 0 {
+			out[j] = between / within
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package emleak
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"falcondown/internal/falcon"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+func testDevice(t *testing.T, n int, noise float64) (*Device, *falcon.PrivateKey) {
+	t.Helper()
+	priv, _, err := falcon.GenerateKey(n, rng.New(1))
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	return NewDevice(priv.FFTOfF(), HammingWeight{}, Probe{Gain: 1, NoiseSigma: noise}, 2), priv
+}
+
+func TestLeakageModels(t *testing.T) {
+	if (HammingWeight{}).Leak(0, 0xFF) != 8 {
+		t.Error("HW(0xFF) != 8")
+	}
+	if (HammingWeight{}).Leak(0xFFFF, 0) != 0 {
+		t.Error("HW ignores prev")
+	}
+	if (HammingDistance{}).Leak(0b1010, 0b0101) != 4 {
+		t.Error("HD(1010,0101) != 4")
+	}
+	if (HammingDistance{}).Leak(7, 7) != 0 {
+		t.Error("HD(x,x) != 0")
+	}
+	if (Identity{}).Leak(0, 0x1234) != 0x34 {
+		t.Error("identity low byte")
+	}
+	for _, m := range []LeakageModel{HammingWeight{}, HammingDistance{}, Identity{}} {
+		if m.Name() == "" {
+			t.Error("empty model name")
+		}
+	}
+}
+
+func TestSampleIndexLayout(t *testing.T) {
+	if SamplesPerCoeff != 56 {
+		t.Fatalf("SamplesPerCoeff = %d", SamplesPerCoeff)
+	}
+	if SampleIndex(0, 0, 0) != 0 {
+		t.Error("origin index")
+	}
+	if SampleIndex(2, 1, 3) != 2*56+11+3 {
+		t.Error("index arithmetic")
+	}
+	if MulOpSample(fpr.OpMulLL) != 0 || MulOpSample(fpr.OpMulSign) != 9 {
+		t.Error("op slot mapping")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MulOpSample accepted an addition op")
+		}
+	}()
+	MulOpSample(fpr.OpAddSum)
+}
+
+func TestObserveMulShape(t *testing.T) {
+	dev, _ := testDevice(t, 16, 0)
+	c := fft.FFTUint16Centered(make([]uint16, 16))
+	// All-zero c makes multiplications degenerate: expect an error about
+	// the zero operand rather than a bogus trace.
+	if _, err := dev.ObserveMul(c); err == nil {
+		t.Fatal("zero input accepted")
+	}
+	// A realistic input works and has the documented shape.
+	point := make([]uint16, 16)
+	for i := range point {
+		point[i] = uint16(100 + i*37)
+	}
+	o, err := dev.ObserveMul(fft.FFTUint16Centered(point))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Trace.Samples) != 8*SamplesPerCoeff {
+		t.Fatalf("trace length %d", len(o.Trace.Samples))
+	}
+	// Wrong-size input.
+	if _, err := dev.ObserveMul(o.CFFT[:3]); err == nil {
+		t.Fatal("wrong-size input accepted")
+	}
+}
+
+func TestNoiselessTraceIsExactHW(t *testing.T) {
+	dev, priv := testDevice(t, 8, 0)
+	point := make([]uint16, 8)
+	for i := range point {
+		point[i] = uint16(1 + i)
+	}
+	cf := fft.FFTUint16Centered(point)
+	o, err := dev.ObserveMul(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run the multiplication with a SliceRecorder and compare HWs.
+	var rec fpr.SliceRecorder
+	secret := priv.FFTOfF()
+	for k := range cf {
+		fft.MulTraced(cf[k], secret[k], &rec)
+	}
+	if rec.Len() != len(o.Trace.Samples) {
+		t.Fatalf("record count %d vs %d samples", rec.Len(), len(o.Trace.Samples))
+	}
+	for i, v := range rec.Values {
+		want := (HammingWeight{}).Leak(0, v)
+		if o.Trace.Samples[i] != want {
+			t.Fatalf("sample %d = %v, want HW %v", i, o.Trace.Samples[i], want)
+		}
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	dev, _ := testDevice(t, 8, 4.0)
+	point := make([]uint16, 8)
+	for i := range point {
+		point[i] = uint16(11 * (i + 1))
+	}
+	cf := fft.FFTUint16Centered(point)
+	// Repeat the same input; the sample variance at a fixed index should
+	// match the probe's noise variance.
+	const reps = 4000
+	idx := SampleIndex(1, 0, 0)
+	var sum, sumSq float64
+	for i := 0; i < reps; i++ {
+		o, err := dev.ObserveMul(cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := o.Trace.Samples[idx]
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / reps
+	sd := math.Sqrt(sumSq/reps - mean*mean)
+	if math.Abs(sd-4.0) > 0.3 {
+		t.Fatalf("noise sd = %v, want ~4", sd)
+	}
+}
+
+func TestShuffleChangesWindows(t *testing.T) {
+	dev, _ := testDevice(t, 32, 0)
+	dev.Shuffle = true
+	point := make([]uint16, 32)
+	for i := range point {
+		point[i] = uint16(7 * (i + 1))
+	}
+	cf := fft.FFTUint16Centered(point)
+	a, err := dev.ObserveMul(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dev.ObserveMul(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Trace.Samples {
+		if a.Trace.Samples[i] == b.Trace.Samples[i] {
+			same++
+		}
+	}
+	if same == len(a.Trace.Samples) {
+		t.Fatal("shuffled executions produced identical traces")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	devA, _ := testDevice(t, 8, 1.0)
+	obsA, err := NewCampaign(devA, 9).Collect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devB, _ := testDevice(t, 8, 1.0)
+	obsB, err := NewCampaign(devB, 9).Collect(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range obsA {
+		for k := range obsA[i].CFFT {
+			if obsA[i].CFFT[k] != obsB[i].CFFT[k] {
+				t.Fatal("campaign inputs not deterministic")
+			}
+		}
+		for j := range obsA[i].Trace.Samples {
+			if obsA[i].Trace.Samples[j] != obsB[i].Trace.Samples[j] {
+				t.Fatal("campaign traces not deterministic")
+			}
+		}
+	}
+	// Different campaign seeds must give different inputs.
+	devC, _ := testDevice(t, 8, 1.0)
+	obsC, err := NewCampaign(devC, 10).Collect(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obsC[0].CFFT[0] == obsA[0].CFFT[0] {
+		t.Fatal("different seeds, same input")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	dev, _ := testDevice(t, 8, 1.5)
+	obs, err := NewCampaign(dev, 11).Collect(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObservations(&buf, 8, obs); err != nil {
+		t.Fatal(err)
+	}
+	n, back, err := ReadObservations(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 || len(back) != 5 {
+		t.Fatalf("n=%d count=%d", n, len(back))
+	}
+	for i := range obs {
+		for k := range obs[i].CFFT {
+			if back[i].CFFT[k] != obs[i].CFFT[k] {
+				t.Fatal("input mismatch after round trip")
+			}
+		}
+		for j := range obs[i].Trace.Samples {
+			if back[i].Trace.Samples[j] != obs[i].Trace.Samples[j] {
+				t.Fatal("sample mismatch after round trip")
+			}
+		}
+	}
+}
+
+func TestSerializationRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadObservations(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := ReadObservations(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Truncated valid file.
+	dev, _ := testDevice(t, 8, 1.5)
+	obs, err := NewCampaign(dev, 12).Collect(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObservations(&buf, 8, obs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, err := ReadObservations(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Corrupt version.
+	bad := append([]byte(nil), raw...)
+	bad[4] = 99
+	if _, _, err := ReadObservations(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestDefaultProbe(t *testing.T) {
+	p := DefaultProbe()
+	if p.Gain != 1 || p.NoiseSigma <= 0 {
+		t.Fatalf("DefaultProbe = %+v", p)
+	}
+}
+
+func TestSNRLocatesLeakySamples(t *testing.T) {
+	dev, priv := testDevice(t, 8, 2.0)
+	obs, err := NewCampaign(dev, 33).Collect(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr, err := SNR(obs, priv.FFTOfF())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snr) != 4*SamplesPerCoeff {
+		t.Fatalf("snr length %d", len(snr))
+	}
+	// Data-dependent samples (partial products) must show strong SNR; with
+	// σ=2 and ~13 bits of HW variance, SNR ≈ 13/4 ≈ 3.
+	llSample := SampleIndex(0, 0, 0)
+	if snr[llSample] < 1 {
+		t.Errorf("B×D sample SNR = %v, want >> 0", snr[llSample])
+	}
+	// The sign-XOR sample has ~0.25 variance vs 4 noise: small but nonzero.
+	signSample := SampleIndex(0, 0, 9)
+	if snr[signSample] <= 0 || snr[signSample] > 1 {
+		t.Errorf("sign sample SNR = %v, want small positive", snr[signSample])
+	}
+	if snr[llSample] < 5*snr[signSample] {
+		t.Errorf("mantissa SNR (%v) should dwarf sign SNR (%v)", snr[llSample], snr[signSample])
+	}
+}
+
+func TestSNRErrors(t *testing.T) {
+	if _, err := SNR(nil, nil); err == nil {
+		t.Fatal("empty campaign accepted")
+	}
+}

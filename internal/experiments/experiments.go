@@ -1,0 +1,99 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index). Each
+// function is deterministic in its seed, returns the plotted series as
+// plain data, and is shared by cmd/figures, the root benchmarks, and the
+// test suite; EXPERIMENTS.md records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/rng"
+)
+
+// Setup describes a victim + campaign configuration shared by the
+// experiments. The defaults mirror the calibration described in DESIGN.md:
+// degree 64 (structurally identical to FALCON-512's arithmetic — the
+// paper itself notes the attack is degree-agnostic), Hamming-weight
+// leakage, and a noise level that lands the sign-bit attack near the
+// paper's ~9k traces.
+type Setup struct {
+	N          int
+	NoiseSigma float64
+	Seed       uint64
+	Traces     int
+	Coeff      int // attacked coefficient for single-coefficient figures
+}
+
+// DefaultSetup returns the calibrated configuration.
+func DefaultSetup() Setup {
+	return Setup{N: 64, NoiseSigma: 8, Seed: 1, Traces: 10000, Coeff: 5}
+}
+
+// victim bundles the generated key and device.
+type victim struct {
+	priv *falcon.PrivateKey
+	pub  *falcon.PublicKey
+	dev  *emleak.Device
+}
+
+func newVictim(s Setup) (*victim, error) {
+	priv, pub, err := falcon.GenerateKey(s.N, rng.New(s.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: keygen: %w", err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: s.NoiseSigma}, s.Seed+1)
+	return &victim{priv: priv, pub: pub, dev: dev}, nil
+}
+
+// collectCoeff gathers a cropped single-coefficient campaign.
+func (v *victim) collectCoeff(s Setup) ([]emleak.Observation, error) {
+	return emleak.NewCampaign(v.dev, s.Seed+2).CollectCoefficient(s.Traces, s.Coeff)
+}
+
+// writeCSV emits rows of comma-separated values.
+func writeCSV(w io.Writer, header []string, rows [][]float64) error {
+	for i, h := range header {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, h); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%g", v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// truth returns the attacked secret value of the setup's coefficient.
+func (v *victim) truth(coeff int, part core.Part) uint64 {
+	z := v.priv.FFTOfF()[coeff]
+	if part == core.PartRe {
+		return uint64(z.Re)
+	}
+	return uint64(z.Im)
+}

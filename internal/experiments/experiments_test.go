@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySetup keeps experiment tests fast; the statistical shape is the
+// same as the full-scale runs in cmd/figures.
+func tinySetup() Setup {
+	return Setup{N: 8, NoiseSigma: 2, Seed: 3, Traces: 1500, Coeff: 1}
+}
+
+func TestFig3ExampleTrace(t *testing.T) {
+	res, err := Fig3ExampleTrace(tinySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 11 {
+		t.Fatalf("window has %d samples, want 11", len(res.Samples))
+	}
+	if len(res.Regions) == 0 {
+		t.Fatal("no regions")
+	}
+	last := 0
+	for _, r := range res.Regions {
+		if r.Start != last {
+			t.Fatalf("region %q starts at %d, want %d", r.Label, r.Start, last)
+		}
+		last = r.End
+	}
+	if last != 11 {
+		t.Fatalf("regions cover %d samples", last)
+	}
+	var sb strings.Builder
+	if err := res.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mantissa partial products", "exponent addition", "sign computation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q", want)
+		}
+	}
+}
+
+func TestFig4SignTime(t *testing.T) {
+	res, err := Fig4CorrelationVsTime(tinySetup(), Fig4Sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Corr) != 2 {
+		t.Fatalf("%d guesses", len(res.Corr))
+	}
+	// The correct sign's peak must exceed the wrong sign's everywhere the
+	// leak lives, and the peak must sit at the sign sample (index 9).
+	correct := res.Corr[res.CorrectIdx]
+	peak, peakAt := -2.0, -1
+	for j, c := range correct {
+		if c > peak {
+			peak, peakAt = c, j
+		}
+	}
+	if peakAt != 9 {
+		t.Errorf("sign peak at sample %d, want 9", peakAt)
+	}
+	if peak < res.Threshold {
+		t.Errorf("correct sign not significant: %v < %v", peak, res.Threshold)
+	}
+}
+
+func TestFig4MantissaMulTies(t *testing.T) {
+	// Panel (c): the multiplication-only attack must exhibit its exact
+	// false-positive ties.
+	res, err := Fig4CorrelationVsTime(tinySetup(), Fig4MantissaMul)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactTies == 0 {
+		t.Fatal("no exact ties — the false-positive phenomenon is missing")
+	}
+}
+
+func TestFig4MantissaAddResolves(t *testing.T) {
+	// Panel (d): rescoring on the addition removes the ties.
+	res, err := Fig4CorrelationVsTime(tinySetup(), Fig4MantissaAdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactTies != 0 {
+		t.Fatalf("%d ties survive the addition", res.ExactTies)
+	}
+	correct := res.Corr[res.CorrectIdx]
+	peak := -2.0
+	for _, c := range correct {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak < res.Threshold {
+		t.Errorf("correct mantissa not significant after prune")
+	}
+}
+
+func TestFig4Evolution(t *testing.T) {
+	for _, comp := range []Fig4Component{Fig4Exponent, Fig4MantissaAdd} {
+		res, err := Fig4CorrelationEvolution(tinySetup(), comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TracesToSignificance == 0 {
+			t.Errorf("%v never reached significance in %d traces", comp, tinySetup().Traces)
+		}
+		if len(res.TraceCounts) == 0 || len(res.CorrectCorr) != len(res.TraceCounts) {
+			t.Fatalf("%v: malformed series", comp)
+		}
+		// The threshold series must be decreasing in the trace count.
+		for i := 1; i < len(res.Threshold); i++ {
+			if res.Threshold[i] > res.Threshold[i-1] {
+				t.Fatalf("%v: threshold increased", comp)
+			}
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1TracesToSignificance(tinySetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Component] = r
+	}
+	// The paper's ordering: the sign bit needs the most traces; the
+	// mantissa multiplication never separates from its ties.
+	if byName["mantissa-multiplication"].ExactTies == 0 {
+		t.Error("mantissa multiplication should report exact ties")
+	}
+	sign := byName["sign"].TracesToSignificance
+	exp := byName["exponent"].TracesToSignificance
+	add := byName["mantissa-addition"].TracesToSignificance
+	if sign == 0 || exp == 0 || add == 0 {
+		t.Fatalf("component did not converge: sign=%d exp=%d add=%d", sign, exp, add)
+	}
+	if sign < exp || sign < add {
+		t.Errorf("paper ordering violated: sign=%d should dominate exp=%d and add=%d", sign, exp, add)
+	}
+}
+
+func TestEndToEndExperiment(t *testing.T) {
+	res, err := EndToEnd(8, 1500, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Recovered || !res.FExact || !res.ForgeryVerified {
+		t.Fatalf("end-to-end failed: %+v", res)
+	}
+}
+
+func TestEndToEndDetectsNoise(t *testing.T) {
+	res, err := EndToEnd(8, 60, 1e6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovered {
+		t.Fatal("recovered a key from pure noise")
+	}
+	if !res.FailureDetected || res.FailureMessage == "" {
+		t.Fatal("failure not reported")
+	}
+}
+
+func TestNTTvsFFTShape(t *testing.T) {
+	s := tinySetup()
+	s.Traces = 2000
+	res, err := NTTvsFFT(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NTTTraces == 0 {
+		t.Fatal("NTT attack did not converge")
+	}
+	if res.FFTTraces == 0 {
+		t.Fatal("FFT side did not converge")
+	}
+	// §V.C shape: the NTT secret falls with (much) fewer traces.
+	if res.NTTTraces >= res.FFTTraces {
+		t.Errorf("NTT (%d) should need fewer traces than FFT (%d)", res.NTTTraces, res.FFTTraces)
+	}
+}
+
+func TestCountermeasureShuffling(t *testing.T) {
+	s := tinySetup()
+	s.N = 16
+	s.Traces = 1000
+	res, err := CountermeasureShuffling(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineCorrect <= res.ShuffledCorrect {
+		t.Errorf("shuffling did not degrade the attack: baseline %d, shuffled %d",
+			res.BaselineCorrect, res.ShuffledCorrect)
+	}
+}
+
+func TestLeakageModelAblation(t *testing.T) {
+	s := tinySetup()
+	s.Traces = 1200
+	rows, err := LeakageModelAblation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Model != "hamming-weight" || !rows[0].Recovered {
+		t.Errorf("HW model should recover exactly: %+v", rows[0])
+	}
+}
+
+func TestNoiseSweepMonotonic(t *testing.T) {
+	s := tinySetup()
+	rows, err := NoiseSweep(s, []float64{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if !rows[0].Recovered {
+		t.Error("low-noise attack failed")
+	}
+	if rows[0].TracesToSignificance == 0 || rows[1].TracesToSignificance == 0 {
+		t.Fatal("sweep did not converge")
+	}
+	if rows[0].TracesToSignificance > rows[1].TracesToSignificance {
+		t.Errorf("more noise should need more traces: %d vs %d",
+			rows[0].TracesToSignificance, rows[1].TracesToSignificance)
+	}
+}
+
+func TestShiftPool(t *testing.T) {
+	pool := ShiftPool(0b1010)
+	want := map[uint64]bool{0b1010: true, 0b10100: true, 0b101: true}
+	for _, w := range []uint64{0b1010, 0b10100, 0b101} {
+		found := false
+		for _, v := range pool {
+			if v == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("pool missing %#b", w)
+		}
+	}
+	_ = want
+	for _, v := range pool {
+		if v >= 1<<25 {
+			t.Errorf("out-of-range pool member %#x", v)
+		}
+	}
+}
+
+func TestCountermeasureBlinding(t *testing.T) {
+	s := tinySetup()
+	s.Traces = 1200
+	s.NoiseSigma = 1
+	rows, err := CountermeasureBlinding(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]BlindingResult{}
+	for _, r := range rows {
+		byName[r.Countermeasure] = r
+	}
+	if !byName["none"].MantOK || !byName["none"].ExpOK || !byName["none"].SignOK {
+		t.Errorf("unprotected device not fully recovered: %+v", byName["none"])
+	}
+	// The nuanced finding: exponent blinding leaves the mantissa exposed.
+	if !byName["exponent-blinding"].MantOK {
+		t.Errorf("exponent blinding unexpectedly protected the mantissa")
+	}
+	if byName["multiplicative-blinding"].MantOK {
+		t.Errorf("multiplicative blinding failed to protect the mantissa")
+	}
+}
+
+func TestTemplateVsCPA(t *testing.T) {
+	s := tinySetup()
+	s.Traces = 2500
+	res, err := TemplateVsCPA(s, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both distinguishers face shift ties only if the pool contains them;
+	// this pool is random decoys, so rank 1 is expected for the template
+	// and at worst a small rank for CPA at this noise.
+	if res.TemplateCorrectRank > 2 {
+		t.Errorf("template rank %d", res.TemplateCorrectRank)
+	}
+	if res.TemplateCorrectRank > res.CPACorrectRank {
+		t.Errorf("profiled attack (%d) ranked worse than CPA (%d)",
+			res.TemplateCorrectRank, res.CPACorrectRank)
+	}
+}
+
+func TestTVLADetectsLeakage(t *testing.T) {
+	s := tinySetup()
+	s.Traces = 2000
+	res, err := TVLA(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxAbsT < res.Threshold {
+		t.Fatalf("TVLA found no leakage: max|t| = %.1f", res.MaxAbsT)
+	}
+	if res.LeakyOps == 0 {
+		t.Fatal("no leaky samples flagged")
+	}
+}

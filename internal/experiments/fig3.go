@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
+	"falcondown/internal/fpr"
+)
+
+// Fig3Region labels a span of trace samples with the micro-operation it
+// covers, mirroring the black dashed annotations of the paper's Fig. 3.
+type Fig3Region struct {
+	Label      string
+	Start, End int // sample range [Start, End)
+}
+
+// Fig3Result is one captured EM trace of a single floating-point
+// multiplication, with the mantissa / exponent / sign regions annotated.
+type Fig3Result struct {
+	Samples []float64
+	Regions []Fig3Region
+	// Value is the secret coefficient whose multiplication was captured.
+	Value fpr.FPR
+}
+
+// Fig3ExampleTrace reproduces Fig. 3: one EM measurement covering one
+// floating-point multiplication of the targeted FFT(c)⊙FFT(f), annotated
+// with which samples hold the mantissa partial products and additions,
+// the exponent addition, and the sign computation.
+func Fig3ExampleTrace(s Setup) (*Fig3Result, error) {
+	v, err := newVictim(s)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := emleak.NewCampaign(v.dev, s.Seed+2).CollectCoefficient(1, s.Coeff)
+	if err != nil {
+		return nil, err
+	}
+	// One multiplication window (the primary window of the Re part).
+	slot := core.PartRe.PrimaryWindow()
+	start := slot * emleak.OpsPerMul
+	window := obs[0].Trace.Samples[start : start+emleak.OpsPerMul]
+	regions := []Fig3Region{
+		{"mantissa partial products (B×D, A×D, B×C, A×C)", 0, 4},
+		{"mantissa intermediate additions", 4, 7},
+		{"mantissa rounding", 7, 8},
+		{"exponent addition", 8, 9},
+		{"sign computation", 9, 10},
+		{"result write-back", 10, 11},
+	}
+	return &Fig3Result{
+		Samples: append([]float64(nil), window...),
+		Regions: regions,
+		Value:   fpr.FPR(v.truth(s.Coeff, core.PartRe)),
+	}, nil
+}
+
+// Render draws the trace as an ASCII plot with region annotations, the
+// text-mode analogue of the paper's oscilloscope screenshot.
+func (f *Fig3Result) Render(w io.Writer) error {
+	const height = 12
+	lo, hi := f.Samples[0], f.Samples[0]
+	for _, v := range f.Samples {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", 4*len(f.Samples)))
+	}
+	for i, v := range f.Samples {
+		row := int((v - lo) / (hi - lo) * float64(height-1))
+		grid[height-1-row][4*i+1] = '*'
+	}
+	if _, err := fmt.Fprintf(w, "EM trace of one FP multiplication (secret %#x)\n", uint64(f.Value)); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s\n", row); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "+%s\n", strings.Repeat("-", 4*len(f.Samples))); err != nil {
+		return err
+	}
+	for _, r := range f.Regions {
+		if _, err := fmt.Fprintf(w, "  samples %2d..%2d : %s\n", r.Start, r.End-1, r.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

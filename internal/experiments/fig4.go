@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"math/bits"
+
+	"falcondown/internal/core"
+	"falcondown/internal/cpa"
+	"falcondown/internal/emleak"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+// Fig4Component selects one of the paper's Fig. 4 panel rows.
+type Fig4Component int
+
+// The four attacked quantities of Fig. 4 (a)–(d) / (e)–(h).
+const (
+	Fig4Sign        Fig4Component = iota // panels (a)/(e)
+	Fig4Exponent                         // panels (b)/(f)
+	Fig4MantissaMul                      // panels (c)/(g): the naive attack with false positives
+	Fig4MantissaAdd                      // panels (d)/(h): extend-and-prune resolution
+)
+
+// String names the component.
+func (c Fig4Component) String() string {
+	switch c {
+	case Fig4Sign:
+		return "sign"
+	case Fig4Exponent:
+		return "exponent"
+	case Fig4MantissaMul:
+		return "mantissa-multiplication"
+	case Fig4MantissaAdd:
+		return "mantissa-addition"
+	}
+	return "?"
+}
+
+// leakiestOp returns the micro-op slot where the component's leak peaks.
+func (c Fig4Component) leakiestOp() fpr.Op {
+	switch c {
+	case Fig4Sign:
+		return fpr.OpMulSign
+	case Fig4Exponent:
+		return fpr.OpMulExp
+	case Fig4MantissaMul:
+		return fpr.OpMulLL
+	default:
+		return fpr.OpMulSum1
+	}
+}
+
+// fig4Hypotheses builds the guess pool and per-trace prediction function
+// for a component, given the victim's ground truth (the paper, too, knows
+// the correct value when drawing Fig. 4 — it is marked in red).
+type fig4Hypotheses struct {
+	labels  []string
+	correct int
+	predict func(known fpr.FPR, h []float64)
+}
+
+func buildFig4Hypotheses(comp Fig4Component, truth fpr.FPR, seed uint64) fig4Hypotheses {
+	switch comp {
+	case Fig4Sign:
+		ts := truth.Sign()
+		return fig4Hypotheses{
+			labels:  []string{fmt.Sprintf("sign=%d (correct)", ts), fmt.Sprintf("sign=%d", ts^1)},
+			correct: 0,
+			predict: func(known fpr.FPR, h []float64) {
+				sc := known.Sign()
+				h[0] = float64(sc ^ ts)
+				h[1] = float64(sc ^ ts ^ 1)
+			},
+		}
+	case Fig4Exponent:
+		te := truth.BiasedExp()
+		nG := 21
+		labels := make([]string, nG)
+		exps := make([]int, nG)
+		for i := 0; i < nG; i++ {
+			exps[i] = te - nG/2 + i
+			labels[i] = fmt.Sprintf("exp=%#x", exps[i])
+			if exps[i] == te {
+				labels[i] += " (correct)"
+			}
+		}
+		return fig4Hypotheses{
+			labels:  labels,
+			correct: nG / 2,
+			predict: func(known fpr.FPR, h []float64) {
+				bec := known.BiasedExp()
+				for i, e := range exps {
+					h[i] = float64(bits.OnesCount64(uint64(bec + e - 1023)))
+				}
+			},
+		}
+	default:
+		_, d := truth.MantissaHalves()
+		cHi, _ := truth.MantissaHalves()
+		pool := ShiftPool(d)
+		correct := 0
+		r := rng.New(seed + 99)
+		for len(pool) < 21 {
+			pool = append(pool, uint64(r.Intn(1<<25)))
+		}
+		labels := make([]string, len(pool))
+		for i, v := range pool {
+			labels[i] = fmt.Sprintf("D=%#x", v)
+			if i == correct {
+				labels[i] += " (correct)"
+			}
+		}
+		if comp == Fig4MantissaMul {
+			return fig4Hypotheses{
+				labels:  labels,
+				correct: correct,
+				predict: func(known fpr.FPR, h []float64) {
+					_, b := known.MantissaHalves()
+					for i, v := range pool {
+						h[i] = float64(bits.OnesCount64(b * v))
+					}
+				},
+			}
+		}
+		return fig4Hypotheses{
+			labels:  labels,
+			correct: correct,
+			predict: func(known fpr.FPR, h []float64) {
+				a, b := known.MantissaHalves()
+				lh := b * cHi
+				for i, v := range pool {
+					ll := b * v
+					hl := a * v
+					h[i] = float64(bits.OnesCount64(lh + hl + (ll >> 25)))
+				}
+			},
+		}
+	}
+}
+
+// ShiftPool returns d together with every in-range shift of it: the exact
+// false-positive family of the multiplication attack.
+func ShiftPool(d uint64) []uint64 {
+	pool := []uint64{d}
+	for v := d << 1; v < 1<<25 && v != 0; v <<= 1 {
+		pool = append(pool, v)
+	}
+	for v := d; v&1 == 0 && v > 1; {
+		v >>= 1
+		pool = append(pool, v)
+	}
+	return pool
+}
+
+// Fig4TimeResult holds one correlation-vs-time panel: the correlation of
+// every tracked guess at every sample of the attacked multiplication
+// window, with the 99.99 % confidence band.
+type Fig4TimeResult struct {
+	Component  Fig4Component
+	Labels     []string
+	CorrectIdx int
+	Corr       [][]float64 // [guess][sample]
+	Threshold  float64
+	Traces     int
+	// ExactTies counts guesses whose peak correlation ties the correct
+	// guess's to within 1e-9 — the paper's false positives in panel (c).
+	ExactTies int
+}
+
+// Fig4CorrelationVsTime reproduces Fig. 4 (a)–(d): correlation traces per
+// guess across the multiplication window.
+func Fig4CorrelationVsTime(s Setup, comp Fig4Component) (*Fig4TimeResult, error) {
+	v, err := newVictim(s)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := v.collectCoeff(s)
+	if err != nil {
+		return nil, err
+	}
+	truth := fpr.FPR(v.truth(s.Coeff, core.PartRe))
+	hyp := buildFig4Hypotheses(comp, truth, s.Seed)
+	slot := core.PartRe.PrimaryWindow()
+	base := slot * emleak.OpsPerMul
+	eng := cpa.NewMultiEngine(len(hyp.labels), emleak.OpsPerMul)
+	h := make([]float64, len(hyp.labels))
+	for _, o := range obs {
+		hyp.predict(core.PartRe.KnownOperand(o.CFFT[0]), h)
+		eng.Update(h, o.Trace.Samples[base:base+emleak.OpsPerMul])
+	}
+	corr := eng.Corr()
+	res := &Fig4TimeResult{
+		Component:  comp,
+		Labels:     hyp.labels,
+		CorrectIdx: hyp.correct,
+		Corr:       corr,
+		Threshold:  cpa.Threshold9999(len(obs)),
+		Traces:     len(obs),
+	}
+	peak := func(g int) float64 {
+		best := corr[g][0]
+		for _, r := range corr[g] {
+			if r > best {
+				best = r
+			}
+		}
+		return best
+	}
+	correctPeak := peak(hyp.correct)
+	for g := range corr {
+		if g != hyp.correct && correctPeak-peak(g) < 1e-9 {
+			res.ExactTies++
+		}
+	}
+	return res, nil
+}
+
+// Fig4EvolutionResult holds one correlation-evolution panel (Fig. 4 e–h):
+// the correct guess's correlation, the strongest wrong guess and the
+// confidence threshold as functions of the trace count.
+type Fig4EvolutionResult struct {
+	Component            Fig4Component
+	TraceCounts          []int
+	CorrectCorr          []float64
+	BestWrong            []float64
+	Threshold            []float64
+	TracesToSignificance int // 0 when never reached
+}
+
+// Fig4CorrelationEvolution reproduces Fig. 4 (e)–(h) at the component's
+// leakiest sample, sweeping the number of traces and recording when the
+// correct guess becomes statistically significant at 99.99 %.
+func Fig4CorrelationEvolution(s Setup, comp Fig4Component) (*Fig4EvolutionResult, error) {
+	v, err := newVictim(s)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := v.collectCoeff(s)
+	if err != nil {
+		return nil, err
+	}
+	truth := fpr.FPR(v.truth(s.Coeff, core.PartRe))
+	hyp := buildFig4Hypotheses(comp, truth, s.Seed)
+	slot := core.PartRe.PrimaryWindow()
+	sampleAt := emleak.SampleIndex(0, slot, int(comp.leakiestOp()))
+
+	eng := cpa.NewEngine(len(hyp.labels))
+	h := make([]float64, len(hyp.labels))
+	step := len(obs) / 200
+	if step < 10 {
+		step = 10
+	}
+	if step > 250 {
+		step = 250
+	}
+	res := &Fig4EvolutionResult{Component: comp}
+	for i, o := range obs {
+		hyp.predict(core.PartRe.KnownOperand(o.CFFT[0]), h)
+		eng.Update(h, o.Trace.Samples[sampleAt])
+		if (i+1)%step == 0 || i == len(obs)-1 {
+			corr := eng.Corr()
+			correct := corr[hyp.correct]
+			wrong := -2.0
+			for g, r := range corr {
+				if g != hyp.correct && r > wrong {
+					wrong = r
+				}
+			}
+			thr := cpa.Threshold9999(i + 1)
+			res.TraceCounts = append(res.TraceCounts, i+1)
+			res.CorrectCorr = append(res.CorrectCorr, correct)
+			res.BestWrong = append(res.BestWrong, wrong)
+			res.Threshold = append(res.Threshold, thr)
+			if res.TracesToSignificance == 0 && correct > thr && correct > wrong {
+				res.TracesToSignificance = i + 1
+			}
+		}
+	}
+	return res, nil
+}

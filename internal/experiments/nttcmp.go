@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math/bits"
+
+	"falcondown/internal/cpa"
+	"falcondown/internal/ntt"
+	"falcondown/internal/rng"
+)
+
+// NTTvsFFTResult quantifies the paper's §V.C discussion: under identical
+// noise and the same Hamming-weight CPA, how many traces does it take to
+// recover a secret operand of an NTT butterfly (integer multiply-reduce
+// mod q) versus a coefficient of the floating-point FFT multiplier?
+//
+// The paper conjectures NTT leaks much harder because the modular
+// reduction injects non-linearity, citing single-trace NTT attacks; the
+// FFT attack needed ~10k. The reproduction keeps the methodology fixed
+// (same distinguisher, same noise) and compares trace counts.
+type NTTvsFFTResult struct {
+	NoiseSigma    float64
+	NTTTraces     int // traces to 99.99 % significance for the NTT secret
+	FFTTraces     int // traces for the hardest FFT component (from Table 1)
+	NTTCorrAtFull float64
+}
+
+// NTTvsFFT runs the comparison. The NTT victim computes one forward
+// butterfly v·s mod q (plus the add/sub outputs) with a fixed secret
+// twiddle-times-coefficient s and adversary-known v drawn uniformly.
+func NTTvsFFT(s Setup) (*NTTvsFFTResult, error) {
+	r := rng.New(s.Seed)
+	secret := uint16(1 + r.Intn(ntt.Q-1))
+	u := uint16(r.Intn(ntt.Q))
+
+	eng := cpa.NewEngine(ntt.Q)
+	h := make([]float64, ntt.Q)
+	res := &NTTvsFFTResult{NoiseSigma: s.NoiseSigma}
+	noise := rng.New(s.Seed + 1)
+	step := s.Traces / 200
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < s.Traces; i++ {
+		v := uint16(r.Intn(ntt.Q))
+		steps := ntt.ButterflySteps(u, v, secret)
+		// The probe sees the modular product's Hamming weight.
+		t := float64(bits.OnesCount32(steps[0])) + s.NoiseSigma*noise.NormFloat64()
+		for hyp := 0; hyp < ntt.Q; hyp++ {
+			h[hyp] = float64(bits.OnesCount32(uint32(v) * uint32(hyp) % ntt.Q))
+		}
+		eng.Update(h, t)
+		if (i+1)%step == 0 && res.NTTTraces == 0 {
+			corr := eng.Corr()
+			thr := cpa.Threshold9999(i + 1)
+			best := cpa.TopK(corr, 2)
+			if best[0].Index == int(secret) && best[0].Corr > thr && best[0].Corr-best[1].Corr > 0.01 {
+				res.NTTTraces = i + 1
+			}
+		}
+	}
+	res.NTTCorrAtFull = eng.Corr()[secret]
+
+	// The FFT side: the hardest component's trace count from Table 1.
+	rows, err := Table1TracesToSignificance(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if row.TracesToSignificance > res.FFTTraces {
+			res.FFTTraces = row.TracesToSignificance
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,246 @@
+package falcon
+
+import (
+	"errors"
+	"fmt"
+
+	"falcondown/internal/codec"
+	"falcondown/internal/ffsamp"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/ntru"
+	"falcondown/internal/ntt"
+	"falcondown/internal/rng"
+	"falcondown/internal/samplerz"
+)
+
+// PrivateKey holds the NTRU trapdoor and the precomputed signing data
+// (the FFT-domain basis B̂ and the ffLDL tree T of Algorithm 1).
+type PrivateKey struct {
+	Params *Params
+	F, G   []int16 // solved NTRU pair (capital letters as in the spec)
+	Fs, Gs []int16 // sampled small elements f, g
+	H      []uint16
+
+	fFFT, gFFT []fft.Cplx // FFT of f and g
+	FFFT, GFFT []fft.Cplx // FFT of F and G
+	tree       *ffsamp.Tree
+}
+
+// PublicKey is the verification key h = g·f⁻¹ mod q.
+type PublicKey struct {
+	Params *Params
+	H      []uint16
+}
+
+// Signature is a decoded FALCON signature: the salt r and the compressed
+// second short vector s2 (s1 is recomputed during verification).
+type Signature struct {
+	Salt []byte
+	S2   []int16
+}
+
+// ErrSigningFailed reports that signing did not converge (it practically
+// cannot happen with correct parameters).
+var ErrSigningFailed = errors.New("falcon: signing did not converge")
+
+// ErrVerify reports a signature that fails verification.
+var ErrVerify = errors.New("falcon: invalid signature")
+
+// GenerateKey creates a FALCON key pair of degree n using randomness from
+// rnd. It runs NTRUGen and precomputes the FFT basis and ffLDL tree.
+func GenerateKey(n int, rnd *rng.Xoshiro) (*PrivateKey, *PublicKey, error) {
+	params, err := ParamsForDegree(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	key, err := ntru.Generate(n, rnd)
+	if err != nil {
+		return nil, nil, err
+	}
+	priv := &PrivateKey{
+		Params: params,
+		F:      key.F, G: key.G,
+		Fs: key.Fs, Gs: key.Gs,
+		H: key.H,
+	}
+	priv.precompute()
+	return priv, &PublicKey{Params: params, H: key.H}, nil
+}
+
+// NewPrivateKey rebuilds a private key (including B̂ and the tree) from the
+// four NTRU elements — the final step of the key-recovery attack.
+func NewPrivateKey(n int, f, g, F, G []int16) (*PrivateKey, error) {
+	params, err := ParamsForDegree(n)
+	if err != nil {
+		return nil, err
+	}
+	if !ntru.VerifyEquation(f, g, F, G) {
+		return nil, errors.New("falcon: fG − gF != q")
+	}
+	finv, ok := ntt.InvModQ(ntt.FromSigned(f))
+	if !ok {
+		return nil, errors.New("falcon: f not invertible mod q")
+	}
+	priv := &PrivateKey{
+		Params: params,
+		F:      F, G: G, Fs: f, Gs: g,
+		H: ntt.MulModQ(ntt.FromSigned(g), finv),
+	}
+	priv.precompute()
+	return priv, nil
+}
+
+// precompute builds the FFT images of the basis and the normalized ffLDL
+// tree (Algorithm 1, lines 2–9).
+func (priv *PrivateKey) precompute() {
+	priv.fFFT = fft.FFTInt16(priv.Fs)
+	priv.gFFT = fft.FFTInt16(priv.Gs)
+	priv.FFFT = fft.FFTInt16(priv.F)
+	priv.GFFT = fft.FFTInt16(priv.G)
+	g00, g01, g11 := ffsamp.GramOfBasis(priv.fFFT, priv.gFFT, priv.FFFT, priv.GFFT)
+	priv.tree = ffsamp.BuildTree(g00, g01, g11, fpr.FromFloat64(priv.Params.Sigma))
+}
+
+// Public returns the corresponding public key.
+func (priv *PrivateKey) Public() *PublicKey {
+	return &PublicKey{Params: priv.Params, H: priv.H}
+}
+
+// FFTOfF exposes FFT(f), the secret the side-channel attack reconstructs;
+// the experiment harness uses it as ground truth.
+func (priv *PrivateKey) FFTOfF() []fft.Cplx {
+	out := make([]fft.Cplx, len(priv.fFFT))
+	copy(out, priv.fFFT)
+	return out
+}
+
+// SignOptions controls signing internals for experiments.
+type SignOptions struct {
+	// Recorder, when non-nil, observes every floating-point micro-operation
+	// of the targeted multiplication FFT(c)⊙FFT(f) (and nothing else),
+	// mirroring what the EM probe sees in the paper.
+	Recorder fpr.Recorder
+	// FixedSalt forces a deterministic salt (experiments only).
+	FixedSalt []byte
+}
+
+// Sign produces a signature for msg (Algorithm 2).
+func (priv *PrivateKey) Sign(msg []byte, rnd *rng.Xoshiro) (*Signature, error) {
+	return priv.SignWithOptions(msg, rnd, SignOptions{})
+}
+
+// SignWithOptions is Sign with experiment hooks.
+func (priv *PrivateKey) SignWithOptions(msg []byte, rnd *rng.Xoshiro, opt SignOptions) (*Signature, error) {
+	p := priv.Params
+	sp := samplerz.New(rnd, p.SigmaMin)
+	invQ := fpr.Div(fpr.One, fpr.FromInt64(Q))
+
+	for attempt := 0; attempt < 64; attempt++ {
+		salt := make([]byte, codec.SaltLen)
+		if opt.FixedSalt != nil {
+			copy(salt, opt.FixedSalt)
+		} else {
+			rnd.Bytes(salt)
+		}
+		c := codec.HashToPoint(salt, msg, p.N)
+		cFFT := fft.FFTUint16Centered(c)
+
+		// t = (−1/q·FFT(c)⊙FFT(F), 1/q·FFT(c)⊙FFT(f)) — Algorithm 2 line 3.
+		// The second product is the attacked computation: the adversary
+		// knows FFT(c) and observes the multiplier's EM emanations.
+		cF := fft.MulVec(cFFT, priv.FFFT)
+		cf := fft.MulVecTraced(cFFT, priv.fFFT, opt.Recorder)
+		t0 := fft.ScaleVec(fft.NegVec(cF), invQ)
+		t1 := fft.ScaleVec(cf, invQ)
+
+		for inner := 0; inner < 16; inner++ {
+			z0, z1 := priv.tree.Sample(t0, t1, sp)
+			// s = (t − z)·B̂ with B = [[g, −f], [G, −F]].
+			d0 := fft.SubVec(t0, z0)
+			d1 := fft.SubVec(t1, z1)
+			sA := fft.AddVec(fft.MulVec(d0, priv.gFFT), fft.MulVec(d1, priv.GFFT))
+			sB := fft.NegVec(fft.AddVec(fft.MulVec(d0, priv.fFFT), fft.MulVec(d1, priv.FFFT)))
+
+			s1i := roundedInts(sA)
+			s2i := roundedInts(sB)
+			if sqNorm(s1i)+sqNorm(s2i) > p.BoundSq {
+				continue
+			}
+			if _, err := codec.Compress(s2i, p.SigByteLen-codec.SaltLen-1); err != nil {
+				continue // ⊥: retry with fresh randomness
+			}
+			return &Signature{Salt: salt, S2: s2i}, nil
+		}
+	}
+	return nil, ErrSigningFailed
+}
+
+// roundedInts converts an FFT-domain vector back to rounded integer
+// coefficients.
+func roundedInts(v []fft.Cplx) []int16 {
+	f := fft.InvFFT(v)
+	out := make([]int16, len(f))
+	for i, x := range f {
+		out[i] = int16(fpr.Rint(x))
+	}
+	return out
+}
+
+func sqNorm(v []int16) int64 {
+	var s int64
+	for _, x := range v {
+		s += int64(x) * int64(x)
+	}
+	return s
+}
+
+// Verify checks sig against msg: recompute c, derive s1 = c − s2·h mod q
+// (centered), and test ‖(s1, s2)‖² ≤ β².
+func (pub *PublicKey) Verify(msg []byte, sig *Signature) error {
+	p := pub.Params
+	if len(sig.Salt) != codec.SaltLen || len(sig.S2) != p.N {
+		return fmt.Errorf("%w: malformed signature", ErrVerify)
+	}
+	c := codec.HashToPoint(sig.Salt, msg, p.N)
+	s2q := ntt.FromSigned(sig.S2)
+	s1q := ntt.SubModQ(c, ntt.MulModQ(s2q, pub.H))
+	var norm int64
+	for _, v := range s1q {
+		cv := int64(ntt.Center(v))
+		norm += cv * cv
+	}
+	norm += sqNorm(sig.S2)
+	if norm > p.BoundSq {
+		return fmt.Errorf("%w: norm %d exceeds bound %d", ErrVerify, norm, p.BoundSq)
+	}
+	return nil
+}
+
+// EncodeSignature serializes sig as header byte ‖ salt ‖ compressed s2.
+func (sig *Signature) Encode(logn, sigByteLen int) ([]byte, error) {
+	body, err := codec.Compress(sig.S2, sigByteLen-codec.SaltLen-1)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, sigByteLen)
+	out = append(out, 0x30|byte(logn))
+	out = append(out, sig.Salt...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// DecodeSignature reverses Encode.
+func DecodeSignature(b []byte, logn, sigByteLen int) (*Signature, error) {
+	if len(b) != sigByteLen {
+		return nil, fmt.Errorf("%w: signature length %d", codec.ErrDecode, len(b))
+	}
+	if b[0] != 0x30|byte(logn) {
+		return nil, fmt.Errorf("%w: signature header %#x", codec.ErrDecode, b[0])
+	}
+	s2, err := codec.Decompress(b[1+codec.SaltLen:], 1<<logn)
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{Salt: append([]byte(nil), b[1:1+codec.SaltLen]...), S2: s2}, nil
+}

@@ -1,0 +1,447 @@
+package falcon
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"falcondown/internal/codec"
+	"falcondown/internal/fpr"
+	"falcondown/internal/ntt"
+	"falcondown/internal/rng"
+)
+
+func TestParamsReproduceSpecValues(t *testing.T) {
+	p512 := MustParams(512)
+	if math.Abs(p512.Sigma-165.7366171829776) > 1e-9 {
+		t.Errorf("sigma512 = %.10f", p512.Sigma)
+	}
+	if math.Abs(p512.SigmaMin-1.2778336969128337) > 1e-11 {
+		t.Errorf("sigmamin512 = %.10f", p512.SigmaMin)
+	}
+	if p512.BoundSq != 34034726 {
+		t.Errorf("beta²(512) = %d, want 34034726", p512.BoundSq)
+	}
+	if p512.SigByteLen != 666 {
+		t.Errorf("sigbytelen(512) = %d", p512.SigByteLen)
+	}
+	p1024 := MustParams(1024)
+	if math.Abs(p1024.Sigma-168.38857144654395) > 1e-9 {
+		t.Errorf("sigma1024 = %.10f", p1024.Sigma)
+	}
+	if math.Abs(p1024.SigmaMin-1.298280334344292) > 1e-11 {
+		t.Errorf("sigmamin1024 = %.10f", p1024.SigmaMin)
+	}
+	if p1024.BoundSq != 70265242 {
+		t.Errorf("beta²(1024) = %d, want 70265242", p1024.BoundSq)
+	}
+	if p1024.SigByteLen != 1280 {
+		t.Errorf("sigbytelen(1024) = %d", p1024.SigByteLen)
+	}
+}
+
+func TestParamsRejectBadDegrees(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, 2048} {
+		if _, err := ParamsForDegree(n); err == nil {
+			t.Errorf("degree %d accepted", n)
+		}
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{8, 16, 32, 64} {
+		priv, pub, err := GenerateKey(n, r)
+		if err != nil {
+			t.Fatalf("n=%d keygen: %v", n, err)
+		}
+		for i := 0; i < 5; i++ {
+			msg := []byte{byte(n), byte(i), 'm', 's', 'g'}
+			sig, err := priv.Sign(msg, r)
+			if err != nil {
+				t.Fatalf("n=%d sign: %v", n, err)
+			}
+			if err := pub.Verify(msg, sig); err != nil {
+				t.Fatalf("n=%d verify: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestSignVerify128(t *testing.T) {
+	r := rng.New(2)
+	priv, pub, err := GenerateKey(128, r)
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	msg := []byte("falcon-128 message")
+	sig, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSignVerify512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FALCON-512 end-to-end in -short mode")
+	}
+	r := rng.New(3)
+	priv, pub, err := GenerateKey(512, r)
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	msg := []byte("the full FALCON-512 parameter set")
+	sig, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Encoded signature must be exactly the spec's 666 bytes.
+	enc, err := sig.Encode(priv.Params.LogN, priv.Params.SigByteLen)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if len(enc) != 666 {
+		t.Fatalf("encoded length %d", len(enc))
+	}
+	dec, err := DecodeSignature(enc, priv.Params.LogN, priv.Params.SigByteLen)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := pub.Verify(msg, dec); err != nil {
+		t.Fatalf("verify decoded: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	r := rng.New(4)
+	priv, pub, err := GenerateKey(64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("authentic")
+	sig, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify([]byte("forgery!!"), sig); err == nil {
+		t.Fatal("tampered message accepted")
+	}
+	// Tampered s2.
+	bad := &Signature{Salt: sig.Salt, S2: append([]int16(nil), sig.S2...)}
+	bad.S2[0] += 500
+	bad.S2[1] -= 500
+	if err := pub.Verify(msg, bad); err == nil {
+		t.Fatal("tampered s2 accepted")
+	}
+	// Tampered salt.
+	bad2 := &Signature{Salt: append([]byte(nil), sig.Salt...), S2: sig.S2}
+	bad2.Salt[0] ^= 1
+	if err := pub.Verify(msg, bad2); err == nil {
+		t.Fatal("tampered salt accepted")
+	}
+	// Malformed shapes.
+	if err := pub.Verify(msg, &Signature{Salt: sig.Salt[:10], S2: sig.S2}); err == nil {
+		t.Fatal("short salt accepted")
+	}
+	if err := pub.Verify(msg, &Signature{Salt: sig.Salt, S2: sig.S2[:32]}); err == nil {
+		t.Fatal("short s2 accepted")
+	}
+}
+
+func TestSignatureInvariant(t *testing.T) {
+	// s1 + s2·h == c mod q: the defining property of Algorithm 2.
+	r := rng.New(5)
+	priv, _, err := GenerateKey(64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("invariant")
+	sig, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := codec.HashToPoint(sig.Salt, msg, 64)
+	s2h := ntt.MulModQ(ntt.FromSigned(sig.S2), priv.H)
+	s1 := ntt.SubModQ(c, s2h)
+	// The recomputed s1 must be short (it equals the signer's s1).
+	var norm int64
+	for _, v := range s1 {
+		cv := int64(ntt.Center(v))
+		norm += cv * cv
+	}
+	if norm > priv.Params.BoundSq {
+		t.Fatalf("recomputed s1 norm %d too large", norm)
+	}
+}
+
+func TestSignTracedRecordsTargetOnly(t *testing.T) {
+	r := rng.New(6)
+	priv, pub, err := GenerateKey(16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec fpr.SliceRecorder
+	sig, err := priv.SignWithOptions([]byte("traced"), r, SignOptions{Recorder: &rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify([]byte("traced"), sig); err != nil {
+		t.Fatalf("traced signature invalid: %v", err)
+	}
+	// The targeted product is n/2 complex multiplications = 2n real
+	// multiplications; each may retry across signing attempts, so the
+	// count must be a positive multiple of one pass.
+	var ll int
+	for _, op := range rec.Ops {
+		if op == fpr.OpMulLL {
+			ll++
+		}
+	}
+	perPass := 4 * 16 / 2
+	if ll == 0 || ll%perPass != 0 {
+		t.Fatalf("B×D records = %d, want positive multiple of %d", ll, perPass)
+	}
+}
+
+func TestFixedSaltDeterministicHash(t *testing.T) {
+	r := rng.New(7)
+	priv, pub, err := GenerateKey(16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	salt := bytes.Repeat([]byte{0xAB}, codec.SaltLen)
+	sig, err := priv.SignWithOptions([]byte("m"), r, SignOptions{FixedSalt: salt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sig.Salt, salt) {
+		t.Fatal("fixed salt not honored")
+	}
+	if err := pub.Verify([]byte("m"), sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPrivateKeyFromElements(t *testing.T) {
+	r := rng.New(8)
+	priv, pub, err := GenerateKey(32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewPrivateKey(32, priv.Fs, priv.Gs, priv.F, priv.G)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	for i := range pub.H {
+		if rebuilt.H[i] != pub.H[i] {
+			t.Fatal("rebuilt public key differs")
+		}
+	}
+	sig, err := rebuilt.Sign([]byte("rebuilt"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify([]byte("rebuilt"), sig); err != nil {
+		t.Fatalf("signature from rebuilt key rejected: %v", err)
+	}
+}
+
+func TestNewPrivateKeyRejectsBadElements(t *testing.T) {
+	r := rng.New(9)
+	priv, _, err := GenerateKey(16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badF := append([]int16(nil), priv.F...)
+	badF[0]++
+	if _, err := NewPrivateKey(16, priv.Fs, priv.Gs, badF, priv.G); err == nil {
+		t.Fatal("corrupted F accepted")
+	}
+}
+
+func TestPublicKeyCodecRoundTrip(t *testing.T) {
+	r := rng.New(10)
+	priv, pub, err := GenerateKey(64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := codec.EncodePublicKey(pub.H, priv.Params.LogN)
+	dec, err := codec.DecodePublicKey(enc, priv.Params.LogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dec {
+		if dec[i] != pub.H[i] {
+			t.Fatal("public key round trip mismatch")
+		}
+	}
+}
+
+func TestSecretKeyCodecRoundTrip(t *testing.T) {
+	r := rng.New(11)
+	priv, _, err := GenerateKey(32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := codec.EncodeSecretKey(priv.Fs, priv.Gs, priv.F, priv.Params.LogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, g, F, err := codec.DecodeSecretKey(enc, priv.Params.LogN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f {
+		if f[i] != priv.Fs[i] || g[i] != priv.Gs[i] || F[i] != priv.F[i] {
+			t.Fatal("secret key round trip mismatch")
+		}
+	}
+}
+
+func TestSignatureNormsAreTight(t *testing.T) {
+	// Signature norms should concentrate well below β² (quality check on
+	// the sampler/tree): E‖s‖² ≈ 2n·σ².
+	r := rng.New(12)
+	priv, _, err := GenerateKey(64, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := priv.Params
+	var worst int64
+	for i := 0; i < 10; i++ {
+		sig, err := priv.Sign([]byte{byte(i)}, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := codec.HashToPoint(sig.Salt, []byte{byte(i)}, p.N)
+		s1 := ntt.SubModQ(c, ntt.MulModQ(ntt.FromSigned(sig.S2), priv.H))
+		var norm int64
+		for _, v := range s1 {
+			cv := int64(ntt.Center(v))
+			norm += cv * cv
+		}
+		for _, v := range sig.S2 {
+			norm += int64(v) * int64(v)
+		}
+		if norm > worst {
+			worst = norm
+		}
+	}
+	expected := 2 * float64(p.N) * p.Sigma * p.Sigma
+	if float64(worst) > 2*expected {
+		t.Fatalf("worst norm %d far above expectation %.0f", worst, expected)
+	}
+}
+
+func BenchmarkSign64(b *testing.B) {
+	r := rng.New(13)
+	priv, _, err := GenerateKey(64, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := priv.Sign(msg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify64(b *testing.B) {
+	r := rng.New(14)
+	priv, pub, err := GenerateKey(64, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("bench")
+	sig, err := priv.Sign(msg, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pub.Verify(msg, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSignVerify1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("FALCON-1024 end-to-end in -short mode")
+	}
+	r := rng.New(1024)
+	priv, pub, err := GenerateKey(1024, r)
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	msg := []byte("the category-5 parameter set")
+	sig, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if err := pub.Verify(msg, sig); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	enc, err := sig.Encode(priv.Params.LogN, priv.Params.SigByteLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 1280 {
+		t.Fatalf("encoded length %d, want 1280", len(enc))
+	}
+}
+
+func TestSignaturesDifferPerCall(t *testing.T) {
+	// Fresh salts make signatures on the same message differ.
+	r := rng.New(20)
+	priv, pub, err := GenerateKey(16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("same message")
+	a, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := priv.Sign(msg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Salt, b.Salt) {
+		t.Fatal("salts repeated")
+	}
+	if err := pub.Verify(msg, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Verify(msg, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossKeyRejection(t *testing.T) {
+	r := rng.New(21)
+	priv1, _, err := GenerateKey(32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pub2, err := GenerateKey(32, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("cross")
+	sig, err := priv1.Sign(msg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.Verify(msg, sig); err == nil {
+		t.Fatal("signature accepted under the wrong public key")
+	}
+}

@@ -1,0 +1,81 @@
+// Package falcon implements the FALCON hash-and-sign lattice signature
+// scheme over Z[x]/(x^n+1), q = 12289: parameter derivation, key
+// generation (via the NTRU solver and the ffLDL tree), signing (hash to
+// point, Fourier-domain trapdoor sampling, rejection on the norm bound,
+// Golomb–Rice compression) and verification.
+//
+// The signing path exposes a trace hook on the coefficient-wise
+// floating-point multiplication FFT(c)⊙FFT(f) — the operation attacked by
+// "Falcon Down" (DAC 2021) — so that the emleak package can turn a real
+// signing run into synthetic electromagnetic measurements.
+package falcon
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"falcondown/internal/ntt"
+)
+
+// Q is FALCON's modulus.
+const Q = ntt.Q
+
+// Params holds the derived parameters of one FALCON instance.
+type Params struct {
+	LogN       int     // log2 of the ring degree
+	N          int     // ring degree (512 or 1024 for the standard sets)
+	Sigma      float64 // signing Gaussian standard deviation
+	SigmaMin   float64 // smallest admissible leaf deviation
+	BoundSq    int64   // β²: squared norm acceptance bound
+	SigByteLen int     // total signature byte length (header + salt + s)
+}
+
+// sigByteLens is the reference signature byte length per degree (matching
+// the FALCON submission's table; 666 bytes for FALCON-512, 1280 for
+// FALCON-1024).
+var sigByteLens = map[int]int{
+	2: 44, 4: 47, 8: 52, 16: 63, 32: 82, 64: 122,
+	128: 200, 256: 356, 512: 666, 1024: 1280,
+}
+
+// ParamsForDegree derives the parameter set for ring degree n (a power of
+// two, 2..1024). σ follows the specification:
+//
+//	σ = 1.17·√q · (1/π)·√(ln(4n(1+1/ε))/2),  ε = 1/√(2^64·λ)
+//
+// with λ = 128 bits of target security below n=1024 and λ = 256 at n=1024;
+// σ_min = σ/(1.17·√q) and β² = ⌊(1.1·σ·√(2n))²⌋. These reproduce the
+// published FALCON-512 values (σ = 165.736617…, σ_min = 1.277833…,
+// β² = 34034726) exactly.
+func ParamsForDegree(n int) (*Params, error) {
+	if n < 2 || n > 1024 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("falcon: unsupported degree %d", n)
+	}
+	lambda := 128.0
+	if n >= 1024 {
+		lambda = 256
+	}
+	eps := 1 / math.Sqrt(math.Ldexp(lambda, 64))
+	eta := (1 / math.Pi) * math.Sqrt(math.Log(4*float64(n)*(1+1/eps))/2)
+	sigma := 1.17 * math.Sqrt(Q) * eta
+	sigmaMin := eta
+	beta := 1.1 * sigma * math.Sqrt(2*float64(n))
+	return &Params{
+		LogN:       bits.Len(uint(n)) - 1,
+		N:          n,
+		Sigma:      sigma,
+		SigmaMin:   sigmaMin,
+		BoundSq:    int64(beta * beta),
+		SigByteLen: sigByteLens[n],
+	}, nil
+}
+
+// MustParams is ParamsForDegree for known-good degrees; it panics on error.
+func MustParams(n int) *Params {
+	p, err := ParamsForDegree(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,130 @@
+// Package ffsamp implements FALCON's fast Fourier lattice sampling: the
+// ffLDL* decomposition of the Gram matrix of the secret basis into a binary
+// tree, and ffSampling, the randomized Fourier-domain variant of Babai's
+// nearest-plane algorithm that draws lattice points from a discrete
+// Gaussian centred on the target vector.
+package ffsamp
+
+import (
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/samplerz"
+)
+
+// Tree is a node of the ffLDL* tree for a polynomial size n (L10 has n/2
+// complex entries). Internal nodes carry the LDL factor L10 and two
+// children for the diagonal blocks d00 and d11; at the bottom level
+// (n == 2) the children collapse into the leaf standard deviations
+// σ/√(d00) and σ/√(d11) used by the integer sampler.
+type Tree struct {
+	L10            []fft.Cplx
+	Child0, Child1 *Tree   // nil at the bottom level
+	Sigma0, Sigma1 fpr.FPR // leaf values, set when children are nil
+}
+
+// BuildTree computes the ffLDL* tree of the Gram matrix
+//
+//	G = B·B* = [[g00, g01], [adj(g01), g11]]
+//
+// of the secret basis B = [[g, −f], [G, −F]] (inputs in FFT domain), then
+// normalizes the leaves to sigma/√(leaf) as FALCON's keygen does.
+func BuildTree(g00, g01, g11 []fft.Cplx, sigma fpr.FPR) *Tree {
+	t := ffLDL(g00, g01, g11)
+	normalize(t, sigma)
+	return t
+}
+
+// GramOfBasis returns the three independent entries of B·B* for
+// B = [[g, −f], [G, −F]] in FFT representation.
+func GramOfBasis(fF, gF, FF, GF []fft.Cplx) (g00, g01, g11 []fft.Cplx) {
+	n := len(fF)
+	g00 = make([]fft.Cplx, n)
+	g01 = make([]fft.Cplx, n)
+	g11 = make([]fft.Cplx, n)
+	for i := 0; i < n; i++ {
+		g00[i] = gF[i].Mul(gF[i].Conj()).Add(fF[i].Mul(fF[i].Conj()))
+		g01[i] = gF[i].Mul(GF[i].Conj()).Add(fF[i].Mul(FF[i].Conj()))
+		g11[i] = GF[i].Mul(GF[i].Conj()).Add(FF[i].Mul(FF[i].Conj()))
+	}
+	return g00, g01, g11
+}
+
+// ffLDL recursively decomposes the self-adjoint Gram matrix
+// [[g00, g01], [adj(g01), g11]]: one LDL step produces L10 = adj(g01)/g00
+// and the diagonal d00 = g00, d11 = g11 − |L10|²·g00; each diagonal entry
+// is then split into a half-size self-adjoint Gram matrix.
+func ffLDL(g00, g01, g11 []fft.Cplx) *Tree {
+	n := len(g00)
+	l10 := make([]fft.Cplx, n)
+	d11 := make([]fft.Cplx, n)
+	for i := 0; i < n; i++ {
+		l10[i] = g01[i].Conj().Div(g00[i])
+		d11[i] = g11[i].Sub(l10[i].Mul(l10[i].Conj()).Mul(g00[i]))
+	}
+	t := &Tree{L10: l10}
+	if n == 1 {
+		// Bottom level: d00 and d11 are real (self-adjoint size-1).
+		t.Sigma0 = g00[0].Re
+		t.Sigma1 = d11[0].Re
+		return t
+	}
+	d00 := g00
+	d00e, d00o := fft.Split(d00)
+	d11e, d11o := fft.Split(d11)
+	// A split self-adjoint polynomial d = d_e(x²) + x·d_o(x²) yields the
+	// half-size self-adjoint Gram [[d_e, d_o], [adj(d_o), d_e]].
+	t.Child0 = ffLDL(d00e, d00o, d00e)
+	t.Child1 = ffLDL(d11e, d11o, d11e)
+	return t
+}
+
+// normalize replaces each leaf value d with sigma/√d.
+func normalize(t *Tree, sigma fpr.FPR) {
+	if t.Child0 == nil {
+		t.Sigma0 = fpr.Div(sigma, fpr.Sqrt(t.Sigma0))
+		t.Sigma1 = fpr.Div(sigma, fpr.Sqrt(t.Sigma1))
+		return
+	}
+	normalize(t.Child0, sigma)
+	normalize(t.Child1, sigma)
+}
+
+// Depth returns the tree height (number of internal levels).
+func (t *Tree) Depth() int {
+	if t.Child0 == nil {
+		return 1
+	}
+	return 1 + t.Child0.Depth()
+}
+
+// Sample runs ffSampling: given the target t = (t0, t1) in FFT domain, it
+// returns integer-valued (in FFT domain) vectors (z0, z1) distributed as a
+// discrete Gaussian over Z^{2n} centred on t with covariance shaped by the
+// tree. sp supplies the integer Gaussian sampler.
+func (t *Tree) Sample(t0, t1 []fft.Cplx, sp *samplerz.Sampler) (z0, z1 []fft.Cplx) {
+	if len(t0) == 1 {
+		// Polynomial size 2: the single complex entry holds the two real
+		// coefficients directly, so sample them with the leaf deviations.
+		s1 := t.Sigma1.Float64()
+		z1 = []fft.Cplx{{
+			Re: fpr.FromInt64(sp.SampleZ(t1[0].Re.Float64(), s1)),
+			Im: fpr.FromInt64(sp.SampleZ(t1[0].Im.Float64(), s1)),
+		}}
+		tb := t0[0].Add(t1[0].Sub(z1[0]).Mul(t.L10[0]))
+		s0 := t.Sigma0.Float64()
+		z0 = []fft.Cplx{{
+			Re: fpr.FromInt64(sp.SampleZ(tb.Re.Float64(), s0)),
+			Im: fpr.FromInt64(sp.SampleZ(tb.Im.Float64(), s0)),
+		}}
+		return z0, z1
+	}
+	t1e, t1o := fft.Split(t1)
+	z1e, z1o := t.Child1.Sample(t1e, t1o, sp)
+	z1 = fft.Merge(z1e, z1o)
+	// Babai feedback: shift the first target by the residual of the second.
+	t0b := fft.AddVec(t0, fft.MulVec(fft.SubVec(t1, z1), t.L10))
+	t0e, t0o := fft.Split(t0b)
+	z0e, z0o := t.Child0.Sample(t0e, t0o, sp)
+	z0 = fft.Merge(z0e, z0o)
+	return z0, z1
+}

@@ -1,0 +1,206 @@
+// Package fft implements FALCON's Fast Fourier Transform over the emulated
+// floating-point type fpr.FPR.
+//
+// A real polynomial f ∈ R[x]/(x^n+1) (n a power of two) is represented in
+// the FFT domain by its evaluations at the n/2 roots w_k = exp(iπ(2k+1)/n),
+// k = 0..n/2-1, of x^n+1 with positive imaginary part; the remaining roots
+// are complex conjugates and carry no extra information. Polynomial
+// multiplication becomes a coefficient-wise (scalar) complex multiplication,
+// which is the operation attacked by the paper: each complex product costs
+// four real floating-point multiplications between known and secret
+// coefficients.
+//
+// The package also provides the split/merge operations (the FFT analogues of
+// extracting even/odd sub-polynomials) required by FALCON's ffLDL tree and
+// ffSampling.
+package fft
+
+import (
+	"math"
+	"sync"
+
+	"falcondown/internal/fpr"
+)
+
+// Cplx is a complex number over the emulated floating-point type.
+type Cplx struct {
+	Re, Im fpr.FPR
+}
+
+// FromComplex converts a hardware complex128.
+func FromComplex(z complex128) Cplx {
+	return Cplx{fpr.FromFloat64(real(z)), fpr.FromFloat64(imag(z))}
+}
+
+// Complex converts to a hardware complex128.
+func (z Cplx) Complex() complex128 {
+	return complex(z.Re.Float64(), z.Im.Float64())
+}
+
+// Conj returns the complex conjugate.
+func (z Cplx) Conj() Cplx { return Cplx{z.Re, fpr.Neg(z.Im)} }
+
+// Neg returns -z.
+func (z Cplx) Neg() Cplx { return Cplx{fpr.Neg(z.Re), fpr.Neg(z.Im)} }
+
+// Add returns z+w.
+func (z Cplx) Add(w Cplx) Cplx {
+	return Cplx{fpr.Add(z.Re, w.Re), fpr.Add(z.Im, w.Im)}
+}
+
+// Sub returns z-w.
+func (z Cplx) Sub(w Cplx) Cplx {
+	return Cplx{fpr.Sub(z.Re, w.Re), fpr.Sub(z.Im, w.Im)}
+}
+
+// Mul returns z*w.
+func (z Cplx) Mul(w Cplx) Cplx { return MulTraced(z, w, nil) }
+
+// MulTraced returns known*secret while reporting the four real
+// multiplications and combining additions of the schoolbook complex product
+// to rec. The first operand is by convention the adversary-known value (the
+// hashed-message coefficient); the second is the secret key coefficient, so
+// the recorded partial products carry the paper's (A,B)×(C,D) roles.
+func MulTraced(known, secret Cplx, rec fpr.Recorder) Cplx {
+	ac := fpr.MulTraced(known.Re, secret.Re, rec)
+	bd := fpr.MulTraced(known.Im, secret.Im, rec)
+	ad := fpr.MulTraced(known.Re, secret.Im, rec)
+	bc := fpr.MulTraced(known.Im, secret.Re, rec)
+	return Cplx{fpr.SubTraced(ac, bd, rec), fpr.AddTraced(ad, bc, rec)}
+}
+
+// SqNorm returns |z|² as a real value.
+func (z Cplx) SqNorm() fpr.FPR {
+	return fpr.Add(fpr.Mul(z.Re, z.Re), fpr.Mul(z.Im, z.Im))
+}
+
+// Div returns z/w.
+func (z Cplx) Div(w Cplx) Cplx {
+	d := w.SqNorm()
+	num := z.Mul(w.Conj())
+	return Cplx{fpr.Div(num.Re, d), fpr.Div(num.Im, d)}
+}
+
+// Inv returns 1/z.
+func (z Cplx) Inv() Cplx {
+	d := z.SqNorm()
+	return Cplx{fpr.Div(z.Re, d), fpr.Div(fpr.Neg(z.Im), d)}
+}
+
+// Scale returns z*s for a real scale factor s.
+func (z Cplx) Scale(s fpr.FPR) Cplx {
+	return Cplx{fpr.Mul(z.Re, s), fpr.Mul(z.Im, s)}
+}
+
+// Half returns z/2 exactly.
+func (z Cplx) Half() Cplx { return Cplx{fpr.Half2(z.Re), fpr.Half2(z.Im)} }
+
+// rootsCache memoizes the n/2 principal roots of x^n+1 per polynomial size.
+var rootsCache sync.Map // int -> []Cplx
+
+// Roots returns the n/2 roots w_k = exp(iπ(2k+1)/n), k = 0..n/2-1, of
+// x^n+1 lying in the upper half plane. n must be a power of two >= 2.
+func Roots(n int) []Cplx {
+	if v, ok := rootsCache.Load(n); ok {
+		return v.([]Cplx)
+	}
+	r := make([]Cplx, n/2)
+	for k := range r {
+		ang := math.Pi * float64(2*k+1) / float64(n)
+		r[k] = Cplx{fpr.FromFloat64(math.Cos(ang)), fpr.FromFloat64(math.Sin(ang))}
+	}
+	rootsCache.Store(n, r)
+	return r
+}
+
+// FFT evaluates the real polynomial f (len n, a power of two >= 2) at the
+// n/2 principal roots of x^n+1 and returns the evaluations in natural order.
+func FFT(f []fpr.FPR) []Cplx {
+	n := len(f)
+	if n == 2 {
+		return []Cplx{{f[0], f[1]}}
+	}
+	hn := n / 2
+	qn := n / 4
+	fe := make([]fpr.FPR, hn)
+	fo := make([]fpr.FPR, hn)
+	for i := 0; i < hn; i++ {
+		fe[i] = f[2*i]
+		fo[i] = f[2*i+1]
+	}
+	e := FFT(fe)
+	o := FFT(fo)
+	w := Roots(n)
+	out := make([]Cplx, hn)
+	for k := 0; k < hn; k++ {
+		var ek, ok Cplx
+		if k < qn {
+			ek, ok = e[k], o[k]
+		} else {
+			// w_k² is the conjugate of the (n/2-1-k)-th half-size root.
+			j := hn - 1 - k
+			ek, ok = e[j].Conj(), o[j].Conj()
+		}
+		out[k] = ek.Add(w[k].Mul(ok))
+	}
+	return out
+}
+
+// InvFFT inverts FFT: given the n/2 evaluations of a real polynomial of
+// size n = 2*len(F), it returns the polynomial's coefficients.
+func InvFFT(F []Cplx) []fpr.FPR {
+	hn := len(F)
+	n := 2 * hn
+	if n == 2 {
+		return []fpr.FPR{F[0].Re, F[0].Im}
+	}
+	e, o := Split(F)
+	fe := InvFFT(e)
+	fo := InvFFT(o)
+	f := make([]fpr.FPR, n)
+	for i := 0; i < hn; i++ {
+		f[2*i] = fe[i]
+		f[2*i+1] = fo[i]
+	}
+	return f
+}
+
+// Split decomposes the FFT representation of a size-n polynomial f into the
+// FFT representations of its even and odd sub-polynomials f0, f1 with
+// f(x) = f0(x²) + x·f1(x²) (FALCON's poly_split_fft).
+func Split(F []Cplx) (F0, F1 []Cplx) {
+	hn := len(F)
+	n := 2 * hn
+	qn := hn / 2
+	w := Roots(n)
+	F0 = make([]Cplx, qn)
+	F1 = make([]Cplx, qn)
+	for k := 0; k < qn; k++ {
+		a := F[k]
+		b := F[hn-1-k].Conj()
+		F0[k] = a.Add(b).Half()
+		F1[k] = a.Sub(b).Mul(w[k].Conj()).Half()
+	}
+	return F0, F1
+}
+
+// Merge is the inverse of Split (FALCON's poly_merge_fft): it reassembles
+// the FFT representation of f from those of its even/odd halves.
+func Merge(F0, F1 []Cplx) []Cplx {
+	qn := len(F0)
+	hn := 2 * qn
+	n := 2 * hn
+	w := Roots(n)
+	F := make([]Cplx, hn)
+	for k := 0; k < hn; k++ {
+		var ek, ok Cplx
+		if k < qn {
+			ek, ok = F0[k], F1[k]
+		} else {
+			j := hn - 1 - k
+			ek, ok = F0[j].Conj(), F1[j].Conj()
+		}
+		F[k] = ek.Add(w[k].Mul(ok))
+	}
+	return F
+}

@@ -1,0 +1,306 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"falcondown/internal/fpr"
+)
+
+// oracleFFT evaluates f at the principal roots with hardware complex128
+// arithmetic, by direct O(n²) evaluation.
+func oracleFFT(f []float64) []complex128 {
+	n := len(f)
+	out := make([]complex128, n/2)
+	for k := 0; k < n/2; k++ {
+		ang := math.Pi * float64(2*k+1) / float64(n)
+		w := cmplx.Exp(complex(0, ang))
+		var acc complex128
+		for i := n - 1; i >= 0; i-- {
+			acc = acc*w + complex(f[i], 0)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func randPoly(r *rand.Rand, n int) ([]fpr.FPR, []float64) {
+	f := make([]fpr.FPR, n)
+	fv := make([]float64, n)
+	for i := range f {
+		v := float64(r.Intn(255) - 127)
+		f[i] = fpr.FromFloat64(v)
+		fv[i] = v
+	}
+	return f, fv
+}
+
+func TestFFTMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 512} {
+		f, fv := randPoly(r, n)
+		got := FFT(f)
+		want := oracleFFT(fv)
+		for k := range got {
+			g := got[k].Complex()
+			// The oracle accumulates error too: allow a relative tolerance.
+			if cmplx.Abs(g-want[k]) > 1e-6*(1+cmplx.Abs(want[k])) {
+				t.Fatalf("n=%d k=%d: got %v, want %v", n, k, g, want[k])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		f, fv := randPoly(r, n)
+		back := InvFFT(FFT(f))
+		for i := range back {
+			if math.Abs(back[i].Float64()-fv[i]) > 1e-7 {
+				t.Fatalf("n=%d i=%d: %v != %v", n, i, back[i].Float64(), fv[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripExactIntegers(t *testing.T) {
+	// Integer polynomials in FALCON's coefficient range must round-trip to
+	// the exact integers after rounding — the property the key-recovery
+	// step depends on.
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 128, 512} {
+		fi := make([]int16, n)
+		for i := range fi {
+			fi[i] = int16(r.Intn(255) - 127)
+		}
+		got := RoundToInt16(FFTInt16(fi))
+		for i := range fi {
+			if got[i] != fi[i] {
+				t.Fatalf("n=%d i=%d: %d != %d", n, i, got[i], fi[i])
+			}
+		}
+	}
+}
+
+func TestMulVecIsConvolution(t *testing.T) {
+	// FFT-domain pointwise multiplication must equal negacyclic convolution.
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{4, 16, 64} {
+		a := make([]int16, n)
+		b := make([]int16, n)
+		for i := 0; i < n; i++ {
+			a[i] = int16(r.Intn(21) - 10)
+			b[i] = int16(r.Intn(21) - 10)
+		}
+		want := make([]int64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p := int64(a[i]) * int64(b[j])
+				k := i + j
+				if k >= n {
+					want[k-n] -= p
+				} else {
+					want[k] += p
+				}
+			}
+		}
+		prod := InvFFT(MulVec(FFTInt16(a), FFTInt16(b)))
+		for i := range prod {
+			if got := fpr.Rint(prod[i]); got != want[i] {
+				t.Fatalf("n=%d i=%d: %d != %d", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestSplitMergeIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 16, 256} {
+		f, _ := randPoly(r, n)
+		F := FFT(f)
+		F0, F1 := Split(F)
+		back := Merge(F0, F1)
+		for k := range F {
+			if math.Abs(back[k].Re.Float64()-F[k].Re.Float64()) > 1e-8 ||
+				math.Abs(back[k].Im.Float64()-F[k].Im.Float64()) > 1e-8 {
+				t.Fatalf("n=%d k=%d: merge(split) mismatch", n, k)
+			}
+		}
+	}
+}
+
+func TestSplitMatchesSubPolynomials(t *testing.T) {
+	// Split(FFT(f)) must equal (FFT(f_even), FFT(f_odd)).
+	r := rand.New(rand.NewSource(6))
+	n := 32
+	f, _ := randPoly(r, n)
+	fe := make([]fpr.FPR, n/2)
+	fo := make([]fpr.FPR, n/2)
+	for i := 0; i < n/2; i++ {
+		fe[i], fo[i] = f[2*i], f[2*i+1]
+	}
+	F0, F1 := Split(FFT(f))
+	E, O := FFT(fe), FFT(fo)
+	for k := range F0 {
+		if cmplx.Abs(F0[k].Complex()-E[k].Complex()) > 1e-8 {
+			t.Fatalf("even k=%d: %v != %v", k, F0[k].Complex(), E[k].Complex())
+		}
+		if cmplx.Abs(F1[k].Complex()-O[k].Complex()) > 1e-8 {
+			t.Fatalf("odd k=%d: %v != %v", k, F1[k].Complex(), O[k].Complex())
+		}
+	}
+}
+
+func TestAdjVec(t *testing.T) {
+	// adj(f) evaluated at w is conj(f(w)) for real f.
+	r := rand.New(rand.NewSource(7))
+	f, _ := randPoly(r, 16)
+	F := FFT(f)
+	A := AdjVec(F)
+	for k := range F {
+		if A[k].Complex() != cmplx.Conj(F[k].Complex()) {
+			t.Fatalf("adj mismatch at %d", k)
+		}
+	}
+}
+
+func TestComplexAlgebra(t *testing.T) {
+	z := FromComplex(complex(3, -4))
+	w := FromComplex(complex(-1, 2))
+	check := func(name string, got Cplx, want complex128) {
+		t.Helper()
+		if cmplx.Abs(got.Complex()-want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", name, got.Complex(), want)
+		}
+	}
+	check("add", z.Add(w), complex(2, -2))
+	check("sub", z.Sub(w), complex(4, -6))
+	check("mul", z.Mul(w), complex(3, -4)*complex(-1, 2))
+	check("div", z.Div(w), complex(3, -4)/complex(-1, 2))
+	check("inv", z.Inv(), 1/complex(3, -4))
+	check("neg", z.Neg(), complex(-3, 4))
+	check("conj", z.Conj(), complex(3, 4))
+	check("half", z.Half(), complex(1.5, -2))
+	check("scale", z.Scale(fpr.Two), complex(6, -8))
+	if got := z.SqNorm().Float64(); got != 25 {
+		t.Errorf("sqnorm = %v", got)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	n := 16
+	a, _ := randPoly(r, n)
+	b, _ := randPoly(r, n)
+	A, B := FFT(a), FFT(b)
+	sum := AddVec(A, B)
+	diff := SubVec(A, B)
+	for k := range A {
+		if cmplx.Abs(sum[k].Complex()-(A[k].Complex()+B[k].Complex())) > 1e-9 {
+			t.Fatalf("AddVec mismatch at %d", k)
+		}
+		if cmplx.Abs(diff[k].Complex()-(A[k].Complex()-B[k].Complex())) > 1e-9 {
+			t.Fatalf("SubVec mismatch at %d", k)
+		}
+	}
+	nv := NegVec(A)
+	for k := range A {
+		if nv[k] != A[k].Neg() {
+			t.Fatalf("NegVec mismatch at %d", k)
+		}
+	}
+	dv := DivVec(MulVec(A, B), B)
+	for k := range A {
+		if cmplx.Abs(dv[k].Complex()-A[k].Complex()) > 1e-6*(1+cmplx.Abs(A[k].Complex())) {
+			t.Fatalf("DivVec(Mul) != identity at %d", k)
+		}
+	}
+	sv := ScaleVec(A, fpr.Half)
+	for k := range A {
+		if cmplx.Abs(sv[k].Complex()-A[k].Complex()/2) > 1e-9 {
+			t.Fatalf("ScaleVec mismatch at %d", k)
+		}
+	}
+	ms := MulAdjSelf(A)
+	for k := range A {
+		want := A[k].Complex() * cmplx.Conj(A[k].Complex())
+		if math.Abs(ms[k].Re.Float64()-real(want)) > 1e-6*(1+math.Abs(real(want))) || ms[k].Im != fpr.Zero {
+			t.Fatalf("MulAdjSelf mismatch at %d", k)
+		}
+	}
+}
+
+func TestMulVecTracedRecords(t *testing.T) {
+	var rec fpr.SliceRecorder
+	r := rand.New(rand.NewSource(9))
+	n := 8
+	a, _ := randPoly(r, n)
+	b, _ := randPoly(r, n)
+	A, B := FFT(a), FFT(b)
+	got := MulVecTraced(A, B, &rec)
+	want := MulVec(A, B)
+	for k := range got {
+		if got[k] != want[k] {
+			t.Fatalf("traced product diverges at %d", k)
+		}
+	}
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	// Each complex coefficient contributes 4 traced multiplies; count the
+	// B×D partial-product records.
+	var ll int
+	for _, op := range rec.Ops {
+		if op == fpr.OpMulLL {
+			ll++
+		}
+	}
+	if ll != 4*n/2 {
+		t.Fatalf("got %d B×D records, want %d", ll, 4*n/2)
+	}
+}
+
+func TestRootsProperties(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 1024} {
+		w := Roots(n)
+		if len(w) != n/2 {
+			t.Fatalf("n=%d: %d roots", n, len(w))
+		}
+		for k, z := range w {
+			// Each root must satisfy z^n = -1.
+			p := complex(1, 0)
+			for i := 0; i < n; i++ {
+				p *= z.Complex()
+			}
+			if cmplx.Abs(p-complex(-1, 0)) > 1e-9 {
+				t.Fatalf("n=%d k=%d: z^n = %v", n, k, p)
+			}
+			if z.Im.Sign() == 1 {
+				t.Fatalf("n=%d k=%d: root in lower half plane", n, k)
+			}
+		}
+	}
+}
+
+func BenchmarkFFT512(b *testing.B) {
+	r := rand.New(rand.NewSource(10))
+	f, _ := randPoly(r, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(f)
+	}
+}
+
+func BenchmarkMulVec512(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	f, _ := randPoly(r, 512)
+	g, _ := randPoly(r, 512)
+	F, G := FFT(f), FFT(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulVec(F, G)
+	}
+}

@@ -1,0 +1,120 @@
+package fft
+
+import "falcondown/internal/fpr"
+
+// FFTInt16 transforms a small-coefficient integer polynomial (such as the
+// private elements f, g, F, G or the hashed message c) to the FFT domain.
+func FFTInt16(f []int16) []Cplx {
+	t := make([]fpr.FPR, len(f))
+	for i, v := range f {
+		t[i] = fpr.FromInt64(int64(v))
+	}
+	return FFT(t)
+}
+
+// FFTUint16Centered transforms a polynomial with coefficients in [0, q) to
+// the FFT domain without recentering (FALCON hashes messages to [0, q)).
+func FFTUint16Centered(f []uint16) []Cplx {
+	t := make([]fpr.FPR, len(f))
+	for i, v := range f {
+		t[i] = fpr.FromInt64(int64(v))
+	}
+	return FFT(t)
+}
+
+// RoundToInt16 inverts the FFT and rounds each coefficient to the nearest
+// integer, the final step of the key-recovery attack (FALCON's FFT is
+// one-to-one, so exact recovery of FFT(f) yields f).
+func RoundToInt16(F []Cplx) []int16 {
+	f := InvFFT(F)
+	out := make([]int16, len(f))
+	for i, v := range f {
+		out[i] = int16(fpr.Rint(v))
+	}
+	return out
+}
+
+// MulVec returns the coefficient-wise product a⊙b of two FFT vectors.
+func MulVec(a, b []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Mul(b[i])
+	}
+	return out
+}
+
+// MulVecTraced returns known⊙secret while reporting every real
+// multiplication and addition micro-operation to rec, in coefficient order.
+// This is the operation FFT(c)⊙FFT(f) targeted by the paper's attack.
+func MulVecTraced(known, secret []Cplx, rec fpr.Recorder) []Cplx {
+	out := make([]Cplx, len(known))
+	for i := range known {
+		out[i] = MulTraced(known[i], secret[i], rec)
+	}
+	return out
+}
+
+// AddVec returns a+b coefficient-wise.
+func AddVec(a, b []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Add(b[i])
+	}
+	return out
+}
+
+// SubVec returns a-b coefficient-wise.
+func SubVec(a, b []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Sub(b[i])
+	}
+	return out
+}
+
+// NegVec returns -a coefficient-wise.
+func NegVec(a []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Neg()
+	}
+	return out
+}
+
+// AdjVec returns the FFT representation of the adjoint polynomial
+// f*(x) = f(1/x): the coefficient-wise complex conjugate.
+func AdjVec(a []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Conj()
+	}
+	return out
+}
+
+// DivVec returns a/b coefficient-wise.
+func DivVec(a, b []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Div(b[i])
+	}
+	return out
+}
+
+// ScaleVec returns a*s coefficient-wise for a real scalar s.
+func ScaleVec(a []Cplx, s fpr.FPR) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = a[i].Scale(s)
+	}
+	return out
+}
+
+// MulAdjSelf returns a⊙a*: the (real, self-adjoint) vector of squared
+// magnitudes |a_k|².
+func MulAdjSelf(a []Cplx) []Cplx {
+	out := make([]Cplx, len(a))
+	for i := range a {
+		out[i] = Cplx{a[i].SqNorm(), fpr.Zero}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+package fpr
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+)
+
+func strconvFormat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sqrtEstimate(n float64) float64 { return math.Sqrt(n) }
+
+// roundPack rounds a normalized significand m in [2^54, 2^55) — i.e. the
+// 53 result bits followed by a guard bit and a jammed round/sticky bit —
+// to nearest-even and packs it with sign s (positioned at bit 63) and
+// unbiased exponent e (the exponent of the value m/2^54 · 2^e).
+func roundPack(s uint64, e int, m uint64) FPR {
+	kept := m >> 2
+	switch m & 3 {
+	case 3:
+		kept++
+	case 2:
+		kept += kept & 1
+	}
+	if kept == 1<<53 {
+		kept >>= 1
+		e++
+	}
+	return pack(s, e, kept)
+}
+
+// normTo55 normalizes m (with a pending sticky flag) into [2^54, 2^55),
+// adjusting e and jamming lost bits, then rounds and packs.
+func normTo55(s uint64, e int, m uint64, sticky bool) FPR {
+	for m >= 1<<55 {
+		if m&1 != 0 {
+			sticky = true
+		}
+		m >>= 1
+		e++
+	}
+	for m < 1<<54 {
+		m <<= 1
+		e--
+	}
+	if sticky {
+		m |= 1
+	}
+	return roundPack(s, e, m)
+}
+
+// Mul returns x*y, rounded to nearest-even.
+func Mul(x, y FPR) FPR { return MulTraced(x, y, nil) }
+
+// MulTraced returns x*y while reporting every micro-operation of FALCON's
+// emulated multiplier to rec (which may be nil). The datapath follows the
+// reference implementation attacked by the paper:
+//
+//  1. the 53-bit significands are split into high 28-bit and low 25-bit
+//     halves (A,B for x and C,D for y);
+//  2. four schoolbook partial products B×D, A×D, B×C, A×C are formed;
+//  3. intermediate additions recombine them into a 106-bit product with
+//     sticky bits folding the discarded low half;
+//  4. the product is rounded to a 53-bit mantissa;
+//  5. the 11-bit exponents are added and the sign bits XOR-ed.
+func MulTraced(x, y FPR, rec Recorder) FPR {
+	s := (uint64(x) ^ uint64(y)) & signBit
+	if x.IsZero() || y.IsZero() {
+		if rec != nil {
+			rec.Record(OpMulSign, s>>63)
+			rec.Record(OpMulResult, s)
+		}
+		return FPR(s)
+	}
+	ex := x.BiasedExp() - expBias
+	ey := y.BiasedExp() - expBias
+	mx := x.MantissaFull() // 53 bits, in [2^52, 2^53)
+	my := y.MantissaFull()
+
+	// Split each significand into the high 28 / low 25 halves of Fig. 2.
+	xh, xl := mx>>loSplit, mx&loMask // A, B
+	yh, yl := my>>loSplit, my&loMask // C, D
+
+	// Schoolbook partial products. Widths: ll ≤ 50 bits, hl/lh ≤ 53 bits,
+	// hh ≤ 56 bits.
+	ll := xl * yl // B×D
+	hl := xh * yl // A×D
+	lh := xl * yh // B×C
+	hh := xh * yh // A×C
+	if rec != nil {
+		rec.Record(OpMulLL, ll)
+		rec.Record(OpMulHL, hl)
+		rec.Record(OpMulLH, lh)
+		rec.Record(OpMulHH, hh)
+	}
+
+	// Recombine: product = hh·2^50 + (hl+lh)·2^25 + ll, a 105/106-bit
+	// value of which only the top ~55 bits survive; everything below is
+	// folded into sticky bits.
+	mid := lh + hl // ≤ 54 bits
+	if rec != nil {
+		rec.Record(OpMulMid, mid)
+	}
+	sum1 := mid + (ll >> loSplit) // ≤ 55 bits
+	if rec != nil {
+		rec.Record(OpMulSum1, sum1)
+	}
+	sum2 := hh + (sum1 >> loSplit) // top bits of the product, in [2^54, 2^56)
+	if rec != nil {
+		rec.Record(OpMulSum2, sum2)
+	}
+	sticky := (ll&loMask)|(sum1&loMask) != 0
+
+	// value = (mx·my)·2^(ex+ey-104) and mx·my ∈ [2^104, 2^106), so with
+	// sum2 = (mx·my)>>50 ∈ [2^54, 2^56) the exponent of sum2/2^54·2^e is
+	// e = ex+ey (normTo55 bumps it when sum2 ≥ 2^55).
+	e := ex + ey
+	r := normTo55(s, e, sum2, sticky)
+	if rec != nil {
+		rec.Record(OpMulMant, r.MantissaFull())
+		// The exponent adder latches the raw biased sum before the
+		// normalization carry is folded in — that is the register state a
+		// physical implementation exposes, and the one the attack targets.
+		rec.Record(OpMulExp, uint64(ex+ey+expBias))
+		rec.Record(OpMulSign, s>>63)
+		rec.Record(OpMulResult, uint64(r))
+	}
+	return r
+}
+
+// Add returns x+y, rounded to nearest-even.
+func Add(x, y FPR) FPR { return AddTraced(x, y, nil) }
+
+// Sub returns x-y, rounded to nearest-even.
+func Sub(x, y FPR) FPR { return AddTraced(x, Neg(y), nil) }
+
+// SubTraced returns x-y while reporting micro-operations to rec.
+func SubTraced(x, y FPR, rec Recorder) FPR { return AddTraced(x, Neg(y), rec) }
+
+// AddTraced returns x+y while reporting every micro-operation of FALCON's
+// emulated adder to rec (which may be nil): operand alignment, the wide
+// add/subtract, renormalization and rounding.
+//
+// Internally the significands are aligned in an exact 128-bit fixed-point
+// register (the larger operand's 53-bit significand scaled by 2^64), which
+// makes round-to-nearest-even provably exact for every exponent gap and
+// cancellation pattern.
+func AddTraced(x, y FPR, rec Recorder) FPR {
+	// Order so that |x| >= |y|; the result carries x's sign.
+	if magLess(x, y) {
+		x, y = y, x
+	}
+	if y.IsZero() {
+		if x.IsZero() {
+			// (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 under round-to-nearest.
+			r := FPR(uint64(x) & uint64(y) & signBit)
+			if rec != nil {
+				rec.Record(OpAddResult, uint64(r))
+			}
+			return r
+		}
+		if rec != nil {
+			rec.Record(OpAddResult, uint64(x))
+		}
+		return x
+	}
+	sx := uint64(x) & signBit
+	sy := uint64(y) & signBit
+	ex := x.BiasedExp() - expBias
+	ey := y.BiasedExp() - expBias
+	mx := x.MantissaFull()
+	my := y.MantissaFull()
+	d := ex - ey // >= 0 by the magnitude ordering
+
+	// X = mx·2^64; Y = my·2^64 >> d, exact for d <= 64, with truncated
+	// fraction tracked separately beyond that.
+	var yhi, ylo uint64
+	frac := false
+	switch {
+	case d <= 0:
+		yhi, ylo = my, 0
+	case d < 64:
+		yhi, ylo = my>>uint(d), my<<uint(64-d)
+	case d == 64:
+		yhi, ylo = 0, my
+	case d < 64+53:
+		yhi, ylo = 0, my>>uint(d-64)
+		frac = my&((uint64(1)<<uint(d-64))-1) != 0
+	default:
+		yhi, ylo = 0, 0
+		frac = true
+	}
+	if rec != nil {
+		rec.Record(OpAddAlign, yhi)
+	}
+
+	var nhi, nlo uint64
+	sticky := frac
+	if sx == sy {
+		var carry uint64
+		nlo, carry = bits.Add64(0, ylo, 0)
+		nhi, _ = bits.Add64(mx, yhi, carry)
+	} else {
+		var borrow uint64
+		nlo, borrow = bits.Sub64(0, ylo, 0)
+		nhi, _ = bits.Sub64(mx, yhi, borrow)
+		if frac {
+			// The true subtrahend was slightly larger than its truncation;
+			// biasing the difference down by one and setting sticky keeps
+			// the rounding classification exact.
+			nlo, borrow = bits.Sub64(nlo, 1, 0)
+			nhi -= borrow
+		}
+	}
+	if rec != nil {
+		rec.Record(OpAddSum, nhi)
+	}
+	if nhi == 0 && nlo == 0 {
+		// Exact cancellation yields +0 under round-to-nearest.
+		if rec != nil {
+			rec.Record(OpAddResult, 0)
+		}
+		return Zero
+	}
+
+	// Normalize N = nhi:nlo so that the high word lands in [2^54, 2^55);
+	// value = N · 2^(ex-116), so the result exponent is ex + bitlen(N) - 117.
+	blen := 64 + bits.Len64(nhi)
+	if nhi == 0 {
+		blen = bits.Len64(nlo)
+	}
+	e := ex + blen - 117
+	sh := blen - 119 // right-shift amount to land the top bit at 118
+	switch {
+	case sh > 0:
+		if nlo&((uint64(1)<<uint(sh))-1) != 0 {
+			sticky = true
+		}
+		nlo = nlo>>uint(sh) | nhi<<uint(64-sh)
+		nhi >>= uint(sh)
+	case sh < 0:
+		k := uint(-sh)
+		if k >= 64 {
+			nhi = nlo << (k - 64)
+			nlo = 0
+		} else {
+			nhi = nhi<<k | nlo>>(64-k)
+			nlo <<= k
+		}
+	}
+	if nlo != 0 {
+		sticky = true
+	}
+	m := nhi
+	if sticky {
+		m |= 1
+	}
+	r := roundPack(sx, e, m)
+	if rec != nil {
+		rec.Record(OpAddMant, r.MantissaFull())
+		rec.Record(OpAddExp, uint64(r.BiasedExp()))
+		rec.Record(OpAddSign, uint64(r)>>63)
+		rec.Record(OpAddResult, uint64(r))
+	}
+	return r
+}
+
+// Div returns x/y, rounded to nearest-even, by restoring long division on
+// the significands (as FALCON's reference emulation does).
+func Div(x, y FPR) FPR {
+	s := (uint64(x) ^ uint64(y)) & signBit
+	if x.IsZero() {
+		return FPR(s)
+	}
+	if y.IsZero() {
+		return FPR(s | expMask) // infinity; never happens inside FALCON
+	}
+	ex := x.BiasedExp() - expBias
+	ey := y.BiasedExp() - expBias
+	mx := x.MantissaFull()
+	my := y.MantissaFull()
+
+	// Produce a 56-bit quotient q ≈ (mx/my)·2^55 ∈ (2^54, 2^56) by
+	// restoring division; the remainder feeds the sticky bit.
+	var q uint64
+	num := mx
+	for i := 0; i < 56; i++ {
+		q <<= 1
+		if num >= my {
+			num -= my
+			q |= 1
+		}
+		num <<= 1
+	}
+	sticky := num != 0
+	// value = (mx/my)·2^(ex-ey) = (q/2^55)·2^(ex-ey) = (q/2^54)·2^(ex-ey-1).
+	return normTo55(s, ex-ey-1, q, sticky)
+}
+
+// Inv returns 1/x.
+func Inv(x FPR) FPR { return Div(One, x) }
+
+// Sqrt returns the square root of x (x must be non-negative), rounded to
+// nearest-even, using an exact integer square root of the widened
+// significand.
+func Sqrt(x FPR) FPR {
+	if x.IsZero() {
+		return Zero
+	}
+	e := x.BiasedExp() - expBias
+	m := x.MantissaFull() // value = m · 2^(e-52)
+	// Make the exponent even so the square root of the power of two is exact.
+	if (e-52)&1 != 0 {
+		m <<= 1
+		e--
+	}
+	// N = m << 56 (a 128-bit value in [2^108, 2^110)); q = isqrt(N) is in
+	// [2^54, 2^55), exactly the roundPack convention, with exponent
+	// (e-52)/2 + 54 - 54 ... derivation: sqrt(value) = sqrt(m)·2^((e-52)/2)
+	// = (q/2^28)·2^((e-52)/2) = (q/2^54)·2^(26+(e-52)/2).
+	hi := m >> 8    // N = hi·2^64 + lo with
+	lo := (m << 56) // m << 56 split into two 64-bit words
+	q := isqrt128(hi, lo)
+	ph, pl := bits.Mul64(q, q)
+	sticky := ph != hi || pl != lo
+	return roundPack(0, 26+(e-52)/2, withJam(q, sticky))
+}
+
+func withJam(m uint64, sticky bool) uint64 {
+	if sticky {
+		return m | 1
+	}
+	return m
+}
+
+// isqrt128 returns floor(sqrt(hi·2^64 + lo)) for hi < 2^46 (sufficient for
+// the widened significand range used by Sqrt). It seeds with a hardware
+// floating-point estimate and corrects with exact 128-bit comparisons.
+func isqrt128(hi, lo uint64) uint64 {
+	n := float64(hi)*18446744073709551616.0 + float64(lo)
+	q := uint64(sqrtEstimate(n))
+	// Correct the estimate: find the largest q with q² ≤ N.
+	for {
+		ph, pl := bits.Mul64(q, q)
+		if ph > hi || (ph == hi && pl > lo) {
+			q--
+			continue
+		}
+		// q² ≤ N; check (q+1)².
+		q1 := q + 1
+		ph, pl = bits.Mul64(q1, q1)
+		if ph < hi || (ph == hi && pl <= lo) {
+			q = q1
+			continue
+		}
+		return q
+	}
+}

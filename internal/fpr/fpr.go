@@ -1,0 +1,254 @@
+// Package fpr implements the emulated IEEE-754 binary64 arithmetic used by
+// the FALCON signature scheme's reference implementation.
+//
+// FALCON performs its Fast Fourier Transform over 64-bit floating-point
+// values and, on platforms without a constant-time FPU, emulates the
+// arithmetic in software: the 53-bit mantissas (52 stored bits plus the
+// implicit leading one) are split into a high 28-bit half and a low 25-bit
+// half, multiplied schoolbook-style into four partial products, recombined
+// with intermediate additions, rounded to nearest-even, the 11-bit exponents
+// added and the sign bits XOR-ed.
+//
+// This package reproduces that structure exactly, because the structure is
+// the attack surface of "Falcon Down" (Karabulut & Aysu, DAC 2021): every
+// micro-operation of the emulated multiplier and adder can be observed
+// through a Recorder, from which the emleak package synthesizes
+// electromagnetic side-channel traces.
+//
+// The arithmetic itself is bit-exact with hardware float64 operations for
+// all normal (non-subnormal, non-overflowing) inputs and results, which the
+// test suite asserts exhaustively with property-based tests. Subnormal
+// results are flushed to zero, as in FALCON's reference emulation, and
+// overflow saturates to infinity; neither occurs in FALCON's numeric range.
+package fpr
+
+import "math"
+
+// FPR is a FALCON floating-point value: the raw IEEE-754 binary64 bit
+// pattern, manipulated with integer-only operations.
+type FPR uint64
+
+// Useful field masks and widths of the binary64 format.
+const (
+	signBit   = uint64(1) << 63
+	expMask   = uint64(0x7FF) << 52
+	mantMask  = (uint64(1) << 52) - 1
+	implicit  = uint64(1) << 52 // implicit leading mantissa bit
+	expBias   = 1023
+	mantBits  = 52
+	loSplit   = 25 // low mantissa half width (paper: B, D)
+	hiSplit   = 28 // high mantissa half width (paper: A, C)
+	loMask    = (uint64(1) << loSplit) - 1
+	maxBiased = 0x7FF
+)
+
+// Frequently used constants.
+var (
+	Zero     = FromFloat64(0)
+	One      = FromFloat64(1)
+	Two      = FromFloat64(2)
+	Half     = FromFloat64(0.5)
+	NegOne   = FromFloat64(-1)
+	Sqrt2    = FromFloat64(math.Sqrt2)
+	ISqrt2   = FromFloat64(1 / math.Sqrt2)
+	Log2     = FromFloat64(math.Ln2)
+	ILog2    = FromFloat64(1 / math.Ln2)
+	Pi       = FromFloat64(math.Pi)
+	PTwo63   = FromFloat64(9223372036854775808.0) // 2^63
+	InvQ4096 = FromFloat64(1.0 / 4096)
+)
+
+// FromFloat64 converts a hardware float64 to an FPR. The conversion is free:
+// an FPR is the IEEE-754 bit pattern itself.
+func FromFloat64(v float64) FPR { return FPR(math.Float64bits(v)) }
+
+// Float64 converts back to a hardware float64.
+func (x FPR) Float64() float64 { return math.Float64frombits(uint64(x)) }
+
+// FromInt64 converts a signed integer to the nearest FPR, rounding to
+// nearest-even when |v| exceeds 2^53 (it never does inside FALCON).
+func FromInt64(v int64) FPR { return FromScaled(v, 0) }
+
+// FromScaled returns v * 2^sc as an FPR, rounding to nearest-even.
+// It mirrors FALCON's fpr_scaled and is used when converting scaled big
+// integers during key generation.
+func FromScaled(v int64, sc int) FPR {
+	if v == 0 {
+		return Zero
+	}
+	var s uint64
+	u := uint64(v)
+	if v < 0 {
+		s = signBit
+		u = uint64(-v)
+	}
+	// Normalize u into the roundPack convention: m in [2^54, 2^55) with
+	// value = m/2^54 · 2^e, jamming shifted-out bits for correct rounding.
+	e := 54 + sc
+	sticky := false
+	for u >= 1<<55 {
+		if u&1 != 0 {
+			sticky = true
+		}
+		u >>= 1
+		e++
+	}
+	for u < 1<<54 {
+		u <<= 1
+		e--
+	}
+	if sticky {
+		u |= 1
+	}
+	return roundPack(s, e, u)
+}
+
+// pack assembles sign bit s (already positioned at bit 63), unbiased
+// exponent e and 53-bit normalized mantissa m in [2^52, 2^53) into an FPR.
+// Subnormal results flush to signed zero; overflow saturates to infinity.
+func pack(s uint64, e int, m uint64) FPR {
+	be := e + expBias
+	if be <= 0 {
+		return FPR(s) // flush to zero
+	}
+	if be >= maxBiased {
+		return FPR(s | expMask) // infinity
+	}
+	return FPR(s | uint64(be)<<52 | (m & mantMask))
+}
+
+// Sign reports the sign bit (1 for negative, 0 otherwise).
+func (x FPR) Sign() int { return int(uint64(x) >> 63) }
+
+// BiasedExp returns the 11-bit biased exponent field.
+func (x FPR) BiasedExp() int { return int((uint64(x) >> 52) & 0x7FF) }
+
+// Mantissa returns the 52 stored mantissa bits (without the implicit one).
+func (x FPR) Mantissa() uint64 { return uint64(x) & mantMask }
+
+// MantissaFull returns the full 53-bit significand including the implicit
+// leading one (zero input yields zero).
+func (x FPR) MantissaFull() uint64 {
+	if x.IsZero() {
+		return 0
+	}
+	return x.Mantissa() | implicit
+}
+
+// MantissaHalves returns the high 28-bit and low 25-bit halves of the full
+// 53-bit significand, the split FALCON's emulated multiplier operates on.
+// In the paper's notation the halves of the known operand are (A, B) and of
+// the secret operand (C, D).
+func (x FPR) MantissaHalves() (hi, lo uint64) {
+	m := x.MantissaFull()
+	return m >> loSplit, m & loMask
+}
+
+// IsZero reports whether x is positive or negative zero.
+func (x FPR) IsZero() bool { return uint64(x)&^signBit == 0 }
+
+// Neg returns -x.
+func Neg(x FPR) FPR { return x ^ FPR(signBit) }
+
+// Abs returns |x|.
+func Abs(x FPR) FPR { return x &^ FPR(signBit) }
+
+// Half2 returns x/2 (FALCON's fpr_half): exact exponent decrement.
+func Half2(x FPR) FPR {
+	if x.IsZero() {
+		return x
+	}
+	be := x.BiasedExp()
+	if be <= 1 {
+		return x & FPR(signBit) // flush
+	}
+	return x - FPR(uint64(1)<<52)
+}
+
+// Double returns 2*x (FALCON's fpr_double): exact exponent increment.
+func Double(x FPR) FPR {
+	if x.IsZero() {
+		return x
+	}
+	be := x.BiasedExp()
+	if be >= maxBiased-1 {
+		return x | FPR(expMask)
+	}
+	return x + FPR(uint64(1)<<52)
+}
+
+// Lt reports x < y for finite values (FALCON's fpr_lt).
+func Lt(x, y FPR) bool { return x.Float64() < y.Float64() }
+
+// magLess reports |x| < |y| comparing the raw magnitude fields, which works
+// because the IEEE encoding is monotone in magnitude.
+func magLess(x, y FPR) bool {
+	return uint64(x)&^signBit < uint64(y)&^signBit
+}
+
+// Rint rounds x to the nearest int64, ties to even (FALCON's fpr_rint).
+// The input must satisfy |x| < 2^63.
+func Rint(x FPR) int64 {
+	if x.IsZero() {
+		return 0
+	}
+	e := x.BiasedExp() - expBias // unbiased exponent
+	m := x.MantissaFull()        // value = m * 2^(e-52)
+	neg := x.Sign() == 1
+	shift := 52 - e
+	var v uint64
+	switch {
+	case shift <= 0:
+		v = m << uint(-shift)
+	case shift > 54:
+		v = 0
+	default:
+		lost := m & ((uint64(1) << uint(shift)) - 1)
+		v = m >> uint(shift)
+		half := uint64(1) << uint(shift-1)
+		if lost > half || (lost == half && v&1 == 1) {
+			v++
+		}
+	}
+	if neg {
+		return -int64(v)
+	}
+	return int64(v)
+}
+
+// Floor returns the largest integer not greater than x, as an int64.
+func Floor(x FPR) int64 {
+	t := Trunc(x)
+	if x.Sign() == 1 && FromInt64(t) != x {
+		return t - 1
+	}
+	return t
+}
+
+// Trunc rounds x toward zero, as an int64.
+func Trunc(x FPR) int64 {
+	if x.IsZero() {
+		return 0
+	}
+	e := x.BiasedExp() - expBias
+	if e < 0 {
+		return 0
+	}
+	m := x.MantissaFull()
+	shift := 52 - e
+	var v uint64
+	if shift <= 0 {
+		v = m << uint(-shift)
+	} else {
+		v = m >> uint(shift)
+	}
+	if x.Sign() == 1 {
+		return -int64(v)
+	}
+	return int64(v)
+}
+
+// String formats the value like a float64 for diagnostics.
+func (x FPR) String() string {
+	return strconvFormat(x.Float64())
+}

@@ -1,0 +1,439 @@
+package fpr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randNormal returns a random normal float64 with exponent confined to
+// [minE, maxE] (unbiased), the range FALCON's arithmetic inhabits.
+func randNormal(r *rand.Rand, minE, maxE int) float64 {
+	e := minE + r.Intn(maxE-minE+1)
+	m := r.Uint64() & mantMask
+	s := r.Uint64() & 1
+	bits := s<<63 | uint64(e+expBias)<<52 | m
+	return math.Float64frombits(bits)
+}
+
+func TestFromFloat64RoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.5, 2, 1.5, -3.25, 12289, 1e-10, 1e10, math.Pi} {
+		if got := FromFloat64(v).Float64(); got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestFromInt64(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 127, -127, 12289, -12289, 1 << 40, -(1 << 40), (1 << 53) - 1, -((1 << 53) - 1)}
+	for _, v := range cases {
+		if got := FromInt64(v).Float64(); got != float64(v) {
+			t.Errorf("FromInt64(%d) = %v", v, got)
+		}
+	}
+	// Values beyond 2^53 must round to nearest-even like the hardware cast.
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		v := int64(r.Uint64() >> uint(1+r.Intn(10)))
+		if r.Intn(2) == 0 {
+			v = -v
+		}
+		if got, want := FromInt64(v).Float64(), float64(v); got != want {
+			t.Fatalf("FromInt64(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFromScaled(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		v := int64(r.Uint64()>>11) - (1 << 52)
+		sc := r.Intn(200) - 100
+		want := float64(v) * math.Pow(2, float64(sc))
+		if got := FromScaled(v, sc).Float64(); got != want {
+			t.Fatalf("FromScaled(%d, %d) = %v, want %v", v, sc, got, want)
+		}
+	}
+}
+
+func TestFieldAccessors(t *testing.T) {
+	x := FromFloat64(-6.023125) // the paper's example has sign 1
+	if x.Sign() != 1 {
+		t.Errorf("Sign = %d", x.Sign())
+	}
+	if Neg(x).Sign() != 0 {
+		t.Errorf("Neg sign = %d", Neg(x).Sign())
+	}
+	if Abs(x) != Neg(x) {
+		t.Errorf("Abs mismatch")
+	}
+	// The paper's running example coefficient 0xC06017BC8036B580:
+	// sign 1, exponent 0x406, mantissa 0x017BC8036B580.
+	c := FPR(0xC06017BC8036B580)
+	if c.Sign() != 1 {
+		t.Errorf("example sign = %d", c.Sign())
+	}
+	if c.BiasedExp() != 0x406 {
+		t.Errorf("example exponent = %#x", c.BiasedExp())
+	}
+	if c.Mantissa() != 0x017BC8036B580 {
+		t.Errorf("example mantissa = %#x", c.Mantissa())
+	}
+	hi, lo := c.MantissaHalves()
+	if lo != 0x36B580 {
+		t.Errorf("low half = %#x, want the paper's 0x36B580", lo)
+	}
+	if hi != 0x80BDE40 {
+		// full 53-bit mantissa 0x1017BC8036B580 >> 25: the implicit one at
+		// bit 27 followed by the paper's quoted higher-order bits 0x0BDE40x.
+		t.Errorf("high half = %#x", hi)
+	}
+	if hi>>27 != 1 {
+		t.Errorf("high half must carry the implicit leading one")
+	}
+}
+
+func TestHalfDouble(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		v := randNormal(r, -500, 500)
+		if got := Half2(FromFloat64(v)).Float64(); got != v/2 {
+			t.Fatalf("Half(%v) = %v", v, got)
+		}
+		if got := Double(FromFloat64(v)).Float64(); got != v*2 {
+			t.Fatalf("Double(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestAddMatchesHardware(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200000; i++ {
+		a := randNormal(r, -300, 300)
+		b := randNormal(r, -300, 300)
+		got := Add(FromFloat64(a), FromFloat64(b)).Float64()
+		want := a + b
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Add(%v, %v) = %v (%#x), want %v (%#x)",
+				a, b, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+func TestAddCloseExponents(t *testing.T) {
+	// Stress cancellation: operands with tiny exponent gaps and related
+	// mantissas, where rounding bugs typically hide.
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200000; i++ {
+		a := randNormal(r, 0, 4)
+		bBits := math.Float64bits(a) ^ (r.Uint64() & 0xFFF) // perturb low bits
+		b := math.Float64frombits(bBits ^ (r.Uint64() & (1 << 63)))
+		got := Add(FromFloat64(a), FromFloat64(b)).Float64()
+		want := a + b
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Add(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestAddHugeExponentGap(t *testing.T) {
+	cases := [][2]float64{
+		{1, 1e-300}, {1, -1e-300}, {-1, 1e-300},
+		{1, math.Ldexp(1, -54)}, {1, -math.Ldexp(1, -54)},
+		{1, math.Ldexp(1, -53)}, {1, -math.Ldexp(1, -53)},
+		{1, math.Ldexp(1.5, -53)}, {1, -math.Ldexp(1.5, -53)},
+		{1.5, math.Ldexp(1, -52)}, {1 + math.Ldexp(1, -52), math.Ldexp(1, -53)},
+	}
+	for _, c := range cases {
+		got := Add(FromFloat64(c[0]), FromFloat64(c[1])).Float64()
+		want := c[0] + c[1]
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Add(%v, %v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestAddZeroCases(t *testing.T) {
+	pz, nz := FromFloat64(0), FromFloat64(math.Copysign(0, -1))
+	one := FromFloat64(1)
+	if got := Add(pz, nz); got != pz {
+		t.Errorf("(+0)+(-0) = %v", got)
+	}
+	if got := Add(nz, nz); got != nz {
+		t.Errorf("(-0)+(-0) = %v", got)
+	}
+	if got := Add(one, Neg(one)); got != pz {
+		t.Errorf("1+(-1) = %v", got)
+	}
+	if got := Add(nz, one); got != one {
+		t.Errorf("(-0)+1 = %v", got)
+	}
+}
+
+func TestSubMatchesHardware(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 100000; i++ {
+		a := randNormal(r, -100, 100)
+		b := randNormal(r, -100, 100)
+		got := Sub(FromFloat64(a), FromFloat64(b)).Float64()
+		want := a - b
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Sub(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMulMatchesHardware(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		a := randNormal(r, -300, 300)
+		b := randNormal(r, -300, 300)
+		got := Mul(FromFloat64(a), FromFloat64(b)).Float64()
+		want := a * b
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Mul(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestMulSpecialValues(t *testing.T) {
+	cases := [][2]float64{
+		{0, 5}, {5, 0}, {0, 0}, {-0.0, 5}, {5, -0.0},
+		{1, 1}, {-1, 1}, {1.5, 1.5}, {3, 1.0 / 3},
+		{math.Ldexp(1, 500), math.Ldexp(1, 500)}, // overflow -> inf
+	}
+	for _, c := range cases {
+		got := Mul(FromFloat64(c[0]), FromFloat64(c[1])).Float64()
+		want := c[0] * c[1]
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("Mul(%v, %v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestMulRoundingTies(t *testing.T) {
+	// Products landing exactly halfway between representable doubles must
+	// round to even. (1+2^-52)·(1+2^-52) = 1 + 2^-51 + 2^-104: the 2^-104
+	// sticky forces rounding up from the tie.
+	a := math.Float64frombits(math.Float64bits(1.0) + 1)
+	got := Mul(FromFloat64(a), FromFloat64(a)).Float64()
+	if math.Float64bits(got) != math.Float64bits(a*a) {
+		t.Errorf("tie-breaking mismatch: %x vs %x", math.Float64bits(got), math.Float64bits(a*a))
+	}
+}
+
+func TestDivMatchesHardware(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 50000; i++ {
+		a := randNormal(r, -200, 200)
+		b := randNormal(r, -200, 200)
+		got := Div(FromFloat64(a), FromFloat64(b)).Float64()
+		want := a / b
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Div(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestSqrtMatchesHardware(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 50000; i++ {
+		a := math.Abs(randNormal(r, -400, 400))
+		got := Sqrt(FromFloat64(a)).Float64()
+		want := math.Sqrt(a)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Sqrt(%v) = %v, want %v", a, got, want)
+		}
+	}
+	if got := Sqrt(Zero); got != Zero {
+		t.Errorf("Sqrt(0) = %v", got)
+	}
+}
+
+func TestRint(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int64
+	}{
+		{0, 0}, {0.4, 0}, {0.5, 0}, {0.6, 1}, {1.5, 2}, {2.5, 2}, {-0.5, 0},
+		{-1.5, -2}, {-2.5, -2}, {3.49999, 3}, {-3.5, -4}, {1e15 + 0.5, 1e15},
+		{12288.75, 12289},
+	}
+	for _, c := range cases {
+		if got := Rint(FromFloat64(c.in)); got != c.want {
+			t.Errorf("Rint(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 100000; i++ {
+		v := randNormal(r, -4, 40)
+		want := int64(math.RoundToEven(v))
+		if got := Rint(FromFloat64(v)); got != want {
+			t.Fatalf("Rint(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestFloorTrunc(t *testing.T) {
+	cases := []struct {
+		in           float64
+		floor, trunc int64
+	}{
+		{0, 0, 0}, {0.9, 0, 0}, {-0.9, -1, 0}, {2.5, 2, 2}, {-2.5, -3, -2},
+		{7, 7, 7}, {-7, -7, -7}, {1e6 + 0.25, 1e6, 1e6}, {-1e6 - 0.25, -1e6 - 1, -1e6},
+	}
+	for _, c := range cases {
+		if got := Floor(FromFloat64(c.in)); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.in, got, c.floor)
+		}
+		if got := Trunc(FromFloat64(c.in)); got != c.trunc {
+			t.Errorf("Trunc(%v) = %d, want %d", c.in, got, c.trunc)
+		}
+	}
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 100000; i++ {
+		v := randNormal(r, -4, 40)
+		if got, want := Floor(FromFloat64(v)), int64(math.Floor(v)); got != want {
+			t.Fatalf("Floor(%v) = %d, want %d", v, got, want)
+		}
+		if got, want := Trunc(FromFloat64(v)), int64(math.Trunc(v)); got != want {
+			t.Fatalf("Trunc(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestLt(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 10000; i++ {
+		a := randNormal(r, -50, 50)
+		b := randNormal(r, -50, 50)
+		if got, want := Lt(FromFloat64(a), FromFloat64(b)), a < b; got != want {
+			t.Fatalf("Lt(%v, %v) = %v", a, b, got)
+		}
+	}
+}
+
+func TestTracedMatchesUntraced(t *testing.T) {
+	// The instrumented datapath must compute exactly the same results as
+	// the fast path: recording is observation, not perturbation.
+	r := rand.New(rand.NewSource(13))
+	var rec SliceRecorder
+	for i := 0; i < 20000; i++ {
+		a := FromFloat64(randNormal(r, -100, 100))
+		b := FromFloat64(randNormal(r, -100, 100))
+		rec.Reset()
+		if MulTraced(a, b, &rec) != Mul(a, b) {
+			t.Fatalf("MulTraced diverges on %v × %v", a, b)
+		}
+		rec.Reset()
+		if AddTraced(a, b, &rec) != Add(a, b) {
+			t.Fatalf("AddTraced diverges on %v + %v", a, b)
+		}
+	}
+}
+
+func TestMulTraceStructure(t *testing.T) {
+	var rec SliceRecorder
+	a := FromFloat64(1.25)
+	b := FromFloat64(-3.5)
+	MulTraced(a, b, &rec)
+	wantOps := []Op{OpMulLL, OpMulHL, OpMulLH, OpMulHH, OpMulMid, OpMulSum1,
+		OpMulSum2, OpMulMant, OpMulExp, OpMulSign, OpMulResult}
+	if len(rec.Ops) != len(wantOps) {
+		t.Fatalf("got %d ops, want %d", len(rec.Ops), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if rec.Ops[i] != op {
+			t.Errorf("op %d = %v, want %v", i, rec.Ops[i], op)
+		}
+	}
+	// Verify the recorded partial products are the actual operand halves'
+	// schoolbook products.
+	ahi, alo := a.MantissaHalves()
+	bhi, blo := b.MantissaHalves()
+	if rec.Values[0] != alo*blo {
+		t.Errorf("B×D record = %#x, want %#x", rec.Values[0], alo*blo)
+	}
+	if rec.Values[1] != ahi*blo {
+		t.Errorf("A×D record = %#x, want %#x", rec.Values[1], ahi*blo)
+	}
+	if rec.Values[2] != alo*bhi {
+		t.Errorf("B×C record = %#x", rec.Values[2])
+	}
+	if rec.Values[3] != ahi*bhi {
+		t.Errorf("A×C record = %#x", rec.Values[3])
+	}
+	if rec.Values[10] != uint64(Mul(a, b)) {
+		t.Errorf("result record mismatch")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(0); op < Op(NumOps); op++ {
+		s := op.String()
+		if s == "" || s == "op?" {
+			t.Errorf("op %d has no name", op)
+		}
+		if seen[s] {
+			t.Errorf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+	if Op(200).String() != "op?" {
+		t.Errorf("out-of-range op name")
+	}
+}
+
+func TestSliceRecorderReset(t *testing.T) {
+	var rec SliceRecorder
+	rec.Record(OpMulLL, 42)
+	if rec.Len() != 1 {
+		t.Fatalf("Len = %d", rec.Len())
+	}
+	rec.Reset()
+	if rec.Len() != 0 {
+		t.Fatalf("Len after reset = %d", rec.Len())
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	if s := FromFloat64(1.5).String(); s != "1.5" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x := FromFloat64(1.2345678)
+	y := FromFloat64(-0.87654321)
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+		if x.IsZero() {
+			x = One
+		}
+	}
+}
+
+func BenchmarkMulTraced(b *testing.B) {
+	x := FromFloat64(1.2345678)
+	y := FromFloat64(-0.87654321)
+	var rec SliceRecorder
+	for i := 0; i < b.N; i++ {
+		rec.Reset()
+		x = MulTraced(x, y, &rec)
+		if x.IsZero() {
+			x = One
+		}
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x := FromFloat64(1.2345678)
+	y := FromFloat64(0.87654321)
+	for i := 0; i < b.N; i++ {
+		x = Add(x, y)
+		if x.BiasedExp() > 1500 {
+			x = One
+		}
+	}
+}

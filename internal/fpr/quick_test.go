@@ -1,0 +1,142 @@
+package fpr
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// normalValue draws a normal float64 in a moderate exponent band so that
+// operation results stay normal (no subnormal flush, no overflow), which is
+// the domain in which fpr promises bit-exactness with the hardware.
+type normalValue float64
+
+// Generate implements testing/quick.Generator.
+func (normalValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(normalValue(randNormal(r, -120, 120)))
+}
+
+var quickCfg = &quick.Config{MaxCount: 20000}
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(a, b normalValue) bool {
+		x, y := FromFloat64(float64(a)), FromFloat64(float64(b))
+		return Add(x, y) == Add(y, x)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulCommutative(t *testing.T) {
+	f := func(a, b normalValue) bool {
+		x, y := FromFloat64(float64(a)), FromFloat64(float64(b))
+		return Mul(x, y) == Mul(y, x)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAddHardwareEquivalence(t *testing.T) {
+	f := func(a, b normalValue) bool {
+		got := Add(FromFloat64(float64(a)), FromFloat64(float64(b))).Float64()
+		return math.Float64bits(got) == math.Float64bits(float64(a)+float64(b))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulHardwareEquivalence(t *testing.T) {
+	f := func(a, b normalValue) bool {
+		got := Mul(FromFloat64(float64(a)), FromFloat64(float64(b))).Float64()
+		return math.Float64bits(got) == math.Float64bits(float64(a)*float64(b))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivHardwareEquivalence(t *testing.T) {
+	f := func(a, b normalValue) bool {
+		got := Div(FromFloat64(float64(a)), FromFloat64(float64(b))).Float64()
+		return math.Float64bits(got) == math.Float64bits(float64(a)/float64(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSqrtHardwareEquivalence(t *testing.T) {
+	f := func(a normalValue) bool {
+		v := math.Abs(float64(a))
+		got := Sqrt(FromFloat64(v)).Float64()
+		return math.Float64bits(got) == math.Float64bits(math.Sqrt(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNegInvolution(t *testing.T) {
+	f := func(a normalValue) bool {
+		x := FromFloat64(float64(a))
+		return Neg(Neg(x)) == x && Add(x, Neg(x)) == Zero
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMulByPowerOfTwoExact(t *testing.T) {
+	f := func(a normalValue) bool {
+		x := FromFloat64(float64(a))
+		return Mul(x, Two) == Double(x) && Mul(x, Half) == Half2(x)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMantissaHalvesRecombine(t *testing.T) {
+	f := func(a normalValue) bool {
+		x := FromFloat64(float64(a))
+		hi, lo := x.MantissaHalves()
+		return hi<<25|lo == x.MantissaFull() && lo < 1<<25 && hi < 1<<28 && hi>>27 == 1
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRintBounds(t *testing.T) {
+	f := func(a normalValue) bool {
+		v := float64(a)
+		if math.Abs(v) >= 1<<60 {
+			return true
+		}
+		got := Rint(FromFloat64(v))
+		return math.Abs(float64(got)-v) <= 0.5
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDivMulInverse(t *testing.T) {
+	// x/y · y should be within 1 ulp of x (floating error bound, not
+	// exactness — a sanity property of the rounding quality).
+	f := func(a, b normalValue) bool {
+		x, y := FromFloat64(float64(a)), FromFloat64(float64(b))
+		back := Mul(Div(x, y), y)
+		diff := math.Abs(back.Float64() - x.Float64())
+		ulp := math.Abs(x.Float64()) * math.Ldexp(1, -51)
+		return diff <= ulp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

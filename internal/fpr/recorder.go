@@ -1,0 +1,84 @@
+package fpr
+
+// Op tags a micro-operation of the emulated floating-point datapath. Each
+// recorded operation corresponds to one region of the synthetic EM trace,
+// mirroring the annotated regions of Fig. 3 of the paper.
+type Op uint8
+
+const (
+	// Multiplication micro-ops, in execution order. With the known operand
+	// x split into (A=high 28 bits, B=low 25 bits) and the secret operand y
+	// split into (C, D) as in the paper's Fig. 2:
+	OpMulLL     Op = iota // B×D: low(x)·low(y) partial product (extend target for D)
+	OpMulHL               // A×D: high(x)·low(y) partial product (extend target for D)
+	OpMulLH               // B×C: low(x)·high(y) partial product (extend target for C)
+	OpMulHH               // A×C: high(x)·high(y) partial product
+	OpMulMid              // lh+hl: first intermediate addition (prune target)
+	OpMulSum1             // mid + carry(ll): second intermediate addition (prune target)
+	OpMulSum2             // hh + carry(sum1): high accumulation (prune target for C)
+	OpMulMant             // rounded 53-bit result mantissa
+	OpMulExp              // exponent addition result (biased sum)
+	OpMulSign             // sign XOR result
+	OpMulResult           // full 64-bit packed product
+
+	// Addition micro-ops.
+	OpAddAlign // aligned (shifted) smaller operand
+	OpAddSum   // raw sum/difference of aligned mantissas
+	OpAddMant  // normalized, rounded mantissa
+	OpAddExp   // result exponent
+	OpAddSign  // result sign
+	OpAddResult
+
+	// Division and square root record only their results; they do not occur
+	// in the attacked signing path.
+	OpDivResult
+	OpSqrtResult
+
+	numOps
+)
+
+// NumOps is the number of distinct micro-operation tags.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	"mul.ll(B×D)", "mul.hl(A×D)", "mul.lh(B×C)", "mul.hh(A×C)",
+	"mul.mid", "mul.sum1", "mul.sum2", "mul.mant", "mul.exp", "mul.sign", "mul.result",
+	"add.align", "add.sum", "add.mant", "add.exp", "add.sign", "add.result",
+	"div.result", "sqrt.result",
+}
+
+// String returns a short human-readable tag name.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return "op?"
+}
+
+// A Recorder observes every intermediate value of the emulated datapath.
+// It models the physical reality that each micro-operation latches a value
+// into CMOS registers whose switching activity radiates electromagnetically.
+type Recorder interface {
+	Record(op Op, value uint64)
+}
+
+// SliceRecorder collects recorded micro-operations in order.
+type SliceRecorder struct {
+	Ops    []Op
+	Values []uint64
+}
+
+// Record appends one micro-operation.
+func (r *SliceRecorder) Record(op Op, value uint64) {
+	r.Ops = append(r.Ops, op)
+	r.Values = append(r.Values, value)
+}
+
+// Reset clears the recorder for reuse without reallocating.
+func (r *SliceRecorder) Reset() {
+	r.Ops = r.Ops[:0]
+	r.Values = r.Values[:0]
+}
+
+// Len returns the number of recorded micro-operations.
+func (r *SliceRecorder) Len() int { return len(r.Ops) }

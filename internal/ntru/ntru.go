@@ -1,0 +1,198 @@
+// Package ntru implements FALCON's NTRU key generation: sampling the
+// private elements f and g, checking their Gram-Schmidt quality, and
+// solving the NTRU equation fG − gF = q mod (x^n+1) by the recursive
+// field-norm descent ("NTRUSolve").
+package ntru
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/cmplx"
+
+	"falcondown/internal/bigpoly"
+	"falcondown/internal/ntt"
+	"falcondown/internal/rng"
+)
+
+// Q is FALCON's modulus.
+const Q = ntt.Q
+
+// ErrNotInvertible reports that the NTRU equation has no solution for the
+// sampled f, g (their resultants with x^n+1 are not coprime, or f is not
+// invertible mod q).
+var ErrNotInvertible = errors.New("ntru: f, g admit no NTRU solution")
+
+var bigOne = big.NewInt(1)
+
+// Solve returns F, G with fG − gF = q mod (x^n+1), by descending the tower
+// of fields via field norms, solving a scalar Bézout identity at the
+// bottom, lifting back up, and length-reducing against (f, g) at each
+// level (Babai reduction).
+func Solve(f, g []int16) ([]int16, []int16, error) {
+	F, G, err := solveRec(bigpoly.FromInt16(f), bigpoly.FromInt16(g))
+	if err != nil {
+		return nil, nil, err
+	}
+	Fi, ok := F.ToInt16()
+	if !ok {
+		return nil, nil, fmt.Errorf("ntru: F overflows int16 after reduction")
+	}
+	Gi, ok := G.ToInt16()
+	if !ok {
+		return nil, nil, fmt.Errorf("ntru: G overflows int16 after reduction")
+	}
+	return Fi, Gi, nil
+}
+
+func solveRec(f, g bigpoly.Poly) (bigpoly.Poly, bigpoly.Poly, error) {
+	n := len(f)
+	if n == 1 {
+		return solveBase(f[0], g[0])
+	}
+	fp := bigpoly.FieldNorm(f)
+	gp := bigpoly.FieldNorm(g)
+	Fp, Gp, err := solveRec(fp, gp)
+	if err != nil {
+		return nil, nil, err
+	}
+	// fp(x²) = f(x)·f(-x), so multiplying the lifted half-size solution by
+	// the Galois conjugates yields fG − gF = q one level up.
+	F := bigpoly.Mul(bigpoly.Lift(Fp), bigpoly.GaloisConjugate(g))
+	G := bigpoly.Mul(bigpoly.Lift(Gp), bigpoly.GaloisConjugate(f))
+	bigpoly.Reduce(f, g, F, G)
+	return F, G, nil
+}
+
+// solveBase solves the degree-0 case: find integers u, v with
+// u·f0 + v·g0 = 1, giving G = u·q and F = −v·q.
+func solveBase(f0, g0 *big.Int) (bigpoly.Poly, bigpoly.Poly, error) {
+	af := new(big.Int).Abs(f0)
+	ag := new(big.Int).Abs(g0)
+	var gcd, u, v big.Int
+	gcd.GCD(&u, &v, af, ag)
+	if gcd.Cmp(bigOne) != 0 {
+		return nil, nil, ErrNotInvertible
+	}
+	if f0.Sign() < 0 {
+		u.Neg(&u)
+	}
+	if g0.Sign() < 0 {
+		v.Neg(&v)
+	}
+	q := big.NewInt(Q)
+	F := bigpoly.Poly{new(big.Int).Mul(&v, new(big.Int).Neg(q))}
+	G := bigpoly.Poly{new(big.Int).Mul(&u, q)}
+	return F, G, nil
+}
+
+// VerifyEquation checks fG − gF = q mod (x^n+1) exactly.
+func VerifyEquation(f, g, F, G []int16) bool {
+	lhs := bigpoly.Sub(
+		bigpoly.Mul(bigpoly.FromInt16(f), bigpoly.FromInt16(G)),
+		bigpoly.Mul(bigpoly.FromInt16(g), bigpoly.FromInt16(F)),
+	)
+	if lhs[0].Cmp(big.NewInt(Q)) != 0 {
+		return false
+	}
+	for _, c := range lhs[1:] {
+		if c.Sign() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GSNorm returns the squared Gram-Schmidt norm of the NTRU basis generated
+// by (f, g): the larger of ‖(g, −f)‖² and the squared norm of the second
+// Gram-Schmidt vector ‖(qf̄/(ff̄+gḡ), qḡ/(ff̄+gḡ))‖². Keygen rejects the
+// sample when this exceeds (1.17)²·q.
+func GSNorm(f, g []int16) float64 {
+	n := len(f)
+	var sq float64
+	ff := make([]float64, n)
+	gg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ff[i] = float64(f[i])
+		gg[i] = float64(g[i])
+		sq += ff[i]*ff[i] + gg[i]*gg[i]
+	}
+	Fh := bigpoly.FloatFFT(ff)
+	Gh := bigpoly.FloatFFT(gg)
+	// Parseval with the half spectrum: ‖p‖² = (2/n)·Σ|p(w_k)|².
+	var sqFG float64
+	for k := range Fh {
+		d := real(Fh[k]*cmplx.Conj(Fh[k]) + Gh[k]*cmplx.Conj(Gh[k]))
+		sqFG += float64(Q) * float64(Q) / d
+	}
+	sqFG *= 2 / float64(n)
+	return math.Max(sq, sqFG)
+}
+
+// Key holds the four private NTRU elements and the public key.
+type Key struct {
+	F, G []int16  // private elements solving fG − gF = q (capital pair)
+	Fs   []int16  // f: sampled small element
+	Gs   []int16  // g: sampled small element
+	H    []uint16 // public key h = g·f⁻¹ mod q, coefficients in [0, q)
+}
+
+// SigmaFG returns the standard deviation used to sample the coefficients of
+// f and g: σ{f,g} = 1.17·√(q/2n), which targets ‖(f,g)‖ ≈ 1.17·√q.
+func SigmaFG(n int) float64 {
+	return 1.17 * math.Sqrt(float64(Q)/float64(2*n))
+}
+
+// samplePoly draws an n-coefficient polynomial with rounded-Gaussian
+// coefficients of standard deviation sigma.
+func samplePoly(n int, sigma float64, r *rng.Xoshiro) []int16 {
+	f := make([]int16, n)
+	for i := range f {
+		f[i] = int16(math.Round(r.Gaussian(0, sigma)))
+	}
+	return f
+}
+
+// Generate samples f, g and solves for F, G, retrying until all keygen
+// acceptance tests pass, and returns the complete NTRU key. n must be a
+// power of two between 2 and 1024.
+func Generate(n int, r *rng.Xoshiro) (*Key, error) {
+	if n < 2 || n > 1024 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("ntru: invalid degree %d", n)
+	}
+	sigma := SigmaFG(n)
+	for attempt := 0; attempt < 1000; attempt++ {
+		f := samplePoly(n, sigma, r)
+		g := samplePoly(n, sigma, r)
+		if GSNorm(f, g) > 1.17*1.17*float64(Q) {
+			continue
+		}
+		fq := ntt.FromSigned(f)
+		finv, ok := ntt.InvModQ(fq)
+		if !ok {
+			continue
+		}
+		F, G, err := Solve(f, g)
+		if err != nil {
+			continue
+		}
+		if !fitsKeyRange(F) || !fitsKeyRange(G) {
+			continue
+		}
+		h := ntt.MulModQ(ntt.FromSigned(g), finv)
+		return &Key{F: F, G: G, Fs: f, Gs: g, H: h}, nil
+	}
+	return nil, errors.New("ntru: key generation did not converge in 1000 attempts")
+}
+
+// fitsKeyRange checks the encoding bound |c| <= 127 used for F and G in
+// FALCON's secret-key format.
+func fitsKeyRange(p []int16) bool {
+	for _, c := range p {
+		if c < -127 || c > 127 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,166 @@
+package ntru
+
+import (
+	"math"
+	"testing"
+
+	"falcondown/internal/ntt"
+	"falcondown/internal/rng"
+)
+
+func TestSolveSmall(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		sigma := SigmaFG(n)
+		var f, g []int16
+		var F, G []int16
+		var err error
+		for tries := 0; tries < 200; tries++ {
+			f = samplePoly(n, sigma, r)
+			g = samplePoly(n, sigma, r)
+			F, G, err = Solve(f, g)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			t.Fatalf("n=%d: no solvable pair in 200 tries: %v", n, err)
+		}
+		if !VerifyEquation(f, g, F, G) {
+			t.Fatalf("n=%d: fG - gF != q", n)
+		}
+	}
+}
+
+func TestSolveBaseSigns(t *testing.T) {
+	// Exercise all sign combinations at the bottom of the recursion.
+	cases := [][2]int16{{3, 5}, {-3, 5}, {3, -5}, {-3, -5}, {1, 0}, {0, 1}, {-1, 0}}
+	for _, c := range cases {
+		f := []int16{c[0], 0}
+		g := []int16{c[1], 0}
+		// Degree-2 solve exercises one descent level plus the base case.
+		F, G, err := Solve(f, g)
+		if err != nil {
+			t.Fatalf("Solve(%v, %v): %v", c[0], c[1], err)
+		}
+		if !VerifyEquation(f, g, F, G) {
+			t.Fatalf("equation fails for %v", c)
+		}
+	}
+}
+
+func TestSolveRejectsCommonFactor(t *testing.T) {
+	// f and g both even: resultants share a factor of 2 at the base.
+	f := []int16{2, 0, 0, 0}
+	g := []int16{2, 0, 0, 0}
+	if _, _, err := Solve(f, g); err == nil {
+		t.Fatal("expected failure for non-coprime f, g")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{8, 32, 64} {
+		key, err := Generate(n, r)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !VerifyEquation(key.Fs, key.Gs, key.F, key.G) {
+			t.Fatalf("n=%d: NTRU equation violated", n)
+		}
+		// h·f == g mod q.
+		hf := ntt.MulModQ(key.H, ntt.FromSigned(key.Fs))
+		gq := ntt.FromSigned(key.Gs)
+		for i := range hf {
+			if hf[i] != gq[i] {
+				t.Fatalf("n=%d: h·f != g at %d", n, i)
+			}
+		}
+		// Key range constraints for the codec.
+		for i := range key.F {
+			if key.F[i] < -127 || key.F[i] > 127 || key.G[i] < -127 || key.G[i] > 127 {
+				t.Fatalf("n=%d: F/G out of encoding range", n)
+			}
+		}
+	}
+}
+
+func TestGenerateInvalidDegree(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{0, 1, 3, 12, 2048} {
+		if _, err := Generate(n, r); err == nil {
+			t.Errorf("n=%d accepted", n)
+		}
+	}
+}
+
+func TestGSNorm(t *testing.T) {
+	// For a well-balanced pair, GS norm should be within the keygen
+	// acceptance bound reasonably often; for an extreme pair it must blow
+	// up.
+	r := rng.New(3)
+	n := 64
+	sigma := SigmaFG(n)
+	accepted := 0
+	for i := 0; i < 50; i++ {
+		f := samplePoly(n, sigma, r)
+		g := samplePoly(n, sigma, r)
+		if GSNorm(f, g) <= 1.17*1.17*float64(Q) {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no sample passed the GS bound in 50 tries")
+	}
+	// A tiny (f, g) makes the *second* Gram-Schmidt vector enormous.
+	tiny := make([]int16, n)
+	tiny[0] = 1
+	if GSNorm(tiny, make([]int16, n)) <= 1.17*1.17*float64(Q) {
+		t.Fatal("degenerate pair passed the GS bound")
+	}
+}
+
+func TestSigmaFG(t *testing.T) {
+	// σ{f,g} = 1.17·√(q/2n): spot value for n=512.
+	want := 1.17 * math.Sqrt(float64(Q)/1024.0)
+	if got := SigmaFG(512); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SigmaFG(512) = %v", got)
+	}
+	if SigmaFG(2) <= SigmaFG(1024) {
+		t.Fatal("sigma must shrink with n")
+	}
+}
+
+func TestSamplePolyMoments(t *testing.T) {
+	r := rng.New(4)
+	n := 4096
+	sigma := 4.0
+	f := samplePoly(n, sigma, r)
+	var sum, sumSq float64
+	for _, v := range f {
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean) > 0.3 {
+		t.Errorf("mean = %v", mean)
+	}
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(sd-sigma) > 0.4 {
+		t.Errorf("sd = %v, want ~%v", sd, sigma)
+	}
+}
+
+func TestSolve512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full FALCON-512 NTRU solve in -short mode")
+	}
+	r := rng.New(512)
+	key, err := Generate(512, r)
+	if err != nil {
+		t.Fatalf("Generate(512): %v", err)
+	}
+	if !VerifyEquation(key.Fs, key.Gs, key.F, key.G) {
+		t.Fatal("NTRU equation violated at n=512")
+	}
+}

@@ -1,0 +1,250 @@
+// Package ntt implements the negacyclic Number Theoretic Transform over
+// Z_q[x]/(x^n+1) with FALCON's modulus q = 12289.
+//
+// FALCON itself signs in the floating-point FFT domain (the attack surface
+// of the paper), but integer arithmetic modulo q is still needed for the
+// public key h = g·f⁻¹ mod q, for keygen's invertibility check, and for
+// signature verification (s1 = c − s2·h mod q). The package also backs the
+// paper's §V.C discussion experiment comparing the side-channel leakage of
+// NTT butterflies with that of the floating-point FFT multiplier.
+//
+// All parameters (generator, 2n-th roots of unity) are derived at runtime
+// from q, so no magic tables are embedded.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Q is FALCON's prime modulus, q = 12289 = 3·2^12 + 1.
+const Q = 12289
+
+// modAdd returns (a+b) mod q.
+func modAdd(a, b uint32) uint32 {
+	s := a + b
+	if s >= Q {
+		s -= Q
+	}
+	return s
+}
+
+// modSub returns (a-b) mod q.
+func modSub(a, b uint32) uint32 {
+	if a >= b {
+		return a - b
+	}
+	return a + Q - b
+}
+
+// modMul returns (a*b) mod q.
+func modMul(a, b uint32) uint32 { return a * b % Q }
+
+// ModPow returns a^e mod q.
+func ModPow(a uint32, e uint32) uint32 {
+	r := uint32(1)
+	base := a % Q
+	for e > 0 {
+		if e&1 == 1 {
+			r = modMul(r, base)
+		}
+		base = modMul(base, base)
+		e >>= 1
+	}
+	return r
+}
+
+// ModInv returns a^{-1} mod q for a != 0 (q is prime).
+func ModInv(a uint32) uint32 { return ModPow(a, Q-2) }
+
+// generator returns the smallest primitive root modulo q.
+// q-1 = 2^12 · 3, so g is primitive iff g^((q-1)/2) != 1 and
+// g^((q-1)/3) != 1.
+func generator() uint32 {
+	for g := uint32(2); ; g++ {
+		if ModPow(g, (Q-1)/2) != 1 && ModPow(g, (Q-1)/3) != 1 {
+			return g
+		}
+	}
+}
+
+// tables holds the per-size bit-reversed power tables of the primitive
+// 2n-th root of unity ψ (negacyclic NTT needs ψ, not just the n-th root).
+type tables struct {
+	n         int
+	psiRev    []uint32 // ψ^brev(i), i = 0..n-1
+	psiInvRev []uint32 // ψ^{-brev(i)}
+	nInv      uint32
+}
+
+var tablesCache sync.Map // int -> *tables
+
+// tablesFor builds (or fetches) the tables for size n, a power of two with
+// 2n | q-1 (n <= 2048).
+func tablesFor(n int) *tables {
+	if v, ok := tablesCache.Load(n); ok {
+		return v.(*tables)
+	}
+	if n < 2 || n&(n-1) != 0 || (Q-1)%(2*n) != 0 {
+		panic(fmt.Sprintf("ntt: unsupported size %d", n))
+	}
+	g := generator()
+	psi := ModPow(g, uint32((Q-1)/(2*n)))
+	psiInv := ModInv(psi)
+	logn := bits.Len(uint(n)) - 1
+	t := &tables{
+		n:         n,
+		psiRev:    make([]uint32, n),
+		psiInvRev: make([]uint32, n),
+		nInv:      ModInv(uint32(n)),
+	}
+	p, pi := uint32(1), uint32(1)
+	for i := 0; i < n; i++ {
+		r := int(bits.Reverse32(uint32(i)) >> (32 - logn))
+		t.psiRev[r] = p
+		t.psiInvRev[r] = pi
+		p = modMul(p, psi)
+		pi = modMul(pi, psiInv)
+	}
+	tablesCache.Store(n, t)
+	return t
+}
+
+// NTT transforms a in place to the NTT domain (coefficients in [0, q)).
+func NTT(a []uint16) {
+	tb := tablesFor(len(a))
+	n := len(a)
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			j1 := 2 * i * t
+			s := tb.psiRev[m+i]
+			for j := j1; j < j1+t; j++ {
+				u := uint32(a[j])
+				v := modMul(uint32(a[j+t]), s)
+				a[j] = uint16(modAdd(u, v))
+				a[j+t] = uint16(modSub(u, v))
+			}
+		}
+	}
+}
+
+// InvNTT transforms a in place back from the NTT domain.
+func InvNTT(a []uint16) {
+	tb := tablesFor(len(a))
+	n := len(a)
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			j2 := j1 + t
+			s := tb.psiInvRev[h+i]
+			for j := j1; j < j2; j++ {
+				u := uint32(a[j])
+				v := uint32(a[j+t])
+				a[j] = uint16(modAdd(u, v))
+				a[j+t] = uint16(modMul(modSub(u, v), s))
+			}
+			j1 += 2 * t
+		}
+		t <<= 1
+	}
+	for i := range a {
+		a[i] = uint16(modMul(uint32(a[i]), tb.nInv))
+	}
+}
+
+// MulModQ returns the negacyclic product a*b mod (x^n+1, q) of two
+// polynomials with coefficients in [0, q).
+func MulModQ(a, b []uint16) []uint16 {
+	ta := append([]uint16(nil), a...)
+	tbv := append([]uint16(nil), b...)
+	NTT(ta)
+	NTT(tbv)
+	for i := range ta {
+		ta[i] = uint16(modMul(uint32(ta[i]), uint32(tbv[i])))
+	}
+	InvNTT(ta)
+	return ta
+}
+
+// Invertible reports whether a is invertible in Z_q[x]/(x^n+1), i.e. all of
+// its NTT coordinates are nonzero.
+func Invertible(a []uint16) bool {
+	t := append([]uint16(nil), a...)
+	NTT(t)
+	for _, v := range t {
+		if v == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// InvModQ returns a^{-1} in Z_q[x]/(x^n+1). The second return value is
+// false if a is not invertible.
+func InvModQ(a []uint16) ([]uint16, bool) {
+	t := append([]uint16(nil), a...)
+	NTT(t)
+	for i, v := range t {
+		if v == 0 {
+			return nil, false
+		}
+		t[i] = uint16(ModInv(uint32(v)))
+	}
+	InvNTT(t)
+	return t, true
+}
+
+// FromSigned reduces a small-coefficient signed polynomial into [0, q).
+func FromSigned(f []int16) []uint16 {
+	out := make([]uint16, len(f))
+	for i, v := range f {
+		w := int32(v) % Q
+		if w < 0 {
+			w += Q
+		}
+		out[i] = uint16(w)
+	}
+	return out
+}
+
+// Center maps a coefficient in [0, q) to its centered representative in
+// (-q/2, q/2].
+func Center(v uint16) int32 {
+	w := int32(v)
+	if w > Q/2 {
+		w -= Q
+	}
+	return w
+}
+
+// SubModQ returns a-b coefficient-wise mod q.
+func SubModQ(a, b []uint16) []uint16 {
+	out := make([]uint16, len(a))
+	for i := range a {
+		out[i] = uint16(modSub(uint32(a[i]), uint32(b[i])))
+	}
+	return out
+}
+
+// AddModQ returns a+b coefficient-wise mod q.
+func AddModQ(a, b []uint16) []uint16 {
+	out := make([]uint16, len(a))
+	for i := range a {
+		out[i] = uint16(modAdd(uint32(a[i]), uint32(b[i])))
+	}
+	return out
+}
+
+// ButterflySteps exposes the intermediate values of one forward NTT
+// butterfly (u, v·s computation and the two outputs) for the §V.C leakage
+// comparison experiment: the modular product, the reduced sum and the
+// reduced difference, in execution order.
+func ButterflySteps(u, v, s uint16) [3]uint32 {
+	p := modMul(uint32(v), uint32(s))
+	return [3]uint32{p, modAdd(uint32(u), p), modSub(uint32(u), p)}
+}

@@ -1,0 +1,264 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModPowInv(t *testing.T) {
+	for a := uint32(1); a < 200; a++ {
+		if got := modMul(a, ModInv(a)); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d", got, a)
+		}
+	}
+	if ModPow(3, 0) != 1 {
+		t.Errorf("x^0 != 1")
+	}
+	if ModPow(2, 12) != 4096 {
+		t.Errorf("2^12 = %d", ModPow(2, 12))
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	g := generator()
+	// Order must be exactly q-1: g^((q-1)/p) != 1 for p in {2, 3}.
+	if ModPow(g, (Q-1)/2) == 1 || ModPow(g, (Q-1)/3) == 1 {
+		t.Fatalf("g=%d is not primitive", g)
+	}
+	if ModPow(g, Q-1) != 1 {
+		t.Fatalf("g^(q-1) != 1")
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 64, 512, 1024} {
+		a := make([]uint16, n)
+		for i := range a {
+			a[i] = uint16(r.Intn(Q))
+		}
+		b := append([]uint16(nil), a...)
+		NTT(b)
+		InvNTT(b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d i=%d: %d != %d", n, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+// schoolbookNegacyclic computes a*b mod (x^n+1, q) directly.
+func schoolbookNegacyclic(a, b []uint16) []uint16 {
+	n := len(a)
+	acc := make([]int64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := int64(a[i]) * int64(b[j])
+			if i+j >= n {
+				acc[i+j-n] -= p
+			} else {
+				acc[i+j] += p
+			}
+		}
+	}
+	out := make([]uint16, n)
+	for i, v := range acc {
+		m := v % Q
+		if m < 0 {
+			m += Q
+		}
+		out[i] = uint16(m)
+	}
+	return out
+}
+
+func TestMulModQMatchesSchoolbook(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 32, 128} {
+		a := make([]uint16, n)
+		b := make([]uint16, n)
+		for i := 0; i < n; i++ {
+			a[i] = uint16(r.Intn(Q))
+			b[i] = uint16(r.Intn(Q))
+		}
+		got := MulModQ(a, b)
+		want := schoolbookNegacyclic(a, b)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d i=%d: %d != %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInvModQ(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 64
+	found := false
+	for tries := 0; tries < 50 && !found; tries++ {
+		a := make([]uint16, n)
+		for i := range a {
+			a[i] = uint16(r.Intn(Q))
+		}
+		inv, ok := InvModQ(a)
+		if !ok {
+			continue
+		}
+		found = true
+		prod := MulModQ(a, inv)
+		if prod[0] != 1 {
+			t.Fatalf("a·a⁻¹ constant term = %d", prod[0])
+		}
+		for i := 1; i < n; i++ {
+			if prod[i] != 0 {
+				t.Fatalf("a·a⁻¹ coeff %d = %d", i, prod[i])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no invertible polynomial found in 50 tries (astronomically unlikely)")
+	}
+}
+
+func TestInvertibleDetectsZeroDivisors(t *testing.T) {
+	// x^n+1 factors completely mod q, so a polynomial equal to one NTT
+	// basis vector's zero pattern must be rejected. The polynomial
+	// (x - ψ^brev) has a zero NTT coordinate; easier: a polynomial that is
+	// zero everywhere is trivially non-invertible.
+	n := 16
+	zero := make([]uint16, n)
+	if Invertible(zero) {
+		t.Fatal("zero polynomial reported invertible")
+	}
+	if _, ok := InvModQ(zero); ok {
+		t.Fatal("InvModQ succeeded on zero")
+	}
+	one := make([]uint16, n)
+	one[0] = 1
+	inv, ok := InvModQ(one)
+	if !ok || inv[0] != 1 {
+		t.Fatal("identity not its own inverse")
+	}
+}
+
+func TestFromSignedCenter(t *testing.T) {
+	f := []int16{0, 1, -1, 127, -127, 6144, -6144}
+	u := FromSigned(f)
+	want := []uint16{0, 1, Q - 1, 127, Q - 127, 6144, Q - 6144}
+	for i := range u {
+		if u[i] != want[i] {
+			t.Fatalf("FromSigned[%d] = %d, want %d", i, u[i], want[i])
+		}
+	}
+	for i, v := range u {
+		c := Center(v)
+		m := int32(f[i]) % Q
+		if m > Q/2 {
+			m -= Q
+		}
+		if m < -Q/2 {
+			m += Q
+		}
+		if c != m {
+			t.Fatalf("Center(%d) = %d, want %d", v, c, m)
+		}
+	}
+}
+
+func TestAddSubModQ(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	n := 32
+	a := make([]uint16, n)
+	b := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		a[i] = uint16(r.Intn(Q))
+		b[i] = uint16(r.Intn(Q))
+	}
+	s := AddModQ(a, b)
+	d := SubModQ(s, b)
+	for i := range a {
+		if d[i] != a[i] {
+			t.Fatalf("(a+b)-b != a at %d", i)
+		}
+		if int(s[i]) != (int(a[i])+int(b[i]))%Q {
+			t.Fatalf("AddModQ wrong at %d", i)
+		}
+	}
+}
+
+func TestQuickNTTLinear(t *testing.T) {
+	// NTT(a+b) == NTT(a)+NTT(b) coefficient-wise.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 64
+		a := make([]uint16, n)
+		b := make([]uint16, n)
+		for i := 0; i < n; i++ {
+			a[i] = uint16(r.Intn(Q))
+			b[i] = uint16(r.Intn(Q))
+		}
+		s := AddModQ(a, b)
+		NTT(s)
+		NTT(a)
+		NTT(b)
+		for i := range s {
+			if s[i] != uint16(modAdd(uint32(a[i]), uint32(b[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestButterflySteps(t *testing.T) {
+	steps := ButterflySteps(5, 7, 11)
+	if steps[0] != 77 || steps[1] != 82 || steps[2] != modSub(5, 77) {
+		t.Fatalf("steps = %v", steps)
+	}
+	// Wraparound case.
+	steps = ButterflySteps(Q-1, Q-1, Q-1)
+	p := uint32(Q-1) * uint32(Q-1) % Q
+	if steps[0] != p || steps[1] != modAdd(Q-1, p) || steps[2] != modSub(Q-1, p) {
+		t.Fatalf("wrap steps = %v", steps)
+	}
+}
+
+func TestUnsupportedSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for size 3")
+		}
+	}()
+	NTT(make([]uint16, 3))
+}
+
+func BenchmarkNTT512(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	a := make([]uint16, 512)
+	for i := range a {
+		a[i] = uint16(r.Intn(Q))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NTT(a)
+	}
+}
+
+func BenchmarkMulModQ512(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	x := make([]uint16, 512)
+	y := make([]uint16, 512)
+	for i := range x {
+		x[i] = uint16(r.Intn(Q))
+		y[i] = uint16(r.Intn(Q))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulModQ(x, y)
+	}
+}

@@ -1,0 +1,130 @@
+// Package poly provides small-coefficient polynomial helpers shared by
+// the scheme, the attack, and the test suites: arithmetic in
+// Z[x]/(x^n+1) over int16/int64 coefficients, norms, and reference
+// (schoolbook) negacyclic convolution used as an oracle against the
+// FFT/NTT fast paths.
+package poly
+
+import "fmt"
+
+// Add returns a+b coefficient-wise.
+func Add(a, b []int16) []int16 {
+	out := make([]int16, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a-b coefficient-wise.
+func Sub(a, b []int16) []int16 {
+	out := make([]int16, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a []int16) []int16 {
+	out := make([]int16, len(a))
+	for i := range a {
+		out[i] = -a[i]
+	}
+	return out
+}
+
+// Equal reports coefficient-wise equality.
+func Equal(a, b []int16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SqNorm returns Σ aᵢ² as an int64.
+func SqNorm(a []int16) int64 {
+	var s int64
+	for _, v := range a {
+		s += int64(v) * int64(v)
+	}
+	return s
+}
+
+// InfNorm returns max |aᵢ|.
+func InfNorm(a []int16) int {
+	m := 0
+	for _, v := range a {
+		w := int(v)
+		if w < 0 {
+			w = -w
+		}
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// IsZero reports whether all coefficients vanish.
+func IsZero(a []int16) bool {
+	for _, v := range a {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NegacyclicMul returns a·b mod (x^n+1) with exact int64 accumulation —
+// the O(n²) schoolbook reference used to validate the FFT and NTT paths.
+func NegacyclicMul(a, b []int16) ([]int64, error) {
+	n := len(a)
+	if len(b) != n {
+		return nil, fmt.Errorf("poly: length mismatch %d vs %d", n, len(b))
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		av := int64(a[i])
+		for j := 0; j < n; j++ {
+			p := av * int64(b[j])
+			k := i + j
+			if k >= n {
+				out[k-n] -= p
+			} else {
+				out[k] += p
+			}
+		}
+	}
+	return out, nil
+}
+
+// ToInt64 widens the coefficients.
+func ToInt64(a []int16) []int64 {
+	out := make([]int64, len(a))
+	for i, v := range a {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+// Equal64 reports coefficient-wise equality of int64 polynomials.
+func Equal64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

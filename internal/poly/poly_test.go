@@ -1,0 +1,128 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPoly(r *rand.Rand, n, bound int) []int16 {
+	p := make([]int16, n)
+	for i := range p {
+		p[i] = int16(r.Intn(2*bound+1) - bound)
+	}
+	return p
+}
+
+func TestAddSubNeg(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := randPoly(r, 16, 100)
+	b := randPoly(r, 16, 100)
+	if !Equal(Sub(Add(a, b), b), a) {
+		t.Error("(a+b)-b != a")
+	}
+	if !Equal(Add(a, Neg(a)), make([]int16, 16)) {
+		t.Error("a+(-a) != 0")
+	}
+	if !IsZero(Add(a, Neg(a))) {
+		t.Error("IsZero")
+	}
+	if IsZero(a) {
+		t.Error("random poly reported zero")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if Equal([]int16{1}, []int16{1, 2}) {
+		t.Error("length mismatch accepted")
+	}
+	if !Equal([]int16{1, -2}, []int16{1, -2}) {
+		t.Error("equal polys rejected")
+	}
+	if Equal([]int16{1, -2}, []int16{1, 2}) {
+		t.Error("unequal polys accepted")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := []int16{3, -4, 0, 1}
+	if SqNorm(a) != 9+16+1 {
+		t.Errorf("SqNorm = %d", SqNorm(a))
+	}
+	if InfNorm(a) != 4 {
+		t.Errorf("InfNorm = %d", InfNorm(a))
+	}
+	if InfNorm(nil) != 0 || SqNorm(nil) != 0 {
+		t.Error("empty norms")
+	}
+}
+
+func TestNegacyclicMulIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randPoly(r, 8, 50)
+	one := make([]int16, 8)
+	one[0] = 1
+	got, err := NegacyclicMul(a, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal64(got, ToInt64(a)) {
+		t.Error("a·1 != a")
+	}
+	// x^n = -1: multiplying by x rotates with sign flip.
+	x := make([]int16, 8)
+	x[1] = 1
+	got, err = NegacyclicMul(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int64, 8)
+	want[0] = -int64(a[7])
+	for i := 1; i < 8; i++ {
+		want[i] = int64(a[i-1])
+	}
+	if !Equal64(got, want) {
+		t.Errorf("a·x wrong: %v vs %v", got, want)
+	}
+}
+
+func TestNegacyclicMulLengthMismatch(t *testing.T) {
+	if _, err := NegacyclicMul([]int16{1, 2}, []int16{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestQuickNegacyclicCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPoly(r, 16, 30)
+		b := randPoly(r, 16, 30)
+		ab, _ := NegacyclicMul(a, b)
+		ba, _ := NegacyclicMul(b, a)
+		return Equal64(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNegacyclicDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randPoly(r, 8, 20)
+		b := randPoly(r, 8, 20)
+		c := randPoly(r, 8, 20)
+		lhs, _ := NegacyclicMul(Add(a, b), c)
+		ac, _ := NegacyclicMul(a, c)
+		bc, _ := NegacyclicMul(b, c)
+		for i := range lhs {
+			if lhs[i] != ac[i]+bc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

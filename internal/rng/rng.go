@@ -1,0 +1,135 @@
+// Package rng provides the deterministic pseudo-random generator used by
+// key generation, the signing sampler and the side-channel experiment
+// harness.
+//
+// Reproducibility is a first-class requirement for the experiments (every
+// figure must regenerate identically from its seed), so the package uses a
+// fixed, well-understood generator — xoshiro256** seeded through splitmix64 —
+// rather than a platform-dependent source. Cryptographic call sites
+// (key generation, signing salts) can instead seed from crypto/rand via
+// NewEntropy.
+package rng
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"math"
+	"math/bits"
+)
+
+// Xoshiro is a xoshiro256** generator. The zero value is not usable; build
+// one with New or NewEntropy.
+type Xoshiro struct {
+	s         [4]uint64
+	spare     float64
+	haveSpare bool
+}
+
+// New returns a generator deterministically seeded from seed via splitmix64.
+func New(seed uint64) *Xoshiro {
+	var x Xoshiro
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for i := range x.s {
+		x.s[i] = next()
+	}
+	// Avoid the all-zero state (splitmix64 never produces it from four
+	// consecutive outputs, but be defensive).
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 1
+	}
+	return &x
+}
+
+// NewEntropy returns a generator seeded from the operating system's
+// cryptographic entropy source.
+func NewEntropy() *Xoshiro {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic("rng: entropy source unavailable: " + err.Error())
+	}
+	return New(binary.LittleEndian.Uint64(b[:]))
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (x *Xoshiro) Uint64() uint64 {
+	r := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return r
+}
+
+// Intn returns a uniformly random integer in [0, n). n must be positive.
+func (x *Xoshiro) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless method with rejection.
+	bound := uint64(n)
+	for {
+		v := x.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (x *Xoshiro) Float64() float64 {
+	return float64(x.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller; the spare
+// value is cached).
+func (x *Xoshiro) NormFloat64() float64 {
+	if x.haveSpare {
+		x.haveSpare = false
+		return x.spare
+	}
+	for {
+		u := x.Float64()
+		if u == 0 {
+			continue
+		}
+		v := x.Float64()
+		r := math.Sqrt(-2 * math.Log(u))
+		a := 2 * math.Pi * v
+		x.spare = r * math.Sin(a)
+		x.haveSpare = true
+		return r * math.Cos(a)
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (x *Xoshiro) Gaussian(mu, sigma float64) float64 {
+	return mu + sigma*x.NormFloat64()
+}
+
+// Bytes fills b with random bytes.
+func (x *Xoshiro) Bytes(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		binary.LittleEndian.PutUint64(b[i:], x.Uint64())
+	}
+	if i < len(b) {
+		var t [8]byte
+		binary.LittleEndian.PutUint64(t[:], x.Uint64())
+		copy(b[i:], t[:len(b)-i])
+	}
+}
+
+// Bit returns a single uniformly random bit.
+func (x *Xoshiro) Bit() int { return int(x.Uint64() >> 63) }

@@ -1,0 +1,161 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("divergence at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	x := New(1)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := x.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) bucket %d has count %d, expected ~10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	x := New(2)
+	for i := 0; i < 100000; i++ {
+		v := x.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	x := New(3)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := x.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	x := New(4)
+	n := 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := x.Gaussian(5, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("variance = %v", variance)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	x := New(5)
+	for _, n := range []int{0, 1, 7, 8, 9, 33} {
+		b := make([]byte, n)
+		x.Bytes(b)
+		if n >= 8 {
+			allZero := true
+			for _, v := range b {
+				if v != 0 {
+					allZero = false
+					break
+				}
+			}
+			if allZero {
+				t.Errorf("len %d: all zero bytes", n)
+			}
+		}
+	}
+	// Determinism of Bytes.
+	a, b := New(6), New(6)
+	ba := make([]byte, 100)
+	bb := make([]byte, 100)
+	a.Bytes(ba)
+	b.Bytes(bb)
+	for i := range ba {
+		if ba[i] != bb[i] {
+			t.Fatal("Bytes not deterministic")
+		}
+	}
+}
+
+func TestBit(t *testing.T) {
+	x := New(7)
+	ones := 0
+	for i := 0; i < 10000; i++ {
+		b := x.Bit()
+		if b != 0 && b != 1 {
+			t.Fatalf("Bit = %d", b)
+		}
+		ones += b
+	}
+	if ones < 4700 || ones > 5300 {
+		t.Errorf("ones = %d of 10000", ones)
+	}
+}
+
+func TestNewEntropyDiffers(t *testing.T) {
+	a := NewEntropy()
+	b := NewEntropy()
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("two entropy-seeded generators produced identical streams")
+	}
+}

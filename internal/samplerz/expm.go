@@ -1,0 +1,82 @@
+package samplerz
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// This file implements the fixed-point exponential used by FALCON's
+// reference BerExp: expm_p63 evaluates ccs·exp(−x)·2^63 with integer-only
+// Horner evaluation of the Taylor polynomial of degree 12. The constants
+// are derived at init time (round(2^63/k!)) instead of being pasted from
+// the reference, and the routine is validated against math.Exp in the
+// tests. The sampler can run with either this fixed-point path (closer to
+// the reference implementation) or the float64 path (default).
+
+// expmC[k] = round(2^63 / k!) for k = 0..12.
+var expmC [13]uint64
+
+func init() {
+	one63 := new(big.Int).Lsh(big.NewInt(1), 63)
+	fact := big.NewInt(1)
+	for k := 0; k < len(expmC); k++ {
+		if k > 0 {
+			fact.Mul(fact, big.NewInt(int64(k)))
+		}
+		q := new(big.Int).Mul(one63, big.NewInt(2))
+		q.Div(q, fact) // 2^64/k!
+		// round(2^63/k!) = (2^64/k! + 1) / 2
+		q.Add(q, big.NewInt(1))
+		q.Rsh(q, 1)
+		expmC[k] = q.Uint64()
+	}
+}
+
+// mulHi63 returns floor(a·b / 2^63) for a, b < 2^63.
+func mulHi63(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi<<1 | lo>>63
+}
+
+// ExpM63 returns ccs·exp(−x)·2^63 (rounded down, within a few parts in
+// 2^40 of the exact value) for 0 <= x < ln 2 and 0 < ccs <= 1, both given
+// as float64 and converted to 0.63 fixed point internally.
+func ExpM63(x, ccs float64) uint64 {
+	z := uint64(x * (1 << 63))
+	y := expmC[len(expmC)-1]
+	for k := len(expmC) - 2; k >= 0; k-- {
+		y = expmC[k] - mulHi63(z, y)
+	}
+	c := uint64(ccs * (1 << 63))
+	r := mulHi63(c, y)
+	if r > 1<<63-1 {
+		// The x = 0, ccs = 1 corner evaluates to exactly 2^63; saturate a
+		// hair below so callers can shift the value safely.
+		r = 1<<63 - 1
+	}
+	return r
+}
+
+// berExpFixed returns true with probability ccs·exp(−x) using the
+// reference implementation's structure: split x = s·ln2 + r, compute
+// ccs·exp(−r) in fixed point, shift by s, and compare byte-by-byte
+// against fresh random bytes (lazy rejection).
+func (sp *Sampler) berExpFixed(x, ccs float64) bool {
+	s := math.Floor(x / math.Ln2)
+	r := x - s*math.Ln2
+	if s > 63 {
+		s = 63
+	}
+	// z ≈ ccs·exp(−r)·2^64 >> s, minus one to avoid the z = 2^64 corner.
+	z := (ExpM63(r, ccs)<<1 - 1) >> uint(s)
+	// Accept iff a uniform 64-bit value is below z, comparing lazily from
+	// the most significant byte (the reference's early-abort structure).
+	for i := 56; i >= 0; i -= 8 {
+		w := int(z>>uint(i)&0xFF) - int(sp.rnd.Uint64()&0xFF)
+		if w != 0 {
+			return w > 0
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package samplerz
+
+import (
+	"math"
+	"testing"
+
+	"falcondown/internal/rng"
+)
+
+func TestExpM63MatchesExp(t *testing.T) {
+	for x := 0.0; x < math.Ln2; x += 0.003 {
+		for _, ccs := range []float64{1.0, 0.9, 0.7013, 0.5} {
+			got := float64(ExpM63(x, ccs)) / (1 << 63)
+			want := ccs * math.Exp(-x)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("ExpM63(%v, %v) = %v, want %v", x, ccs, got, want)
+			}
+		}
+	}
+}
+
+func TestExpM63Constants(t *testing.T) {
+	// C[0] = 2^63, C[1] = 2^63, C[2] = 2^62, C[3] = round(2^63/6).
+	if expmC[0] != 1<<63 {
+		t.Errorf("C0 = %#x", expmC[0])
+	}
+	if expmC[1] != 1<<63 {
+		t.Errorf("C1 = %#x", expmC[1])
+	}
+	if expmC[2] != 1<<62 {
+		t.Errorf("C2 = %#x", expmC[2])
+	}
+	want3 := uint64(1) << 63 / 6 // 2^63/6 rounds to the same integer
+	if d := int64(expmC[3]) - int64(want3); d > 1 || d < -1 {
+		t.Errorf("C3 = %#x, want ≈%#x", expmC[3], want3)
+	}
+	for k := 1; k < len(expmC); k++ {
+		if expmC[k] > expmC[k-1] {
+			t.Errorf("C not decreasing at %d", k)
+		}
+	}
+}
+
+func TestBerExpFixedProbability(t *testing.T) {
+	sp := New(rng.New(1), 1.2778336969128337)
+	sp.FixedPoint = true
+	cases := []struct{ x, ccs float64 }{
+		{0.1, 1.0}, {0.5, 0.8}, {1.7, 0.9}, {3.0, 1.0}, {7.5, 0.75},
+	}
+	const n = 300000
+	for _, c := range cases {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if sp.berExp(c.x, c.ccs) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		want := c.ccs * math.Exp(-c.x)
+		if math.Abs(got-want) > 0.004 {
+			t.Errorf("berExpFixed(%v, %v) rate = %v, want %v", c.x, c.ccs, got, want)
+		}
+	}
+}
+
+func TestSampleZFixedPointMatchesFloatDistribution(t *testing.T) {
+	// Both BerExp paths must produce the same discrete Gaussian.
+	mu, sigma := 0.4, 1.5
+	moments := func(fixed bool, seed uint64) (mean, variance float64) {
+		sp := New(rng.New(seed), 1.2778336969128337)
+		sp.FixedPoint = fixed
+		const n = 150000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			z := float64(sp.SampleZ(mu, sigma))
+			sum += z
+			sumSq += z * z
+		}
+		mean = sum / n
+		return mean, sumSq/n - mean*mean
+	}
+	mf, vf := moments(false, 7)
+	mx, vx := moments(true, 8)
+	if math.Abs(mf-mx) > 0.03 {
+		t.Errorf("means differ: %v vs %v", mf, mx)
+	}
+	if math.Abs(vf-vx) > 0.1 {
+		t.Errorf("variances differ: %v vs %v", vf, vx)
+	}
+}
+
+func BenchmarkBerExpFixed(b *testing.B) {
+	sp := New(rng.New(2), 1.3)
+	sp.FixedPoint = true
+	for i := 0; i < b.N; i++ {
+		sp.berExp(0.7, 0.9)
+	}
+}

@@ -1,0 +1,152 @@
+package samplerz
+
+import (
+	"math"
+	"testing"
+
+	"falcondown/internal/rng"
+)
+
+func TestCDTShape(t *testing.T) {
+	if CDTLen() < 8 || CDTLen() > 40 {
+		t.Fatalf("CDT length %d out of expected range", CDTLen())
+	}
+	// Strictly decreasing tail probabilities.
+	for k := 1; k < CDTLen(); k++ {
+		if TailProb(k) >= TailProb(k-1) {
+			t.Fatalf("tail not decreasing at %d", k)
+		}
+	}
+	// P(z0 > 0) for the half-Gaussian: 1 - w0/Σw ≈ 0.695 for σ_max=1.8205.
+	w := func(k int) float64 { return math.Exp(-float64(k*k) / (2 * SigmaMax * SigmaMax)) }
+	var total float64
+	for k := 0; k < 64; k++ {
+		total += w(k)
+	}
+	want := 1 - w(0)/total
+	if math.Abs(TailProb(0)-want) > 1e-9 {
+		t.Fatalf("P(z0>0) = %v, want %v", TailProb(0), want)
+	}
+}
+
+func TestBaseSampleDistribution(t *testing.T) {
+	s := New(rng.New(1), 1.2778336969128337)
+	n := 400000
+	counts := make(map[int]int)
+	for i := 0; i < n; i++ {
+		counts[s.BaseSample()]++
+	}
+	w := func(k int) float64 { return math.Exp(-float64(k*k) / (2 * SigmaMax * SigmaMax)) }
+	var total float64
+	for k := 0; k < 64; k++ {
+		total += w(k)
+	}
+	for k := 0; k <= 4; k++ {
+		got := float64(counts[k]) / float64(n)
+		want := w(k) / total
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("P(z0=%d) = %v, want %v", k, got, want)
+		}
+	}
+	if counts[-1] != 0 {
+		t.Error("negative base sample")
+	}
+}
+
+func TestSampleZMoments(t *testing.T) {
+	s := New(rng.New(2), 1.2778336969128337)
+	cases := []struct{ mu, sigma float64 }{
+		{0, 1.5}, {0.5, 1.3}, {-3.7, 1.7}, {1000.25, 1.28}, {-0.1, SigmaMax},
+	}
+	for _, c := range cases {
+		n := 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			z := float64(s.SampleZ(c.mu, c.sigma))
+			sum += z
+			sumSq += z * z
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		if math.Abs(mean-c.mu) > 0.03 {
+			t.Errorf("mu=%v sigma=%v: mean = %v", c.mu, c.sigma, mean)
+		}
+		if math.Abs(variance-c.sigma*c.sigma) > 0.12*c.sigma*c.sigma {
+			t.Errorf("mu=%v sigma=%v: variance = %v, want ~%v", c.mu, c.sigma, variance, c.sigma*c.sigma)
+		}
+	}
+}
+
+func TestSampleZExactProbabilities(t *testing.T) {
+	// Compare empirical point probabilities against the discrete Gaussian
+	// (a sharper distributional test than moments).
+	mu, sigma := 0.3, 1.5
+	s := New(rng.New(3), 1.2778336969128337)
+	n := 300000
+	counts := make(map[int64]int)
+	for i := 0; i < n; i++ {
+		counts[s.SampleZ(mu, sigma)]++
+	}
+	rho := func(z int64) float64 {
+		d := float64(z) - mu
+		return math.Exp(-d * d / (2 * sigma * sigma))
+	}
+	var total float64
+	for z := int64(-30); z <= 30; z++ {
+		total += rho(z)
+	}
+	for z := int64(-3); z <= 4; z++ {
+		got := float64(counts[z]) / float64(n)
+		want := rho(z) / total
+		if math.Abs(got-want) > 0.006 {
+			t.Errorf("P(z=%d) = %v, want %v", z, got, want)
+		}
+	}
+}
+
+func TestSampleZDeterministic(t *testing.T) {
+	a := New(rng.New(9), 1.3)
+	b := New(rng.New(9), 1.3)
+	for i := 0; i < 1000; i++ {
+		if a.SampleZ(0.7, 1.4) != b.SampleZ(0.7, 1.4) {
+			t.Fatal("sampler not deterministic under equal seeds")
+		}
+	}
+}
+
+func TestSampleZLargeCenters(t *testing.T) {
+	// Far-from-zero centres must not lose integer precision.
+	s := New(rng.New(4), 1.2778336969128337)
+	mu := 123456.75
+	for i := 0; i < 1000; i++ {
+		z := s.SampleZ(mu, 1.4)
+		if math.Abs(float64(z)-mu) > 20 {
+			t.Fatalf("sample %d implausibly far from centre %v", z, mu)
+		}
+	}
+}
+
+func BenchmarkSampleZ(b *testing.B) {
+	s := New(rng.New(5), 1.2778336969128337)
+	for i := 0; i < b.N; i++ {
+		s.SampleZ(0.4, 1.5)
+	}
+}
+
+func TestSampleZClampsDegenerateSigma(t *testing.T) {
+	// A degenerate trapdoor (e.g. from a partly failed key recovery) can
+	// ask for absurd deviations; the sampler must stay bounded and sane.
+	s := New(rng.New(5), 1.2778336969128337)
+	for _, sigma := range []float64{0, -3, 1e9, math.NaN(), math.Inf(1)} {
+		z := s.SampleZ(0.5, sigma)
+		if z < -30 || z > 30 {
+			t.Fatalf("sigma=%v: sample %d outside clamped range", sigma, z)
+		}
+	}
+	if z := s.SampleZ(math.NaN(), 1.5); z != 0 {
+		t.Fatalf("NaN centre: sample %d", z)
+	}
+	if z := s.SampleZ(math.Inf(-1), 1.5); z != 0 {
+		t.Fatalf("-Inf centre: sample %d", z)
+	}
+}
