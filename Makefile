@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race race-short bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full race run over every package.
+race:
+	$(GO) test -race ./...
+
+# Quick race pass over the concurrent paths (acquisition worker pool and
+# the multi-iterator attack sweeps).
+race-short:
+	$(GO) test -race -short -run 'Acquire|Stream|Corpus' ./internal/tracestore ./internal/core
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+check: build vet test race-short

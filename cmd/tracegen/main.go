@@ -1,10 +1,15 @@
 // Command tracegen runs a known-plaintext EM campaign against a synthetic
-// FALCON victim and writes the observations to a trace file that
+// FALCON victim and writes the observations to a sharded trace corpus that
 // cmd/attack can consume.
+//
+// Acquisition is parallel (-workers) but the corpus is byte-identical for
+// any worker count: every observation's randomness is derived from
+// (seed, index) and shards are committed in index order.
 //
 // Usage:
 //
-//	tracegen -n 64 -traces 2000 -noise 2 -seed 1 -out traces.fdtr -pub pub.key
+//	tracegen -n 64 -traces 2000 -noise 2 -seed 1 -out traces.fdt2 \
+//	         -workers 8 -shard-size 500 -pub pub.key
 package main
 
 import (
@@ -12,11 +17,13 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"time"
 
 	"falcondown/internal/codec"
 	"falcondown/internal/emleak"
 	"falcondown/internal/falcon"
 	"falcondown/internal/rng"
+	"falcondown/internal/tracestore"
 )
 
 func main() {
@@ -24,18 +31,20 @@ func main() {
 	traces := flag.Int("traces", 2000, "number of measurements")
 	noise := flag.Float64("noise", 2, "probe noise sigma")
 	seed := flag.Uint64("seed", 1, "deterministic seed")
-	out := flag.String("out", "traces.fdtr", "trace file output")
+	out := flag.String("out", "traces.fdt2", "trace corpus output (shard suffix added when -shard-size > 0)")
 	pubOut := flag.String("pub", "victim.pub", "victim public key output")
 	shuffle := flag.Bool("shuffle", false, "enable the shuffling countermeasure")
+	workers := flag.Int("workers", 0, "acquisition goroutines (0 = GOMAXPROCS); output is identical for any value")
+	shardSize := flag.Int("shard-size", 0, "observations per shard file (0 = single file)")
 	flag.Parse()
 
-	if err := run(*n, *traces, *noise, *seed, *out, *pubOut, *shuffle); err != nil {
+	if err := run(*n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool) error {
+func run(n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize int) error {
 	priv, pub, err := falcon.GenerateKey(n, rng.New(seed))
 	if err != nil {
 		return err
@@ -43,23 +52,33 @@ func run(n, traces int, noise float64, seed uint64, out, pubOut string, shuffle 
 	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
 		emleak.Probe{Gain: 1, NoiseSigma: noise}, seed+1)
 	dev.Shuffle = shuffle
-	obs, err := emleak.NewCampaign(dev, seed+2).Collect(traces)
+
+	w, err := tracestore.NewWriter(out, n, tracestore.Options{
+		ShardObs: shardSize,
+		OnShard: func(path string, obs int, bytes int64) {
+			fmt.Printf("  shard %s: %d observations, %d bytes\n", path, obs, bytes)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
+	start := time.Now()
+	acqErr := tracestore.Acquire(dev, seed+2, traces, w, tracestore.AcquireOptions{Workers: workers})
+	if cerr := w.Close(); acqErr == nil {
+		acqErr = cerr
 	}
-	defer f.Close()
-	if err := emleak.WriteObservations(f, n, obs); err != nil {
-		return err
+	if acqErr != nil {
+		return acqErr
 	}
+	st := w.Stats()
+	fmt.Printf("captured %d traces of a FALCON-%d victim (noise σ=%g) in %v (%.0f traces/s, %d bytes, %d shard(s)) -> %s\n",
+		st.Observations, n, noise, time.Since(start).Round(time.Millisecond),
+		float64(st.Observations)/time.Since(start).Seconds(), st.Bytes, st.Shards, out)
+
 	logn := bits.Len(uint(n)) - 1
 	if err := os.WriteFile(pubOut, codec.EncodePublicKey(pub.H, logn), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("captured %d traces of a FALCON-%d victim (noise σ=%g) -> %s; public key -> %s\n",
-		traces, n, noise, out, pubOut)
+	fmt.Printf("public key -> %s\n", pubOut)
 	return nil
 }

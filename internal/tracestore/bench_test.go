@@ -1,0 +1,159 @@
+package tracestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/rng"
+)
+
+// benchObs builds a realistic FALCON-64 campaign once per benchmark run.
+func benchObs(b *testing.B, count int) []emleak.Observation {
+	b.Helper()
+	priv, _, err := falcon.GenerateKey(64, rng.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: 2}, 6)
+	obs, err := emleak.NewCampaign(dev, 7).Collect(count)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obs
+}
+
+// reflectiveWrite is the seed's serialization loop (per-value binary.Write
+// with reflection), kept as the benchmark baseline for the packed path.
+func reflectiveWrite(w io.Writer, n int, obs []emleak.Observation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magicV1); err != nil {
+		return err
+	}
+	for _, v := range []uint32{version1, uint32(n), uint32(len(obs))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, o := range obs {
+		for _, z := range o.CFFT {
+			if err := binary.Write(bw, binary.LittleEndian, uint64(z.Re)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint64(z.Im)); err != nil {
+				return err
+			}
+		}
+		if err := binary.Write(bw, binary.LittleEndian, o.Trace.Samples); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func BenchmarkSerializeReflectBaseline(b *testing.B) {
+	obs := benchObs(b, 64)
+	b.SetBytes(int64(len(obs)) * int64(observationSize(64)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reflectiveWrite(io.Discard, 64, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializePacked(b *testing.B) {
+	obs := benchObs(b, 64)
+	b.SetBytes(int64(len(obs)) * int64(observationSize(64)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteV1(io.Discard, 64, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteCorpusV2(b *testing.B) {
+	obs := benchObs(b, 64)
+	dir := b.TempDir()
+	b.SetBytes(int64(len(obs)) * int64(observationSize(64)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := NewWriter(filepath.Join(dir, "bench.fdt2"), 64, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range obs {
+			if err := w.Append(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCorpus measures the streamed read path and reports the
+// heap held while iterating — the out-of-core claim: working set stays at
+// one decode chunk no matter how large the corpus is.
+func BenchmarkStreamCorpus(b *testing.B) {
+	count := 512
+	if testing.Short() {
+		count = 64
+	}
+	obs := benchObs(b, count)
+	path := filepath.Join(b.TempDir(), "bench.fdt2")
+	w, err := NewWriter(path, 64, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, o := range obs {
+		if err := w.Append(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	obs = nil
+	c, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(count) * int64(observationSize(64)))
+	b.ResetTimer()
+	var peak uint64
+	for i := 0; i < b.N; i++ {
+		it, err := c.Iterate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		seen := 0
+		for {
+			if _, err := it.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			seen++
+			if seen == count/2 && i == 0 {
+				var ms runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				peak = ms.HeapAlloc
+			}
+		}
+		it.Close()
+		if seen != count {
+			b.Fatalf("streamed %d of %d observations", seen, count)
+		}
+	}
+	b.ReportMetric(float64(peak), "heap_bytes_mid_stream")
+}

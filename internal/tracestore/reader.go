@@ -1,0 +1,362 @@
+package tracestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"falcondown/internal/emleak"
+)
+
+// shardInfo is the validated metadata of one corpus file.
+type shardInfo struct {
+	path    string
+	version int
+	n       int
+	count   int
+	chunks  []chunkMeta // v2 only
+}
+
+// Corpus is a read-only, sharded trace campaign on disk. It implements
+// Source; every Iterate opens its own file handles, so concurrent passes
+// are independent.
+type Corpus struct {
+	n      int
+	count  int
+	shards []shardInfo
+}
+
+// N implements Source.
+func (c *Corpus) N() int { return c.n }
+
+// Count implements Source.
+func (c *Corpus) Count() int { return c.count }
+
+// Shards returns the number of files backing the corpus.
+func (c *Corpus) Shards() int { return len(c.shards) }
+
+// Paths returns the shard files in read order.
+func (c *Corpus) Paths() []string {
+	out := make([]string, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.path
+	}
+	return out
+}
+
+// Open resolves path into a corpus:
+//
+//   - a directory reads every *.fdt2/*.fdtr file in it (sorted);
+//   - a glob pattern reads its matches;
+//   - an existing file is sniffed as a v2 shard or a legacy v1 blob;
+//   - otherwise the sharded spelling of path (base-*.ext) is globbed, so
+//     the same -out value round-trips between tracegen and attack.
+func Open(path string) (*Corpus, error) {
+	if st, err := os.Stat(path); err == nil {
+		if !st.IsDir() {
+			return OpenFiles([]string{path})
+		}
+		var paths []string
+		for _, pat := range []string{"*.fdt2", "*.fdtr"} {
+			m, err := filepath.Glob(filepath.Join(path, pat))
+			if err != nil {
+				return nil, fmt.Errorf("tracestore: %w", err)
+			}
+			paths = append(paths, m...)
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("%w: no shard files in directory %s", ErrBadFormat, path)
+		}
+		return OpenFiles(paths)
+	}
+	pattern := path
+	if !strings.ContainsAny(pattern, "*?[") {
+		ext := filepath.Ext(path)
+		pattern = path[:len(path)-len(ext)] + "-*" + ext
+	}
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("tracestore: no corpus at %s (also tried %s)", path, pattern)
+	}
+	return OpenFiles(paths)
+}
+
+// OpenFiles validates the given shard files (in order) as one corpus.
+func OpenFiles(paths []string) (*Corpus, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: empty shard list", ErrBadFormat)
+	}
+	c := &Corpus{}
+	for _, p := range paths {
+		s, err := openShard(p)
+		if err != nil {
+			return nil, err
+		}
+		if c.n == 0 {
+			c.n = s.n
+		} else if c.n != s.n {
+			return nil, fmt.Errorf("%w: shard %s has degree %d, corpus has %d",
+				ErrBadFormat, p, s.n, c.n)
+		}
+		c.count += s.count
+		c.shards = append(c.shards, s)
+	}
+	return c, nil
+}
+
+// openShard validates one file's header and (for v2) footer index without
+// reading the payload.
+func openShard(path string) (shardInfo, error) {
+	fail := func(err error) (shardInfo, error) {
+		return shardInfo{}, fmt.Errorf("tracestore: shard %s: %w", path, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return shardInfo{}, fmt.Errorf("tracestore: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return fail(fmt.Errorf("%w: short header", ErrBadFormat))
+	}
+	switch string(hdr[:4]) {
+	case magicV1:
+		version := binary.LittleEndian.Uint32(hdr[4:])
+		n := int(binary.LittleEndian.Uint32(hdr[8:]))
+		count := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+		if version != version1 {
+			return fail(fmt.Errorf("%w: v1 blob with version %d", ErrBadFormat, version))
+		}
+		if !validDegree(n) || count < 0 || count > maxCount {
+			return fail(fmt.Errorf("%w: implausible header (n=%d count=%d)", ErrBadFormat, n, count))
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return fail(err)
+		}
+		want := int64(headerSize) + int64(count)*int64(observationSize(n))
+		if st.Size() != want {
+			return fail(fmt.Errorf("%w: v1 blob is %d bytes, header implies %d (truncated or trailing garbage)",
+				ErrBadFormat, st.Size(), want))
+		}
+		return shardInfo{path: path, version: version1, n: n, count: count}, nil
+	case magicV2:
+		version := binary.LittleEndian.Uint32(hdr[4:])
+		n := int(binary.LittleEndian.Uint32(hdr[8:]))
+		if version != version2 {
+			return fail(fmt.Errorf("%w: v2 shard with version %d", ErrBadFormat, version))
+		}
+		if !validDegree(n) {
+			return fail(fmt.Errorf("%w: implausible degree %d", ErrBadFormat, n))
+		}
+		st, err := f.Stat()
+		if err != nil {
+			return fail(err)
+		}
+		if st.Size() < headerSize+trailerSize {
+			return fail(fmt.Errorf("%w: %d bytes is too short for a shard (truncated)", ErrBadFormat, st.Size()))
+		}
+		var tr [trailerSize]byte
+		if _, err := f.ReadAt(tr[:], st.Size()-trailerSize); err != nil {
+			return fail(fmt.Errorf("%w: unreadable trailer", ErrBadFormat))
+		}
+		if string(tr[20:24]) != magicFooter {
+			return fail(fmt.Errorf("%w: footer magic missing (truncated shard)", ErrBadFormat))
+		}
+		indexOffset := int64(binary.LittleEndian.Uint64(tr[0:]))
+		totalObs := int64(binary.LittleEndian.Uint64(tr[8:]))
+		indexCRC := binary.LittleEndian.Uint32(tr[16:])
+		indexLen := st.Size() - trailerSize - indexOffset
+		if indexOffset < headerSize || indexLen < 4 || totalObs < 0 || totalObs > maxCount {
+			return fail(fmt.Errorf("%w: implausible trailer (indexOffset=%d totalObs=%d)",
+				ErrBadFormat, indexOffset, totalObs))
+		}
+		idx := make([]byte, indexLen)
+		if _, err := f.ReadAt(idx, indexOffset); err != nil {
+			return fail(fmt.Errorf("%w: unreadable index", ErrBadFormat))
+		}
+		if crc32.Checksum(idx, castagnoli) != indexCRC {
+			return fail(fmt.Errorf("%w: footer index at offset %d", ErrChecksum, indexOffset))
+		}
+		chunkCount := int(binary.LittleEndian.Uint32(idx))
+		if int64(4+chunkCount*16) != indexLen {
+			return fail(fmt.Errorf("%w: index declares %d chunks in %d bytes", ErrBadFormat, chunkCount, indexLen))
+		}
+		chunks := make([]chunkMeta, chunkCount)
+		var sum int64
+		next := int64(headerSize)
+		for i := range chunks {
+			e := idx[4+i*16:]
+			chunks[i] = chunkMeta{
+				offset:     int64(binary.LittleEndian.Uint64(e)),
+				count:      binary.LittleEndian.Uint32(e[8:]),
+				payloadLen: binary.LittleEndian.Uint32(e[12:]),
+			}
+			if chunks[i].offset != next ||
+				int64(chunks[i].payloadLen) != int64(chunks[i].count)*int64(observationSize(n)) {
+				return fail(fmt.Errorf("%w: chunk %d index entry inconsistent (offset %d, want %d)",
+					ErrBadFormat, i, chunks[i].offset, next))
+			}
+			next += chunkHdrSize + int64(chunks[i].payloadLen)
+			sum += int64(chunks[i].count)
+		}
+		if next != indexOffset || sum != totalObs {
+			return fail(fmt.Errorf("%w: index covers %d observations ending at %d, trailer says %d ending at %d",
+				ErrBadFormat, sum, next, totalObs, indexOffset))
+		}
+		return shardInfo{path: path, version: version2, n: n, count: int(totalObs), chunks: chunks}, nil
+	default:
+		return fail(fmt.Errorf("%w: unknown magic %q", ErrBadFormat, hdr[:4]))
+	}
+}
+
+// Iterate implements Source.
+func (c *Corpus) Iterate() (Iterator, error) {
+	return &corpusIterator{corpus: c}, nil
+}
+
+// corpusIterator streams shards sequentially, verifying each chunk's CRC
+// before yielding its observations.
+type corpusIterator struct {
+	corpus *Corpus
+	shard  int
+	f      *os.File
+	br     *bufio.Reader
+
+	// v2 state
+	chunkIdx int
+	buf      []byte // current verified chunk payload
+	bufPos   int
+	// v1 state
+	remaining int
+	offset    int64
+	v1buf     []byte
+}
+
+func (it *corpusIterator) Next() (emleak.Observation, error) {
+	for {
+		if it.f == nil {
+			if it.shard >= len(it.corpus.shards) {
+				return emleak.Observation{}, io.EOF
+			}
+			if err := it.openShard(); err != nil {
+				return emleak.Observation{}, err
+			}
+		}
+		s := &it.corpus.shards[it.shard]
+		if s.version == version1 {
+			if it.remaining == 0 {
+				it.closeShard()
+				continue
+			}
+			if _, err := io.ReadFull(it.br, it.v1buf); err != nil {
+				return emleak.Observation{}, fmt.Errorf(
+					"tracestore: shard %s: %w: observation truncated at offset %d",
+					s.path, ErrBadFormat, it.offset)
+			}
+			it.remaining--
+			it.offset += int64(len(it.v1buf))
+			return decodeObservation(it.v1buf, s.n), nil
+		}
+		// v2: refill the chunk buffer when drained.
+		if it.bufPos >= len(it.buf) {
+			if it.chunkIdx >= len(s.chunks) {
+				it.closeShard()
+				continue
+			}
+			if err := it.readChunk(s); err != nil {
+				return emleak.Observation{}, err
+			}
+			continue
+		}
+		o := decodeObservation(it.buf[it.bufPos:], s.n)
+		it.bufPos += observationSize(s.n)
+		return o, nil
+	}
+}
+
+func (it *corpusIterator) openShard() error {
+	s := &it.corpus.shards[it.shard]
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("tracestore: %w", err)
+	}
+	it.f = f
+	it.br = bufio.NewReaderSize(f, 1<<20)
+	if _, err := it.br.Discard(headerSize); err != nil {
+		it.closeShard()
+		return fmt.Errorf("tracestore: shard %s: %w: short header", s.path, ErrBadFormat)
+	}
+	it.chunkIdx = 0
+	it.buf = it.buf[:0]
+	it.bufPos = 0
+	it.remaining = s.count
+	it.offset = headerSize
+	if s.version == version1 {
+		it.v1buf = make([]byte, observationSize(s.n))
+	}
+	return nil
+}
+
+// readChunk loads and verifies the next chunk of the current v2 shard.
+func (it *corpusIterator) readChunk(s *shardInfo) error {
+	meta := s.chunks[it.chunkIdx]
+	var hdr [chunkHdrSize]byte
+	if _, err := io.ReadFull(it.br, hdr[:]); err != nil {
+		return fmt.Errorf("tracestore: shard %s: %w: chunk %d header truncated at offset %d",
+			s.path, ErrBadFormat, it.chunkIdx, meta.offset)
+	}
+	count := binary.LittleEndian.Uint32(hdr[0:])
+	payloadLen := binary.LittleEndian.Uint32(hdr[4:])
+	crc := binary.LittleEndian.Uint32(hdr[8:])
+	if count != meta.count || payloadLen != meta.payloadLen {
+		return fmt.Errorf("tracestore: shard %s: %w: chunk %d header (count=%d len=%d) disagrees with index (count=%d len=%d)",
+			s.path, ErrBadFormat, it.chunkIdx, count, payloadLen, meta.count, meta.payloadLen)
+	}
+	if cap(it.buf) < int(payloadLen) {
+		it.buf = make([]byte, payloadLen)
+	}
+	it.buf = it.buf[:payloadLen]
+	if _, err := io.ReadFull(it.br, it.buf); err != nil {
+		return fmt.Errorf("tracestore: shard %s: %w: chunk %d payload truncated at offset %d",
+			s.path, ErrBadFormat, it.chunkIdx, meta.offset)
+	}
+	if got := crc32.Checksum(it.buf, castagnoli); got != crc {
+		return fmt.Errorf("tracestore: shard %s: %w: chunk %d at offset %d (crc %08x, want %08x)",
+			s.path, ErrChecksum, it.chunkIdx, meta.offset, got, crc)
+	}
+	it.chunkIdx++
+	it.bufPos = 0
+	return nil
+}
+
+func (it *corpusIterator) closeShard() {
+	if it.f != nil {
+		it.f.Close()
+		it.f = nil
+		it.br = nil
+	}
+	it.shard++
+	it.buf = it.buf[:0]
+	it.bufPos = 0
+}
+
+func (it *corpusIterator) Close() error {
+	if it.f != nil {
+		err := it.f.Close()
+		it.f = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package tracestore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"falcondown/internal/emleak"
+)
+
+// WriteV1 emits the legacy "FDTR" single-blob format (byte-identical to
+// the original emleak.WriteObservations, but packed with direct buffer
+// stores instead of reflective binary.Write calls). New campaigns should
+// use Writer; this exists for compatibility tooling and golden tests.
+func WriteV1(w io.Writer, n int, obs []emleak.Observation) error {
+	if !validDegree(n) {
+		return fmt.Errorf("%w: invalid degree %d", ErrBadFormat, n)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var hdr [headerSize]byte
+	copy(hdr[:4], magicV1)
+	binary.LittleEndian.PutUint32(hdr[4:], version1)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(obs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, observationSize(n))
+	for i, o := range obs {
+		if err := checkShape(n, o); err != nil {
+			return fmt.Errorf("observation %d: %w", i, err)
+		}
+		buf = appendObservation(buf[:0], o)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadV1 loads a legacy "FDTR" blob entirely into memory (the historical
+// API). Streaming access to v1 files goes through Open, which reads them
+// as single-shard corpora.
+func ReadV1(r io.Reader) (n int, obs []emleak.Observation, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: short header", ErrBadFormat)
+	}
+	if string(hdr[:4]) != magicV1 {
+		return 0, nil, fmt.Errorf("%w: unknown magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version1 {
+		return 0, nil, fmt.Errorf("%w: version %d", ErrBadFormat, v)
+	}
+	n = int(binary.LittleEndian.Uint32(hdr[8:]))
+	count := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+	if !validDegree(n) || count < 0 || count > maxCount {
+		return 0, nil, fmt.Errorf("%w: implausible header (n=%d count=%d)", ErrBadFormat, n, count)
+	}
+	size := observationSize(n)
+	buf := make([]byte, size)
+	obs = make([]emleak.Observation, count)
+	for i := range obs {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, nil, fmt.Errorf("%w: observation %d truncated at offset %d",
+				ErrBadFormat, i, headerSize+i*size)
+		}
+		obs[i] = decodeObservation(buf, n)
+	}
+	return n, obs, nil
+}
