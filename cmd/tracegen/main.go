@@ -6,17 +6,30 @@
 // any worker count: every observation's randomness is derived from
 // (seed, index) and shards are committed in index order.
 //
+// Campaigns are restartable. SIGINT/SIGTERM finalizes the corpus cleanly
+// at the last committed chunk, and -resume continues an interrupted (or
+// even SIGKILLed — the torn shard is salvaged first) campaign from where
+// it stopped. Because observation i depends only on (seed, i), a resumed
+// corpus is byte-identical to an uninterrupted run, provided the same
+// -n/-seed/-noise/-shard-size flags are given.
+//
 // Usage:
 //
 //	tracegen -n 64 -traces 2000 -noise 2 -seed 1 -out traces.fdt2 \
 //	         -workers 8 -shard-size 500 -pub pub.key
+//	tracegen -resume -n 64 -traces 2000 -noise 2 -seed 1 -out traces.fdt2 \
+//	         -workers 8 -shard-size 500 -pub pub.key
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/bits"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"falcondown/internal/codec"
@@ -36,15 +49,26 @@ func main() {
 	shuffle := flag.Bool("shuffle", false, "enable the shuffling countermeasure")
 	workers := flag.Int("workers", 0, "acquisition goroutines (0 = GOMAXPROCS); output is identical for any value")
 	shardSize := flag.Int("shard-size", 0, "observations per shard file (0 = single file)")
+	resume := flag.Bool("resume", false, "continue an interrupted campaign (salvages a torn final shard; requires identical other flags)")
 	flag.Parse()
 
-	if err := run(*n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize); err != nil {
+	// SIGINT/SIGTERM cancels acquisition; the writer then finalizes at the
+	// last committed chunk so the corpus is valid and resumable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, *n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize, *resume)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(130) // 128 + SIGINT: scripted campaigns can branch on interruption
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize int) error {
+func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize int, resume bool) error {
 	priv, pub, err := falcon.GenerateKey(n, rng.New(seed))
 	if err != nil {
 		return err
@@ -53,17 +77,47 @@ func run(n, traces int, noise float64, seed uint64, out, pubOut string, shuffle 
 		emleak.Probe{Gain: 1, NoiseSigma: noise}, seed+1)
 	dev.Shuffle = shuffle
 
-	w, err := tracestore.NewWriter(out, n, tracestore.Options{
+	opts := tracestore.Options{
 		ShardObs: shardSize,
 		OnShard: func(path string, obs int, bytes int64) {
 			fmt.Printf("  shard %s: %d observations, %d bytes\n", path, obs, bytes)
 		},
-	})
-	if err != nil {
-		return err
 	}
+	var w *tracestore.Writer
+	done := 0
+	if resume {
+		w, done, err = tracestore.ResumeWriter(out, n, opts)
+		if err != nil {
+			return err
+		}
+		if done > 0 {
+			fmt.Printf("resuming campaign: %d of %d traces already on disk\n", done, traces)
+		}
+		if done > traces {
+			return fmt.Errorf("existing corpus holds %d traces, more than the requested %d", done, traces)
+		}
+	} else {
+		w, err = tracestore.NewWriter(out, n, opts)
+		if err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
-	acqErr := tracestore.Acquire(dev, seed+2, traces, w, tracestore.AcquireOptions{Workers: workers})
+	acqErr := tracestore.Acquire(ctx, dev, seed+2, traces, w, tracestore.AcquireOptions{
+		Workers: workers,
+		Start:   done,
+	})
+	if errors.Is(acqErr, context.Canceled) || errors.Is(acqErr, context.DeadlineExceeded) {
+		committed, ierr := w.Interrupt()
+		if ierr != nil {
+			return fmt.Errorf("interrupted, and finalizing the shard failed (salvage with -resume): %w", ierr)
+		}
+		fmt.Printf("interrupted: %d of %d traces durable in %s; rerun with -resume to continue\n",
+			committed, traces, out)
+		writePub(pub, n, pubOut) // best effort: the key is deterministic from -seed
+		return acqErr
+	}
 	if cerr := w.Close(); acqErr == nil {
 		acqErr = cerr
 	}
@@ -73,12 +127,16 @@ func run(n, traces int, noise float64, seed uint64, out, pubOut string, shuffle 
 	st := w.Stats()
 	fmt.Printf("captured %d traces of a FALCON-%d victim (noise σ=%g) in %v (%.0f traces/s, %d bytes, %d shard(s)) -> %s\n",
 		st.Observations, n, noise, time.Since(start).Round(time.Millisecond),
-		float64(st.Observations)/time.Since(start).Seconds(), st.Bytes, st.Shards, out)
+		float64(st.Observations-int64(done))/time.Since(start).Seconds(), st.Bytes, st.Shards, out)
 
-	logn := bits.Len(uint(n)) - 1
-	if err := os.WriteFile(pubOut, codec.EncodePublicKey(pub.H, logn), 0o644); err != nil {
+	if err := writePub(pub, n, pubOut); err != nil {
 		return err
 	}
 	fmt.Printf("public key -> %s\n", pubOut)
 	return nil
+}
+
+func writePub(pub *falcon.PublicKey, n int, pubOut string) error {
+	logn := bits.Len(uint(n)) - 1
+	return os.WriteFile(pubOut, codec.EncodePublicKey(pub.H, logn), 0o644)
 }

@@ -19,6 +19,8 @@
 package falcondown
 
 import (
+	"context"
+
 	"falcondown/internal/core"
 	"falcondown/internal/emleak"
 	"falcondown/internal/falcon"
@@ -49,6 +51,17 @@ type (
 	AttackConfig = core.Config
 	// AttackReport summarizes a key recovery.
 	AttackReport = core.RecoveryReport
+	// ValueFailure diagnoses one value a failed recovery could not
+	// establish.
+	ValueFailure = core.ValueFailure
+	// AutoAttackOptions tunes the adaptive trace-budget loop of
+	// AutoAttack.
+	AutoAttackOptions = core.AutoOptions
+	// CheckpointStore persists attack state between runs for resumable
+	// extractions.
+	CheckpointStore = core.CheckpointStore
+	// FileCheckpoint is the JSON-sidecar CheckpointStore.
+	FileCheckpoint = core.FileCheckpoint
 
 	// TraceSource is a replayable streamed view of a campaign; disk
 	// corpora, in-memory slices and custom backends all satisfy it.
@@ -61,6 +74,8 @@ type (
 	TraceWriterOptions = tracestore.Options
 	// AcquireOptions tunes the parallel acquisition runner.
 	AcquireOptions = tracestore.AcquireOptions
+	// CorpusHealth reports what a lenient open quarantined or lost.
+	CorpusHealth = tracestore.CorpusHealth
 
 	// RNG is the deterministic random generator used across the library.
 	RNG = rng.Xoshiro
@@ -112,6 +127,25 @@ func RecoverKeyFromSource(src TraceSource, pub *PublicKey, cfg AttackConfig) (*P
 	return core.RecoverKeyFrom(src, pub, cfg)
 }
 
+// RecoverKeyResumable is RecoverKeyFromSource with checkpointed recovery:
+// attack state persists through store after each completed phase, so a
+// killed extraction rerun against the same campaign and configuration
+// resumes from the last completed phase instead of re-sweeping the
+// corpus. A nil store disables checkpointing.
+func RecoverKeyResumable(src TraceSource, pub *PublicKey, cfg AttackConfig, store CheckpointStore) (*PrivateKey, *AttackReport, error) {
+	return core.RecoverKeyResumable(src, pub, cfg, store)
+}
+
+// AutoAttack runs the full key extraction against a live device with an
+// adaptive trace budget: it acquires traces, attacks, retries failing
+// values with escalated beams, and buys more traces (deterministically
+// extending the campaign, never re-measuring) until the key is recovered
+// or the budget is exhausted. On final failure the partial report names
+// exactly which values failed and why (AttackReport.Failed).
+func AutoAttack(dev *Device, seed uint64, pub *PublicKey, cfg AttackConfig, opts AutoAttackOptions) (*PrivateKey, *AttackReport, error) {
+	return core.AutoRecover(dev, seed, pub, cfg, opts)
+}
+
 // NewTraceSource wraps an in-memory campaign of degree n as a TraceSource.
 func NewTraceSource(n int, obs []Observation) TraceSource {
 	return tracestore.NewSliceSource(n, obs)
@@ -129,9 +163,35 @@ func NewTraceWriter(path string, n int, opts TraceWriterOptions) (*TraceWriter, 
 
 // AcquireTraces runs a known-plaintext campaign of count measurements
 // against the device in parallel and streams it into w. The written
-// corpus is byte-identical for any worker count.
-func AcquireTraces(dev *Device, seed uint64, count int, w *TraceWriter, opts AcquireOptions) error {
-	return tracestore.Acquire(dev, seed, count, w, opts)
+// corpus is byte-identical for any worker count. Cancelling ctx stops
+// acquisition with the committed prefix intact; finalize w with
+// TraceWriter.Interrupt and the campaign can later be resumed with
+// ResumeTraceWriter plus opts.Start.
+func AcquireTraces(ctx context.Context, dev *Device, seed uint64, count int, w *TraceWriter, opts AcquireOptions) error {
+	return tracestore.Acquire(ctx, dev, seed, count, w, opts)
+}
+
+// ResumeTraceWriter reopens an interrupted campaign for appending,
+// salvaging a torn final shard first, and reports how many observations
+// are already durable (pass it as AcquireOptions.Start).
+func ResumeTraceWriter(path string, n int, opts TraceWriterOptions) (*TraceWriter, int, error) {
+	return tracestore.ResumeWriter(path, n, opts)
+}
+
+// SalvageTraces repairs a v2 shard left without a trailer by a crash:
+// the file is truncated to its last CRC-valid chunk and a fresh index and
+// trailer are written in place.
+func SalvageTraces(path string) (*tracestore.SalvageReport, error) {
+	return tracestore.Salvage(path)
+}
+
+// OpenTraceCorpusLenient opens a possibly damaged campaign in degraded
+// mode: chunks that fail their checksum are quarantined rather than
+// failing the open, and the returned health report says exactly what was
+// lost. The quarantine set is pinned at open, so every attack pass sweeps
+// the identical subset of traces.
+func OpenTraceCorpusLenient(path string) (*TraceCorpus, *CorpusHealth, error) {
+	return tracestore.OpenLenient(path)
 }
 
 // FFTOfSecret exposes the FFT-domain secret of a key (ground truth for

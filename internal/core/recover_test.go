@@ -39,10 +39,17 @@ func TestCorrectExponentsRepairsSingleTieError(t *testing.T) {
 	values[2*3].ExpAlternatives = []int{trueExp}
 	values[2*3].ExpCorr = 0.2 // least confident -> tried first
 
-	f, g, ok := correctExponents(pub, vec, values)
-	if !ok {
+	fix, capped := correctExponents(pub, vec, values)
+	if fix == nil {
 		t.Fatal("correction failed")
 	}
+	if capped {
+		t.Fatal("correction reported a capped search with only one tie family")
+	}
+	if len(fix.corrected) != 1 || fix.corrected[0] != 2*3 {
+		t.Fatalf("corrected = %v, want [6]", fix.corrected)
+	}
+	f, g := fix.f, fix.g
 	for i := range f {
 		if f[i] != priv.Fs[i] {
 			t.Fatalf("f[%d] = %d, want %d", i, f[i], priv.Fs[i])
@@ -64,7 +71,7 @@ func TestCorrectExponentsGivesUpOnGarbage(t *testing.T) {
 	vec[1].Im = withExponent(vec[1].Im, 900)
 	values := make([]ValueResult, 2*len(vec))
 	values[0].ExpAlternatives = []int{1201} // wrong alternative
-	if _, _, ok := correctExponents(pub, vec, values); ok {
+	if fix, _ := correctExponents(pub, vec, values); fix != nil {
 		t.Fatal("correction claimed success on unfixable corruption")
 	}
 }

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"falcondown/internal/cpa"
 	"falcondown/internal/emleak"
@@ -20,21 +22,35 @@ import (
 // scales with the number of traces.
 type Source = tracestore.Source
 
-// sweep feeds every job one sequential pass over the corpus.
+// sweepBackoff is the bounded retry schedule for transient iterator
+// errors (tracestore.ErrTransient); a variable so tests can tighten it.
+var sweepBackoff = []time.Duration{1 * time.Millisecond, 5 * time.Millisecond, 25 * time.Millisecond}
+
+// sweep feeds every job one sequential pass over the corpus. A Next that
+// fails with tracestore.ErrTransient is retried with bounded backoff —
+// an attack hours into a campaign should survive an I/O hiccup — on the
+// contract that a transient failure has not consumed an observation.
 func sweep(src Source, jobs []passJob) error {
 	it, err := src.Iterate()
 	if err != nil {
 		return err
 	}
 	defer it.Close()
+	attempts := 0
 	for {
 		o, err := it.Next()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
+			if errors.Is(err, tracestore.ErrTransient) && attempts < len(sweepBackoff) {
+				time.Sleep(sweepBackoff[attempts])
+				attempts++
+				continue
+			}
 			return err
 		}
+		attempts = 0
 		for _, j := range jobs {
 			j.observe(o)
 		}
@@ -160,95 +176,226 @@ func AttackFFTf(obs []emleak.Observation, cfg Config) ([]fft.Cplx, []ValueResult
 // reliable signature of the extend phase having dropped the true prefix)
 // are re-attacked with a much larger candidate beam.
 func AttackFFTfFrom(src Source, cfg Config) ([]fft.Cplx, []ValueResult, error) {
+	return AttackFFTfResumable(src, cfg, nil)
+}
+
+// AttackFFTfResumable is AttackFFTfFrom with checkpointed recovery: after
+// each completed phase the attack state is serialized through store, and
+// a rerun against the same campaign and configuration resumes from the
+// last completed phase instead of re-sweeping the corpus. A nil store
+// disables checkpointing. The checkpointed and uncheckpointed attacks
+// produce bit-identical results (the phases are deterministic given their
+// inputs).
+func AttackFFTfResumable(src Source, cfg Config, store CheckpointStore) ([]fft.Cplx, []ValueResult, error) {
 	cfg = cfg.withDefaults()
 	if src == nil || src.Count() == 0 {
 		return nil, nil, errNoTraces
 	}
-	n := src.N()
-	half := n / 2
-	count := src.Count()
-	nVals := 2 * half
+	a := &attackRun{
+		src:   src,
+		cfg:   cfg,
+		store: store,
+		n:     src.N(),
+		count: src.Count(),
+	}
+	a.half = a.n / 2
+	a.nVals = 2 * a.half
 
-	// Exponent pass for every value.
-	expJobs := make([]*expJob, nVals)
-	jobs := make([]passJob, nVals)
+	done := 0
+	if store != nil {
+		ck, err := store.Load()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ck != nil {
+			if err := ck.matches(a.n, a.count, cfg); err != nil {
+				return nil, nil, err
+			}
+			if done, err = a.restore(ck); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	steps := []struct {
+		stage string
+		run   func() error
+	}{
+		{StageExponents, a.stageExponents},
+		{StageMantissa, a.stageMantissa},
+		{StageEscalation, a.stageEscalation},
+		{StageSigns, a.stageSigns},
+		{StageStragglers, a.stageStragglers},
+	}
+	for _, st := range steps[done:] {
+		if err := st.run(); err != nil {
+			return nil, nil, err
+		}
+		if err := a.save(st.stage); err != nil {
+			return nil, nil, err
+		}
+	}
+	return a.out, a.results, nil
+}
+
+// attackRun is the staged whole-key attack: the per-phase working state
+// plus the checkpoint plumbing that persists it between phases.
+type attackRun struct {
+	src   Source
+	cfg   Config
+	store CheckpointStore
+
+	n, half, count, nVals int
+
+	mags    []magnitude
+	out     []fft.Cplx
+	results []ValueResult
+}
+
+// restore loads checkpointed state and returns how many phases completed.
+func (a *attackRun) restore(ck *Checkpoint) (int, error) {
+	rank, err := stageRank(ck.Stage)
+	if err != nil {
+		return 0, err
+	}
+	if rank >= 1 {
+		a.mags = make([]magnitude, len(ck.Mags))
+		for i, m := range ck.Mags {
+			a.mags[i] = restoreMag(m)
+		}
+	}
+	if rank >= 4 {
+		a.results = make([]ValueResult, len(ck.Results))
+		for i, r := range ck.Results {
+			a.results[i] = restoreValue(r)
+		}
+		// out is fully determined by the per-value results.
+		a.out = make([]fft.Cplx, a.half)
+		for k := 0; k < a.half; k++ {
+			a.out[k] = fft.Cplx{Re: a.results[2*k].Value, Im: a.results[2*k+1].Value}
+		}
+	}
+	return rank, nil
+}
+
+// save checkpoints the state after the named phase completed.
+func (a *attackRun) save(stage string) error {
+	if a.store == nil {
+		return nil
+	}
+	ck := &Checkpoint{
+		Format: checkpointFormat,
+		N:      a.n,
+		Count:  a.count,
+		Config: a.cfg,
+		Stage:  stage,
+	}
+	ck.Mags = make([]MagCheckpoint, len(a.mags))
+	for i, m := range a.mags {
+		ck.Mags[i] = checkpointMag(m)
+	}
+	if a.results != nil {
+		ck.Results = make([]ValueCheckpoint, len(a.results))
+		for i, r := range a.results {
+			ck.Results[i] = checkpointValue(r)
+		}
+	}
+	return a.store.Save(ck)
+}
+
+// stageExponents runs the exponent pass for every value.
+func (a *attackRun) stageExponents() error {
+	expJobs := make([]*expJob, a.nVals)
+	jobs := make([]passJob, a.nVals)
 	for v := range expJobs {
 		expJobs[v] = newExpJob(v/2, Part(v%2))
 		jobs[v] = expJobs[v]
 	}
-	if err := runPass(src, jobs); err != nil {
-		return nil, nil, err
+	if err := runPass(a.src, jobs); err != nil {
+		return err
 	}
-	mags := make([]magnitude, nVals)
-	for v := range mags {
-		be, corr, alts := expJobs[v].result(n)
-		mags[v] = magnitude{biasedExp: be, expAlts: alts, expCorr: corr}
+	a.mags = make([]magnitude, a.nVals)
+	for v := range a.mags {
+		be, corr, alts := expJobs[v].result(a.n)
+		a.mags[v] = magnitude{biasedExp: be, expAlts: alts, expCorr: corr}
 	}
+	return nil
+}
 
-	// Extend + prune for every value, batched into shared passes.
-	all := make([]mantItem, nVals)
+// stageMantissa runs extend + prune for every value, batched into shared
+// passes.
+func (a *attackRun) stageMantissa() error {
+	all := make([]mantItem, a.nVals)
 	for v := range all {
-		all[v] = mantItem{idx: v, cfg: cfg}
+		all[v] = mantItem{idx: v, cfg: a.cfg}
 	}
-	outs, err := runMantissa(src, all)
+	outs, err := runMantissa(a.src, all)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	for v := range mags {
-		mags[v].mant = assembleMant(outs[v].d, outs[v].c)
-		mags[v].pruneCorr = outs[v].corr
-		mags[v].gap = outs[v].gap
+	for v := range a.mags {
+		a.mags[v].mant = assembleMant(outs[v].d, outs[v].c)
+		a.mags[v].pruneCorr = outs[v].corr
+		a.mags[v].gap = outs[v].gap
 	}
+	return nil
+}
 
-	// Escalation: a weak prune winner usually means the extend phase
-	// dropped the true prefix; re-run those values with a TopK×8 beam.
-	if cfg.TopK < maxTopK {
-		big := cfg
-		big.TopK = min(cfg.TopK*8, maxTopK)
-		var esc []mantItem
-		for v := range mags {
-			if mags[v].pruneCorr < cfg.EscalateBelow {
-				esc = append(esc, mantItem{idx: v, cfg: big})
-			}
-		}
-		if len(esc) > 0 {
-			eouts, err := runMantissa(src, esc)
-			if err != nil {
-				return nil, nil, err
-			}
-			for i, it := range esc {
-				if eouts[i].corr > mags[it.idx].pruneCorr {
-					mags[it.idx].mant = assembleMant(eouts[i].d, eouts[i].c)
-					mags[it.idx].pruneCorr = eouts[i].corr
-					mags[it.idx].gap = eouts[i].gap
-					mags[it.idx].escalated = true
-				}
-			}
+// stageEscalation re-runs weak-prune values with a TopK×8 beam: a weak
+// prune winner usually means the extend phase dropped the true prefix.
+func (a *attackRun) stageEscalation() error {
+	if a.cfg.TopK >= maxTopK {
+		return nil
+	}
+	big := a.cfg
+	big.TopK = min(a.cfg.TopK*8, maxTopK)
+	var esc []mantItem
+	for v := range a.mags {
+		if a.mags[v].pruneCorr < a.cfg.EscalateBelow {
+			esc = append(esc, mantItem{idx: v, cfg: big})
 		}
 	}
+	if len(esc) == 0 {
+		return nil
+	}
+	eouts, err := runMantissa(a.src, esc)
+	if err != nil {
+		return err
+	}
+	for i, it := range esc {
+		if eouts[i].corr > a.mags[it.idx].pruneCorr {
+			a.mags[it.idx].mant = assembleMant(eouts[i].d, eouts[i].c)
+			a.mags[it.idx].pruneCorr = eouts[i].corr
+			a.mags[it.idx].gap = eouts[i].gap
+			a.mags[it.idx].escalated = true
+		}
+	}
+	return nil
+}
 
-	// Joint sign pass for every coefficient.
-	jjobs := make([]*jointSignJob, half)
-	jobs = jobs[:half]
-	for k := 0; k < half; k++ {
-		jjobs[k] = newJointSignJob(k, mags[2*k].abs(), mags[2*k+1].abs())
+// stageSigns runs the joint sign pass for every coefficient and assembles
+// the recovered values and their per-phase diagnostics.
+func (a *attackRun) stageSigns() error {
+	jjobs := make([]*jointSignJob, a.half)
+	jobs := make([]passJob, a.half)
+	for k := 0; k < a.half; k++ {
+		jjobs[k] = newJointSignJob(k, a.mags[2*k].abs(), a.mags[2*k+1].abs())
 		jobs[k] = jjobs[k]
 	}
-	if err := runPass(src, jobs); err != nil {
-		return nil, nil, err
+	if err := runPass(a.src, jobs); err != nil {
+		return err
 	}
-
-	out := make([]fft.Cplx, half)
-	results := make([]ValueResult, nVals)
-	thr := cpa.Threshold(cfg.Confidence, count)
-	for k := 0; k < half; k++ {
+	a.out = make([]fft.Cplx, a.half)
+	a.results = make([]ValueResult, a.nVals)
+	thr := cpa.Threshold(a.cfg.Confidence, a.count)
+	for k := 0; k < a.half; k++ {
 		sRe, sIm, signCorr := jjobs[k].result()
-		re := fpr.FPR(uint64(sRe)<<63) | mags[2*k].abs()
-		im := fpr.FPR(uint64(sIm)<<63) | mags[2*k+1].abs()
-		out[k] = fft.Cplx{Re: re, Im: im}
+		re := fpr.FPR(uint64(sRe)<<63) | a.mags[2*k].abs()
+		im := fpr.FPR(uint64(sIm)<<63) | a.mags[2*k+1].abs()
+		a.out[k] = fft.Cplx{Re: re, Im: im}
 		for p, v := range []fpr.FPR{re, im} {
-			m := mags[2*k+p]
-			results[2*k+p] = ValueResult{
+			m := a.mags[2*k+p]
+			a.results[2*k+p] = ValueResult{
 				Value:           v,
 				SignCorr:        signCorr,
 				ExpCorr:         m.expCorr,
@@ -257,67 +404,88 @@ func AttackFFTfFrom(src Source, cfg Config) ([]fft.Cplx, []ValueResult, error) {
 				RunnerUpGap:     m.gap,
 				Escalated:       m.escalated,
 				Significant:     signCorr >= thr && m.expCorr >= thr && m.pruneCorr >= thr,
-				TracesUsed:      count,
+				TracesUsed:      a.count,
 			}
 		}
 	}
+	return nil
+}
 
-	// Second chance for stragglers: values far below the campaign's
-	// median prune correlation re-run with the maximal beam (their extend
-	// passes are shared); accepted fixes redo the joint sign attack with
-	// the corrected magnitudes.
-	med := medianPrune(results)
-	retry := cfg
+// stageStragglers gives a second chance to values far below the
+// campaign's median prune correlation: they re-run with the maximal beam
+// (their extend passes are shared) and accepted fixes redo the joint sign
+// attack with the corrected magnitudes.
+func (a *attackRun) stageStragglers() error {
+	med := medianPrune(a.results)
+	var weak []int
+	for v := range a.results {
+		if a.results[v].PruneCorr < 0.8*med {
+			weak = append(weak, v)
+		}
+	}
+	_, err := retryMaxBeam(a.src, a.cfg, a.out, a.results, weak)
+	return err
+}
+
+// retryMaxBeam re-attacks the listed value indices with the maximal
+// candidate beam, updating out and results in place for every value whose
+// prune correlation improves (the joint sign attack is redone with the
+// corrected magnitude). It returns the indices that improved. The exponent
+// of each value is kept — only mantissa and signs are redone — so callers
+// chasing exponent errors should walk ExpAlternatives instead.
+func retryMaxBeam(src Source, cfg Config, out []fft.Cplx, results []ValueResult, indices []int) ([]int, error) {
+	if len(indices) == 0 {
+		return nil, nil
+	}
+	retry := cfg.withDefaults()
 	retry.TopK = maxTopK
 	retry.EscalateBelow = -1 // beam already maximal; no inner escalation
-	var weak []mantItem
-	for v := range results {
-		if results[v].PruneCorr < 0.8*med {
-			weak = append(weak, mantItem{idx: v, cfg: retry})
-		}
+	items := make([]mantItem, len(indices))
+	for i, v := range indices {
+		items[i] = mantItem{idx: v, cfg: retry}
 	}
-	if len(weak) > 0 {
-		wouts, err := runMantissa(src, weak)
-		if err != nil {
-			return nil, nil, err
-		}
-		for i, it := range weak {
-			v := it.idx
-			k, part := v/2, Part(v%2)
-			r := results[v]
-			if wouts[i].corr <= r.PruneCorr {
-				continue
-			}
-			mag := mags[v]
-			mag.mant = assembleMant(wouts[i].d, wouts[i].c)
-			old := out[k]
-			sRe, sIm := old.Re.Sign(), old.Im.Sign()
-			if part == PartRe {
-				out[k].Re = fpr.FPR(uint64(sRe)<<63) | mag.abs()
-			} else {
-				out[k].Im = fpr.FPR(uint64(sIm)<<63) | mag.abs()
-			}
-			absRe := fpr.Abs(out[k].Re)
-			absIm := fpr.Abs(out[k].Im)
-			jj := newJointSignJob(k, absRe, absIm)
-			if err := runPass(src, []passJob{jj}); err != nil {
-				return nil, nil, err
-			}
-			s0, s1, signCorr := jj.result()
-			out[k].Re = fpr.FPR(uint64(s0)<<63) | absRe
-			out[k].Im = fpr.FPR(uint64(s1)<<63) | absIm
-			r.Value = out[k].Re
-			if part == PartIm {
-				r.Value = out[k].Im
-			}
-			r.PruneCorr = wouts[i].corr
-			r.RunnerUpGap = wouts[i].gap
-			r.SignCorr = signCorr
-			r.Escalated = true
-			results[v] = r
-		}
+	wouts, err := runMantissa(src, items)
+	if err != nil {
+		return nil, err
 	}
-	return out, results, nil
+	var improved []int
+	for i, it := range items {
+		v := it.idx
+		k, part := v/2, Part(v%2)
+		r := results[v]
+		if wouts[i].corr <= r.PruneCorr {
+			continue
+		}
+		// Rebuild the magnitude with the retried mantissa, keeping the
+		// recovered exponent (the value's bit pattern carries it).
+		exp := uint64(r.Value) >> 52 & 0x7FF
+		newAbs := fpr.FPR(exp<<52 | assembleMant(wouts[i].d, wouts[i].c))
+		if part == PartRe {
+			out[k].Re = fpr.FPR(uint64(out[k].Re.Sign())<<63) | newAbs
+		} else {
+			out[k].Im = fpr.FPR(uint64(out[k].Im.Sign())<<63) | newAbs
+		}
+		absRe := fpr.Abs(out[k].Re)
+		absIm := fpr.Abs(out[k].Im)
+		jj := newJointSignJob(k, absRe, absIm)
+		if err := runPass(src, []passJob{jj}); err != nil {
+			return improved, err
+		}
+		s0, s1, signCorr := jj.result()
+		out[k].Re = fpr.FPR(uint64(s0)<<63) | absRe
+		out[k].Im = fpr.FPR(uint64(s1)<<63) | absIm
+		r.Value = out[k].Re
+		if part == PartIm {
+			r.Value = out[k].Im
+		}
+		r.PruneCorr = wouts[i].corr
+		r.RunnerUpGap = wouts[i].gap
+		r.SignCorr = signCorr
+		r.Escalated = true
+		results[v] = r
+		improved = append(improved, v)
+	}
+	return improved, nil
 }
 
 // medianPrune returns the median prune correlation across values.

@@ -1,0 +1,185 @@
+// Package faultinject provides deterministic, rng-driven fault wrappers
+// around the attack pipeline's seams — the streamed trace Source the
+// attack reads, the Appender acquisition writes through, the victim
+// Device observations come from, and the shard files at rest — so the
+// test suite can prove every degradation path (transient I/O retry,
+// chunk quarantine, salvage, append failure, partial recovery) against
+// reproducible fault schedules rather than hoping for real hardware to
+// misbehave.
+//
+// Every wrapper derives its schedule from an explicit seed via the
+// repository's deterministic generator; the same seed always injects the
+// same faults at the same operations.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/rng"
+	"falcondown/internal/tracestore"
+)
+
+// Source wraps a tracestore.Source, injecting transient errors into its
+// iterators. Faults never consume an observation — the retried Next
+// returns the value the faulted call withheld — matching the contract
+// core's sweep retry relies on.
+type Source struct {
+	inner tracestore.Source
+	// TransientEvery injects a tracestore.ErrTransient on every k-th Next
+	// call across an iterator's lifetime (0 disables).
+	TransientEvery int
+	// MaxTransients bounds the injected faults per iterator; beyond it
+	// the iterator runs clean. <= 0 means unlimited, which starves a
+	// bounded-backoff consumer and exercises the give-up path.
+	MaxTransients int
+}
+
+// NewSource wraps src with a deterministic transient-fault schedule.
+func NewSource(src tracestore.Source, every, max int) *Source {
+	return &Source{inner: src, TransientEvery: every, MaxTransients: max}
+}
+
+// N returns the wrapped campaign's ring degree.
+func (s *Source) N() int { return s.inner.N() }
+
+// Count returns the wrapped campaign's observation count.
+func (s *Source) Count() int { return s.inner.Count() }
+
+// Iterate starts a sequential pass with its own fault schedule; every
+// iterator of the same Source faults at the same call indices.
+func (s *Source) Iterate() (tracestore.Iterator, error) {
+	it, err := s.inner.Iterate()
+	if err != nil {
+		return nil, err
+	}
+	return &faultIterator{
+		inner: it,
+		every: s.TransientEvery,
+		left:  s.MaxTransients,
+	}, nil
+}
+
+type faultIterator struct {
+	inner tracestore.Iterator
+	every int
+	left  int
+	calls int
+	shots int
+}
+
+func (it *faultIterator) Next() (emleak.Observation, error) {
+	it.calls++
+	if it.every > 0 && it.calls%it.every == 0 && (it.left <= 0 || it.shots < it.left) {
+		it.shots++
+		return emleak.Observation{}, fmt.Errorf("%w: injected fault at call %d", tracestore.ErrTransient, it.calls)
+	}
+	return it.inner.Next()
+}
+
+func (it *faultIterator) Close() error { return it.inner.Close() }
+
+// Appender wraps a tracestore.Appender (typically a *tracestore.Writer),
+// failing the append at a chosen observation index — the seam for proving
+// that Acquire surfaces write errors and that an interrupted writer
+// leaves a salvageable shard behind.
+type Appender struct {
+	inner  tracestore.Appender
+	failAt int
+	err    error
+	count  int
+}
+
+// NewAppender fails the failAt-th Append (0-based) with err; failAt < 0
+// never fails.
+func NewAppender(inner tracestore.Appender, failAt int, err error) *Appender {
+	return &Appender{inner: inner, failAt: failAt, err: err}
+}
+
+// Append forwards to the wrapped appender unless this call is scheduled
+// to fail.
+func (a *Appender) Append(o emleak.Observation) error {
+	i := a.count
+	a.count++
+	if i == a.failAt {
+		return a.err
+	}
+	return a.inner.Append(o)
+}
+
+// Appended reports how many Append calls were attempted.
+func (a *Appender) Appended() int { return a.count }
+
+// Device wraps a victim device, corrupting a deterministic subset of its
+// observations: with probability FlipProb an observation gets one bit of
+// one trace sample flipped (a glitched probe), and with probability
+// ErrProb the measurement fails outright. The corruption for observation
+// index i depends only on (seed, i), so campaigns are reproducible.
+type Device struct {
+	dev  *emleak.Device
+	seed uint64
+	// FlipProb is the per-observation probability of a sample bit flip.
+	FlipProb float64
+	// ErrProb is the per-observation probability of a measurement error.
+	ErrProb float64
+}
+
+// NewDevice wraps dev with a deterministic corruption schedule.
+func NewDevice(dev *emleak.Device, seed uint64, flipProb, errProb float64) *Device {
+	return &Device{dev: dev, seed: seed, FlipProb: flipProb, ErrProb: errProb}
+}
+
+// N returns the wrapped device's ring degree.
+func (d *Device) N() int { return d.dev.N() }
+
+// ObservationAt measures observation idx like emleak.ObservationAt but
+// applies the device's fault schedule to the result.
+func (d *Device) ObservationAt(campaignSeed uint64, idx uint64) (emleak.Observation, error) {
+	r := rng.New(rng.DeriveSeed(d.seed, idx))
+	if d.ErrProb > 0 && r.Float64() < d.ErrProb {
+		return emleak.Observation{}, fmt.Errorf("faultinject: injected measurement error at observation %d", idx)
+	}
+	o, err := emleak.ObservationAt(d.dev, campaignSeed, idx)
+	if err != nil {
+		return o, err
+	}
+	if d.FlipProb > 0 && r.Float64() < d.FlipProb && len(o.Trace.Samples) > 0 {
+		// Flip the sign bit of one sample: a large, localized glitch.
+		s := r.Intn(len(o.Trace.Samples))
+		o.Trace.Samples[s] = -o.Trace.Samples[s]
+	}
+	return o, nil
+}
+
+// FlipBit XORs mask into the byte at offset of the file at path —
+// at-rest corruption for quarantine and checksum tests.
+func FlipBit(path string, offset int64, mask byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], offset); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], offset); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// TruncateTail drops the last n bytes of the file at path — the shape a
+// crash or SIGKILL mid-write leaves behind.
+func TruncateTail(path string, n int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if n > st.Size() {
+		n = st.Size()
+	}
+	return os.Truncate(path, st.Size()-n)
+}

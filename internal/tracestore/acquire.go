@@ -1,6 +1,7 @@
 package tracestore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +9,14 @@ import (
 
 	"falcondown/internal/emleak"
 )
+
+// Appender is the write side of a campaign as Acquire sees it. *Writer is
+// the production implementation; fault-injection wrappers
+// (internal/faultinject) interpose on it to exercise the append-failure
+// paths.
+type Appender interface {
+	Append(o emleak.Observation) error
+}
 
 // AcquireOptions tunes the parallel campaign runner.
 type AcquireOptions struct {
@@ -17,30 +26,47 @@ type AcquireOptions struct {
 	// configuration, and the collector commits observations in index
 	// order.
 	Workers int
+	// Start is the index of the first observation to generate. A resumed
+	// campaign (ResumeWriter) sets it to the count already durable on
+	// disk; the schedule of the remaining observations is unchanged, so
+	// the completed corpus is byte-identical to an uninterrupted run.
+	Start int
 	// Progress, when set, is called after each observation is committed,
-	// with the number done so far and the total.
+	// with the number done so far (including Start) and the total.
 	Progress func(done, total int)
 }
 
 // Acquire runs a known-plaintext campaign of count measurements against
-// dev and streams it into w. The device is cloned per worker, every
-// observation's randomness is derived from (seed, index) via
-// emleak.ObservationAt, and a reorder window commits results strictly in
-// index order — so -workers is purely a throughput knob, never a
-// reproducibility one. The caller owns w and must Close it.
-func Acquire(dev *emleak.Device, seed uint64, count int, w *Writer, opts AcquireOptions) error {
+// dev and streams observations [opts.Start, count) into w. The device is
+// cloned per worker, every observation's randomness is derived from
+// (seed, index) via emleak.ObservationAt, and a reorder window commits
+// results strictly in index order — so -workers is purely a throughput
+// knob, never a reproducibility one. The caller owns w and must finalize
+// it (Writer.Close, or Writer.Interrupt after cancellation).
+//
+// Cancelling ctx stops acquisition promptly: workers drain, the already
+// committed prefix stays intact in w, and the returned error wraps
+// ctx.Err(). No goroutines outlive the call.
+func Acquire(ctx context.Context, dev *emleak.Device, seed uint64, count int, w Appender, opts AcquireOptions) error {
 	if count < 0 {
 		return fmt.Errorf("tracestore: negative campaign size %d", count)
 	}
-	if count == 0 {
+	if opts.Start < 0 {
+		return fmt.Errorf("tracestore: negative resume index %d", opts.Start)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	todo := count - opts.Start
+	if todo <= 0 {
 		return nil
 	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > count {
-		workers = count
+	if workers > todo {
+		workers = todo
 	}
 
 	type item struct {
@@ -63,11 +89,15 @@ func Acquire(dev *emleak.Device, seed uint64, count int, w *Writer, opts Acquire
 			defer wg.Done()
 			local := dev.Clone(0) // noise reseeded per observation
 			for !failed.Load() {
-				i := int(next.Add(1)) - 1
+				i := opts.Start + int(next.Add(1)) - 1
 				if i >= count {
 					return
 				}
-				sem <- struct{}{}
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
 				o, err := emleak.ObservationAt(local, seed, uint64(i))
 				results <- item{idx: i, obs: o, err: err}
 			}
@@ -81,9 +111,14 @@ func Acquire(dev *emleak.Device, seed uint64, count int, w *Writer, opts Acquire
 	// Collector: commit observations in index order through a pending map
 	// bounded by the reorder window.
 	pending := make(map[int]emleak.Observation, window)
-	want := 0
+	want := opts.Start
 	var firstErr error
 	for it := range results {
+		if firstErr == nil && ctx.Err() != nil {
+			firstErr = fmt.Errorf("tracestore: acquisition interrupted at %d of %d observations: %w",
+				want, count, ctx.Err())
+			failed.Store(true)
+		}
 		if firstErr != nil {
 			<-sem
 			continue // drain
@@ -116,8 +151,11 @@ func Acquire(dev *emleak.Device, seed uint64, count int, w *Writer, opts Acquire
 	if firstErr != nil {
 		return firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("tracestore: acquisition interrupted at %d of %d observations: %w", want, count, err)
+	}
 	if want != count {
-		return fmt.Errorf("tracestore: collector committed %d of %d observations", want, count)
+		return fmt.Errorf("tracestore: collector committed %d of %d observations", want-opts.Start, todo)
 	}
 	return nil
 }

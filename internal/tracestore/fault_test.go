@@ -1,0 +1,488 @@
+package tracestore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/rng"
+)
+
+// testDevice builds the fixture victim (keygen seed 41, device seed 42)
+// shared by the fault-tolerance tests.
+func testDevice(t *testing.T) *emleak.Device {
+	t.Helper()
+	priv, _, err := falcon.GenerateKey(8, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: 1.5}, 42)
+}
+
+// shardBytes concatenates the shard files of a campaign rooted at path.
+func shardBytes(t *testing.T, paths []string) []byte {
+	t.Helper()
+	var all []byte
+	for _, p := range paths {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, raw...)
+	}
+	return all
+}
+
+// referenceCampaign acquires the canonical 20-observation campaign
+// uninterrupted and returns its concatenated shard bytes.
+func referenceCampaign(t *testing.T, dir string, opts Options) ([]byte, []string) {
+	t.Helper()
+	path := filepath.Join(dir, "traces.fdt2")
+	w, err := NewWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Acquire(context.Background(), testDevice(t), 99, 20, w, AcquireOptions{Workers: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return shardBytes(t, w.Paths()), w.Paths()
+}
+
+func TestSalvageTruncatedShard(t *testing.T) {
+	obs := testCampaign(t, 9)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, path, obs, Options{ChunkObs: 3})
+
+	// A SIGKILL mid-write leaves the trailer (and possibly index and tail
+	// chunk bytes) missing; cut the file mid-third-chunk.
+	thirdChunk := headerSize + 2*(chunkHdrSize+3*observationSize(8))
+	cut := thirdChunk + chunkHdrSize + observationSize(8)/2
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("truncated shard opened: err = %v", err)
+	}
+
+	rep, err := Salvage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Salvaged || rep.Chunks != 2 || rep.Observations != 6 {
+		t.Fatalf("salvage report = %+v, want 2 chunks / 6 observations", rep)
+	}
+	if rep.DroppedBytes != int64(cut)-int64(thirdChunk) {
+		t.Fatalf("dropped %d bytes, want %d", rep.DroppedBytes, cut-thirdChunk)
+	}
+
+	c, err := Open(path)
+	if err != nil {
+		t.Fatalf("salvaged shard does not open: %v", err)
+	}
+	back, err := ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObservations(t, obs[:6], back)
+
+	// Salvaging an already-valid shard must be a no-op.
+	rep2, err := Salvage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Salvaged || rep2.Observations != 6 {
+		t.Fatalf("re-salvage report = %+v, want untouched", rep2)
+	}
+}
+
+func TestSalvageRejectsV1(t *testing.T) {
+	obs := testCampaign(t, 3)
+	var buf bytes.Buffer
+	if err := WriteV1(&buf, 8, obs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.fdtr")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Salvage(path); err == nil {
+		t.Fatal("v1 blob salvaged")
+	}
+}
+
+// TestResumeByteIdenticalAfterInterrupt cancels an acquisition
+// mid-campaign, finalizes with Interrupt, resumes with ResumeWriter, and
+// requires the completed corpus to be byte-identical to an uninterrupted
+// run — the core determinism guarantee of crash-safe acquisition.
+func TestResumeByteIdenticalAfterInterrupt(t *testing.T) {
+	opts := Options{ShardObs: 7, ChunkObs: 3}
+	want, _ := referenceCampaign(t, t.TempDir(), opts)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traces.fdt2")
+	w, err := NewWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = Acquire(ctx, testDevice(t), 99, 20, w, AcquireOptions{
+		Workers: 3,
+		Progress: func(done, total int) {
+			if done == 8 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquisition returned %v", err)
+	}
+	done, err := w.Interrupt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 || done >= 20 {
+		t.Fatalf("interrupt committed %d observations, want a proper prefix", done)
+	}
+
+	// Resume and finish.
+	w2, resumed, err := ResumeWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(resumed) != done {
+		t.Fatalf("ResumeWriter found %d observations, Interrupt committed %d", resumed, done)
+	}
+	if err := Acquire(context.Background(), testDevice(t), 99, 20, w2, AcquireOptions{Workers: 2, Start: resumed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := shardBytes(t, w2.Paths()); !bytes.Equal(want, got) {
+		t.Fatal("resumed corpus is not byte-identical to the uninterrupted run")
+	}
+}
+
+// TestResumeByteIdenticalAfterKill simulates a SIGKILL (torn final shard,
+// no Interrupt): the tail of the last shard is cut mid-chunk, ResumeWriter
+// salvages it, and the completed corpus is still byte-identical.
+func TestResumeByteIdenticalAfterKill(t *testing.T) {
+	opts := Options{ShardObs: 7, ChunkObs: 3}
+	want, _ := referenceCampaign(t, t.TempDir(), opts)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traces.fdt2")
+	w, err := NewWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Acquire 10 of 20, then "crash": flush buffers and cut the final
+	// shard mid-chunk without writing any footer.
+	if err := Acquire(context.Background(), testDevice(t), 99, 10, w, AcquireOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	last := w.paths[len(w.paths)-1]
+	if err := w.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-7); err != nil { // torn mid-chunk
+		t.Fatal(err)
+	}
+
+	w2, resumed, err := ResumeWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed >= 10 || resumed <= 0 {
+		t.Fatalf("resumed = %d, want a proper prefix of the 10 acquired", resumed)
+	}
+	if err := Acquire(context.Background(), testDevice(t), 99, 20, w2, AcquireOptions{Workers: 4, Start: resumed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := shardBytes(t, w2.Paths()); !bytes.Equal(want, got) {
+		t.Fatal("salvaged+resumed corpus is not byte-identical to the uninterrupted run")
+	}
+}
+
+func TestResumeWriterFreshCampaign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	w, done, err := ResumeWriter(path, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 0 {
+		t.Fatalf("fresh resume reports %d done", done)
+	}
+	if err := Acquire(context.Background(), testDevice(t), 99, 3, w, AcquireOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != 3 {
+		t.Fatalf("count = %d", c.Count())
+	}
+}
+
+// TestAcquireCancelNoGoroutineLeak cancels acquisitions at several points
+// and checks that no worker goroutines outlive the call.
+func TestAcquireCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trigger := 1; trigger <= 9; trigger += 4 {
+		path := filepath.Join(t.TempDir(), "traces.fdt2")
+		w, err := NewWriter(path, 8, Options{ChunkObs: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		err = Acquire(ctx, testDevice(t), 99, 50, w, AcquireOptions{
+			Workers: 4,
+			Progress: func(done, total int) {
+				if done == trigger {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trigger %d: err = %v, want context.Canceled", trigger, err)
+		}
+		if _, err := w.Interrupt(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Workers exit synchronously before Acquire returns (the collector
+	// drains until the result channel closes); allow brief scheduler lag
+	// before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after cancelled acquisitions", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// flakyAppender fails a chosen append with a permanent error.
+type flakyAppender struct {
+	inner  Appender
+	failAt int
+	count  int
+}
+
+func (a *flakyAppender) Append(o emleak.Observation) error {
+	i := a.count
+	a.count++
+	if i == a.failAt {
+		return fmt.Errorf("disk full (injected)")
+	}
+	return a.inner.Append(o)
+}
+
+// TestAcquireAppendFailure drives Acquire into a failing writer and
+// checks the error surfaces, workers shut down, and the already-committed
+// prefix remains salvageable and resumable.
+func TestAcquireAppendFailure(t *testing.T) {
+	opts := Options{ChunkObs: 3}
+	want, _ := referenceCampaign(t, t.TempDir(), opts)
+
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	w, err := NewWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa := &flakyAppender{inner: w, failAt: 11}
+	err = Acquire(context.Background(), testDevice(t), 99, 20, fa, AcquireOptions{Workers: 3})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("append failure not surfaced: %v", err)
+	}
+	if _, err := w.Interrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, resumed, err := ResumeWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 9 { // 11 appends attempted, 0..10 ok except #11 → 11 appended, chunked at 3 → 9 durable
+		t.Fatalf("resumed = %d, want 9 durable observations", resumed)
+	}
+	if err := Acquire(context.Background(), testDevice(t), 99, 20, w2, AcquireOptions{Start: resumed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := shardBytes(t, w2.Paths()); !bytes.Equal(want, got) {
+		t.Fatal("corpus resumed after append failure is not byte-identical")
+	}
+}
+
+// TestOpenLenientQuarantine corrupts one chunk and checks lenient open
+// pins it out while every pass sweeps the identical surviving subset.
+func TestOpenLenientQuarantine(t *testing.T) {
+	obs := testCampaign(t, 9)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, path, obs, Options{ChunkObs: 3})
+
+	// Flip a payload bit in the middle chunk.
+	secondChunk := headerSize + chunkHdrSize + 3*observationSize(8)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[secondChunk+chunkHdrSize+17] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, health, err := OpenLenient(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !health.Degraded() || len(health.Quarantined) != 1 || health.Lost != 3 || health.Healthy != 6 {
+		t.Fatalf("health = %+v", health)
+	}
+	q := health.Quarantined[0]
+	if q.Chunk != 1 || q.Observations != 3 {
+		t.Fatalf("fault = %+v, want chunk 1 / 3 observations", q)
+	}
+	if c.Count() != 6 {
+		t.Fatalf("lenient count = %d, want 6", c.Count())
+	}
+
+	// The surviving subset: observations 0-2 and 6-8, identical on every
+	// pass (the multi-pass attack depends on this).
+	wantObs := append(append([]emleak.Observation(nil), obs[:3]...), obs[6:]...)
+	for pass := 0; pass < 3; pass++ {
+		got, err := ReadAll(c)
+		if err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+		sameObservations(t, wantObs, got)
+	}
+}
+
+// TestOpenLenientTornShard opens a footer-less (crashed) shard without
+// repairing the file on disk.
+func TestOpenLenientTornShard(t *testing.T) {
+	obs := testCampaign(t, 9)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, path, obs, Options{ChunkObs: 3})
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := headerSize + 2*(chunkHdrSize+3*observationSize(8)) + 5
+	if err := os.Truncate(path, int64(cut)); err != nil {
+		t.Fatal(err)
+	}
+
+	c, health, err := OpenLenient(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(health.Reconstructed) != 1 {
+		t.Fatalf("health = %+v, want one reconstructed shard", health)
+	}
+	if c.Count() != 6 {
+		t.Fatalf("count = %d, want 6", c.Count())
+	}
+	got, err := ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObservations(t, obs[:6], got)
+
+	// The file on disk is untouched (lenient reads never write).
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != int64(cut) {
+		t.Fatalf("lenient open changed the file size: %d -> %d", cut, st.Size())
+	}
+	_ = raw
+}
+
+// TestOpenLenientTruncatedV1 cuts a legacy blob mid-observation and
+// checks the lenient path trims to whole observations.
+func TestOpenLenientTruncatedV1(t *testing.T) {
+	obs := testCampaign(t, 5)
+	var buf bytes.Buffer
+	if err := WriteV1(&buf, 8, obs); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.fdtr")
+	raw := buf.Bytes()
+	cut := len(raw) - observationSize(8) - 11 // drop the last observation and change
+	if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, health, err := OpenLenient(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(health.Quarantined) != 1 || health.Quarantined[0].Chunk != -1 {
+		t.Fatalf("health = %+v, want one v1 tail fault", health)
+	}
+	if c.Count() != 3 {
+		t.Fatalf("count = %d, want 3 whole observations", c.Count())
+	}
+	got, err := ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObservations(t, obs[:3], got)
+}
+
+// TestOpenLenientHealthyCorpus leaves a clean corpus untouched.
+func TestOpenLenientHealthyCorpus(t *testing.T) {
+	obs := testCampaign(t, 6)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, path, obs, Options{ChunkObs: 4})
+	c, health, err := OpenLenient(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Degraded() || health.Healthy != 6 || health.Lost != 0 {
+		t.Fatalf("health = %+v, want healthy", health)
+	}
+	got, err := ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameObservations(t, obs, got)
+}

@@ -1,0 +1,131 @@
+package tracestore
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/rng"
+)
+
+// FuzzOpen feeds mutated shard bytes through the strict and lenient open
+// paths and requires: no panics, no infinite loops, and every failure
+// wrapping one of the package's typed sentinels (ErrBadFormat or
+// ErrChecksum) so callers can classify damage without string matching.
+func FuzzOpen(f *testing.F) {
+	// Adversarial inputs hit the lenient re-read path constantly; paying
+	// the real backoff schedule per corrupt chunk throttles the fuzzer to
+	// a crawl, so run it without sleeps.
+	lenientBackoff = nil
+
+	// Seed 1: the golden v1 blob.
+	if golden, err := os.ReadFile(filepath.Join("testdata", "golden_v1.fdtr")); err == nil {
+		f.Add(golden)
+	}
+	// Seed 2: a small well-formed v2 corpus.
+	func() {
+		obs := fuzzCampaign(f, 5)
+		path := filepath.Join(f.TempDir(), "seed.fdt2")
+		w, err := NewWriter(path, 8, Options{ChunkObs: 2})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, o := range obs {
+			if err := w.Append(o); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}()
+	// Seed 3: structured garbage around the magics.
+	f.Add([]byte("FDT2aaaaaaaaaaaaaaaaaaaaaaaaaaaaFDX2"))
+	f.Add([]byte("FDTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.fdt2")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+
+		c, err := Open(path)
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("Open returned an untyped error: %v", err)
+			}
+		} else {
+			drainFuzz(t, c)
+		}
+
+		// The lenient path must be at least as tolerant and equally typed.
+		lc, health, err := OpenLenient(path)
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("OpenLenient returned an untyped error: %v", err)
+			}
+			return
+		}
+		if health.Healthy != lc.Count() {
+			t.Fatalf("health reports %d healthy, corpus counts %d", health.Healthy, lc.Count())
+		}
+		drainFuzz(t, lc)
+	})
+}
+
+// drainFuzz iterates a fuzz-opened corpus to the end, requiring typed
+// errors and bounded output.
+func drainFuzz(t *testing.T, c *Corpus) {
+	it, err := c.Iterate()
+	if err != nil {
+		if !errors.Is(err, ErrBadFormat) && !errors.Is(err, ErrChecksum) {
+			t.Fatalf("Iterate returned an untyped error: %v", err)
+		}
+		return
+	}
+	defer it.Close()
+	n := 0
+	for {
+		_, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadFormat) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTransient) {
+				t.Fatalf("Next returned an untyped error: %v", err)
+			}
+			break
+		}
+		n++
+		if n > c.Count() {
+			t.Fatalf("iterator yielded more observations (%d) than the corpus declares (%d)", n, c.Count())
+		}
+	}
+}
+
+// fuzzCampaign regenerates the fixture observations for fuzz seeding
+// (mirrors testCampaign but against testing.F).
+func fuzzCampaign(f *testing.F, count int) []emleak.Observation {
+	f.Helper()
+	priv, _, err := falcon.GenerateKey(8, rng.New(41))
+	if err != nil {
+		f.Fatal(err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: 1.5}, 42)
+	obs, err := emleak.NewCampaign(dev, 43).Collect(count)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return obs
+}

@@ -1,0 +1,336 @@
+package tracestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+)
+
+// Degraded-mode reads. A multi-gigabyte campaign with one flipped bit
+// should not abort a multi-pass attack: OpenLenient quarantines damaged
+// chunks instead of failing, reports them in a CorpusHealth, and pins the
+// quarantine list at open time — every Iterate over the corpus then
+// sweeps the identical observation subset, which the multi-pass attack
+// requires (accumulator jobs assume each pass sees the same traces in the
+// same order).
+
+// ErrTransient marks an I/O failure that is worth retrying (injected by
+// fault wrappers, or plausible on networked storage). Consumers such as
+// core's corpus sweeps retry Next after a bounded backoff when
+// errors.Is(err, ErrTransient); the lenient reader performs the same
+// bounded retries internally before declaring a chunk dead.
+var ErrTransient = errors.New("tracestore: transient I/O error")
+
+// lenientBackoff is the bounded retry schedule for chunk re-reads; a
+// variable so fault-injection tests can tighten it.
+var lenientBackoff = []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond}
+
+// ChunkFault records one quarantined region of a corpus.
+type ChunkFault struct {
+	Shard        string
+	Chunk        int   // chunk index within the shard; -1 for a v1 tail
+	Offset       int64 // byte offset of the damaged region
+	Observations int   // observations lost with it
+	Reason       string
+}
+
+// CorpusHealth reports the outcome of a lenient open: which shards needed
+// their footer reconstructed in memory, which chunks are quarantined, and
+// how many observations survive. The quarantine list is pinned — every
+// pass over the corpus skips exactly these chunks.
+type CorpusHealth struct {
+	Shards        int
+	Reconstructed []string // shards opened without a valid trailer (in-memory salvage)
+	Quarantined   []ChunkFault
+	Healthy       int // observations readable
+	Lost          int // observations quarantined
+}
+
+// Degraded reports whether any data was lost or reconstructed.
+func (h *CorpusHealth) Degraded() bool {
+	return len(h.Quarantined) > 0 || len(h.Reconstructed) > 0
+}
+
+// String summarizes the health report for CLI output.
+func (h *CorpusHealth) String() string {
+	if !h.Degraded() {
+		return fmt.Sprintf("corpus healthy: %d observations in %d shard(s)", h.Healthy, h.Shards)
+	}
+	return fmt.Sprintf("corpus degraded: %d observations readable, %d lost in %d quarantined chunk(s), %d shard footer(s) reconstructed",
+		h.Healthy, h.Lost, len(h.Quarantined), len(h.Reconstructed))
+}
+
+// OpenLenient resolves path exactly like Open but tolerates damage: a
+// shard with a torn footer is indexed by scanning its chunks, a chunk
+// whose payload fails its CRC is quarantined rather than fatal, and a
+// truncated v1 blob is cut back to whole observations. Each suspect chunk
+// is re-read with bounded backoff before being declared dead, so a
+// transient I/O hiccup does not quarantine good data. The returned corpus
+// iterates only healthy chunks, identically on every pass.
+//
+// Damage that leaves nothing readable (bad header, unreadable file) is
+// still an error wrapping ErrBadFormat/ErrChecksum.
+func OpenLenient(path string) (*Corpus, *CorpusHealth, error) {
+	paths, err := resolvePaths(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return OpenFilesLenient(paths)
+}
+
+// OpenFilesLenient is OpenLenient over an explicit shard list.
+func OpenFilesLenient(paths []string) (*Corpus, *CorpusHealth, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("%w: empty shard list", ErrBadFormat)
+	}
+	c := &Corpus{lenient: true}
+	h := &CorpusHealth{Shards: len(paths)}
+	for _, p := range paths {
+		s, faults, reconstructed, err := openShardLenient(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if c.n == 0 {
+			c.n = s.n
+		} else if c.n != s.n {
+			return nil, nil, fmt.Errorf("%w: shard %s has degree %d, corpus has %d",
+				ErrBadFormat, p, s.n, c.n)
+		}
+		if reconstructed {
+			h.Reconstructed = append(h.Reconstructed, p)
+		}
+		for _, f := range faults {
+			h.Lost += f.Observations
+		}
+		h.Quarantined = append(h.Quarantined, faults...)
+		c.count += s.count
+		c.shards = append(c.shards, s)
+	}
+	h.Healthy = c.count
+	return c, h, nil
+}
+
+// openShardLenient validates one shard, degrading instead of failing
+// where the format allows it.
+func openShardLenient(path string) (shardInfo, []ChunkFault, bool, error) {
+	s, err := openShard(path)
+	switch {
+	case err == nil && s.version == version1:
+		return s, nil, false, nil
+	case err == nil:
+		// Structurally sound; verify every chunk payload up front so the
+		// quarantine list is pinned before the first attack pass.
+		faults, err := verifyChunks(path, &s)
+		return s, faults, false, err
+	case !errors.Is(err, ErrBadFormat) && !errors.Is(err, ErrChecksum):
+		return shardInfo{}, nil, false, err
+	}
+
+	// Strict open failed. Try a v1 truncation repair, then a v2 footer
+	// reconstruction.
+	f, ferr := os.Open(path)
+	if ferr != nil {
+		return shardInfo{}, nil, false, fmt.Errorf("tracestore: %w", ferr)
+	}
+	defer f.Close()
+	st, ferr := f.Stat()
+	if ferr != nil {
+		return shardInfo{}, nil, false, fmt.Errorf("tracestore: shard %s: %w", path, ferr)
+	}
+	var hdr [headerSize]byte
+	if _, ferr := f.ReadAt(hdr[:], 0); ferr != nil {
+		return shardInfo{}, nil, false, fmt.Errorf("tracestore: shard %s: %w", path, err)
+	}
+	switch string(hdr[:4]) {
+	case magicV1:
+		n := int(binary.LittleEndian.Uint32(hdr[8:]))
+		declared := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+		if binary.LittleEndian.Uint32(hdr[4:]) != version1 || !validDegree(n) || declared < 0 || declared > maxCount {
+			return shardInfo{}, nil, false, fmt.Errorf("tracestore: shard %s: %w", path, err)
+		}
+		// Keep the whole observations actually present (a crash-truncated
+		// capture); anything past the declared count is trailing garbage
+		// strict mode already rejects, so cap at declared.
+		whole := int((st.Size() - headerSize) / int64(observationSize(n)))
+		if whole > declared {
+			whole = declared
+		}
+		fault := ChunkFault{
+			Shard:        path,
+			Chunk:        -1,
+			Offset:       headerSize + int64(whole)*int64(observationSize(n)),
+			Observations: declared - whole,
+			Reason:       fmt.Sprintf("v1 blob holds %d of %d declared observations (truncated)", whole, declared),
+		}
+		s := shardInfo{path: path, version: version1, n: n, count: whole}
+		if fault.Observations == 0 {
+			// Trailing garbage, not truncation: quarantine zero observations
+			// but still report the anomaly.
+			fault.Reason = fmt.Sprintf("v1 blob carries %d trailing bytes beyond its declared payload",
+				st.Size()-fault.Offset)
+		}
+		return s, []ChunkFault{fault}, true, nil
+	case magicV2:
+		n, chunks, quarantined, faults, serr := scanChunksLenient(f, st.Size(), path)
+		if serr != nil {
+			return shardInfo{}, nil, false, fmt.Errorf("tracestore: shard %s: %w", path, serr)
+		}
+		s := shardInfo{path: path, version: version2, n: n, chunks: chunks, quarantined: quarantined}
+		for i, q := range quarantined {
+			if !q {
+				s.count += int(chunks[i].count)
+			}
+		}
+		return s, faults, true, nil
+	default:
+		return shardInfo{}, nil, false, fmt.Errorf("tracestore: shard %s: %w", path, err)
+	}
+}
+
+// verifyChunks reads every chunk of a structurally valid v2 shard,
+// quarantining the ones whose payload cannot be read back CRC-clean after
+// bounded retries.
+func verifyChunks(path string, s *shardInfo) ([]ChunkFault, error) {
+	if s.version != version2 || len(s.chunks) == 0 {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: %w", err)
+	}
+	defer f.Close()
+	var faults []ChunkFault
+	s.quarantined = make([]bool, len(s.chunks))
+	var buf []byte
+	for i, meta := range s.chunks {
+		if cap(buf) < int(meta.payloadLen) {
+			buf = make([]byte, meta.payloadLen)
+		}
+		buf = buf[:meta.payloadLen]
+		if err := readChunkRetry(f, buf, meta); err != nil {
+			s.quarantined[i] = true
+			s.count -= int(meta.count)
+			faults = append(faults, ChunkFault{
+				Shard:        path,
+				Chunk:        i,
+				Offset:       meta.offset,
+				Observations: int(meta.count),
+				Reason:       err.Error(),
+			})
+		}
+	}
+	return faults, nil
+}
+
+// readChunkRetry reads one chunk payload into buf (len == payloadLen) and
+// verifies its header and CRC, retrying with bounded backoff so a
+// transient I/O fault does not condemn good data.
+func readChunkRetry(f *os.File, buf []byte, meta chunkMeta) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		last = readChunkAt(f, buf, meta)
+		if last == nil {
+			return nil
+		}
+		if attempt >= len(lenientBackoff) {
+			return last
+		}
+		time.Sleep(lenientBackoff[attempt])
+	}
+}
+
+func readChunkAt(f *os.File, buf []byte, meta chunkMeta) error {
+	var hdr [chunkHdrSize]byte
+	if _, err := f.ReadAt(hdr[:], meta.offset); err != nil {
+		return fmt.Errorf("%w: chunk header unreadable at offset %d: %v", ErrBadFormat, meta.offset, err)
+	}
+	count := binary.LittleEndian.Uint32(hdr[0:])
+	payloadLen := binary.LittleEndian.Uint32(hdr[4:])
+	crc := binary.LittleEndian.Uint32(hdr[8:])
+	if count != meta.count || payloadLen != meta.payloadLen {
+		return fmt.Errorf("%w: chunk header (count=%d len=%d) disagrees with index (count=%d len=%d)",
+			ErrBadFormat, count, payloadLen, meta.count, meta.payloadLen)
+	}
+	if _, err := f.ReadAt(buf, meta.offset+chunkHdrSize); err != nil {
+		return fmt.Errorf("%w: chunk payload unreadable at offset %d: %v", ErrBadFormat, meta.offset, err)
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != crc {
+		return fmt.Errorf("%w: chunk at offset %d (crc %08x, want %08x)", ErrChecksum, meta.offset, got, crc)
+	}
+	return nil
+}
+
+// scanChunksLenient walks a trailer-less v2 shard like scanChunks but
+// keeps going past CRC-damaged chunks (quarantining them) as long as the
+// chunk *framing* stays self-consistent; it stops at the first offset
+// that cannot be a chunk header (torn tail or index debris).
+func scanChunksLenient(f *os.File, size int64, path string) (n int, chunks []chunkMeta, quarantined []bool, faults []ChunkFault, err error) {
+	var hdr [headerSize]byte
+	if size < headerSize {
+		return 0, nil, nil, nil, fmt.Errorf("%w: %d bytes is shorter than a shard header", ErrBadFormat, size)
+	}
+	if _, rerr := f.ReadAt(hdr[:], 0); rerr != nil {
+		return 0, nil, nil, nil, fmt.Errorf("%w: unreadable header", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version2 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: v2 shard with version %d", ErrBadFormat, v)
+	}
+	n = int(binary.LittleEndian.Uint32(hdr[8:]))
+	if !validDegree(n) {
+		return 0, nil, nil, nil, fmt.Errorf("%w: implausible degree %d", ErrBadFormat, n)
+	}
+	obsSize := int64(observationSize(n))
+	offset := int64(headerSize)
+	var payload []byte
+	for {
+		var ch [chunkHdrSize]byte
+		if offset+chunkHdrSize > size {
+			break
+		}
+		if _, rerr := f.ReadAt(ch[:], offset); rerr != nil {
+			break
+		}
+		count := int64(binary.LittleEndian.Uint32(ch[0:]))
+		payloadLen := int64(binary.LittleEndian.Uint32(ch[4:]))
+		crc := binary.LittleEndian.Uint32(ch[8:])
+		if count <= 0 || count > maxCount || payloadLen != count*obsSize ||
+			offset+chunkHdrSize+payloadLen > size {
+			break
+		}
+		meta := chunkMeta{offset: offset, count: uint32(count), payloadLen: uint32(payloadLen)}
+		if int64(cap(payload)) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		bad := false
+		if _, rerr := f.ReadAt(payload, offset+chunkHdrSize); rerr != nil {
+			bad = true
+		} else if crc32.Checksum(payload, castagnoli) != crc {
+			bad = true
+		}
+		chunks = append(chunks, meta)
+		quarantined = append(quarantined, bad)
+		if bad {
+			faults = append(faults, ChunkFault{
+				Shard:        path,
+				Chunk:        len(chunks) - 1,
+				Offset:       offset,
+				Observations: int(count),
+				Reason:       "payload CRC mismatch in footer-less shard (scan recovery)",
+			})
+		}
+		offset += chunkHdrSize + payloadLen
+	}
+	if offset < size {
+		faults = append(faults, ChunkFault{
+			Shard:  path,
+			Chunk:  len(chunks),
+			Offset: offset,
+			Reason: fmt.Sprintf("%d trailing bytes are not chunk-framed (torn write); observations lost with them are unknown", size-offset),
+		})
+	}
+	return n, chunks, quarantined, faults, nil
+}

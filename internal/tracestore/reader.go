@@ -19,8 +19,16 @@ type shardInfo struct {
 	path    string
 	version int
 	n       int
-	count   int
+	count   int         // readable observations (excludes quarantined chunks)
 	chunks  []chunkMeta // v2 only
+	// quarantined flags chunks a lenient open found damaged; iterators
+	// skip them. nil for strictly opened shards.
+	quarantined []bool
+}
+
+// isQuarantined reports whether chunk i is excluded from reads.
+func (s *shardInfo) isQuarantined(i int) bool {
+	return s.quarantined != nil && s.quarantined[i]
 }
 
 // Corpus is a read-only, sharded trace campaign on disk. It implements
@@ -30,6 +38,10 @@ type Corpus struct {
 	n      int
 	count  int
 	shards []shardInfo
+	// lenient corpora (OpenLenient) skip quarantined chunks and re-read
+	// transiently failing chunks with bounded backoff; the quarantine
+	// list is pinned at open, so every pass sees the same subset.
+	lenient bool
 }
 
 // N implements Source.
@@ -58,9 +70,19 @@ func (c *Corpus) Paths() []string {
 //   - otherwise the sharded spelling of path (base-*.ext) is globbed, so
 //     the same -out value round-trips between tracegen and attack.
 func Open(path string) (*Corpus, error) {
+	paths, err := resolvePaths(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenFiles(paths)
+}
+
+// resolvePaths expands a corpus spelling (file, directory, glob, or
+// sharded -out value) into an ordered shard list.
+func resolvePaths(path string) ([]string, error) {
 	if st, err := os.Stat(path); err == nil {
 		if !st.IsDir() {
-			return OpenFiles([]string{path})
+			return []string{path}, nil
 		}
 		var paths []string
 		for _, pat := range []string{"*.fdt2", "*.fdtr"} {
@@ -74,7 +96,7 @@ func Open(path string) (*Corpus, error) {
 		if len(paths) == 0 {
 			return nil, fmt.Errorf("%w: no shard files in directory %s", ErrBadFormat, path)
 		}
-		return OpenFiles(paths)
+		return paths, nil
 	}
 	pattern := path
 	if !strings.ContainsAny(pattern, "*?[") {
@@ -89,7 +111,7 @@ func Open(path string) (*Corpus, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("tracestore: no corpus at %s (also tried %s)", path, pattern)
 	}
-	return OpenFiles(paths)
+	return paths, nil
 }
 
 // OpenFiles validates the given shard files (in order) as one corpus.
@@ -269,8 +291,21 @@ func (it *corpusIterator) Next() (emleak.Observation, error) {
 			it.offset += int64(len(it.v1buf))
 			return decodeObservation(it.v1buf, s.n), nil
 		}
-		// v2: refill the chunk buffer when drained.
+		// v2: refill the chunk buffer when drained, skipping chunks the
+		// lenient open quarantined (the list is pinned, so every pass
+		// over the corpus skips the same ones).
 		if it.bufPos >= len(it.buf) {
+			for it.chunkIdx < len(s.chunks) && s.isQuarantined(it.chunkIdx) {
+				if it.br != nil {
+					meta := s.chunks[it.chunkIdx]
+					if _, err := it.br.Discard(chunkHdrSize + int(meta.payloadLen)); err != nil {
+						return emleak.Observation{}, fmt.Errorf(
+							"tracestore: shard %s: %w: quarantined chunk %d unskippable at offset %d",
+							s.path, ErrBadFormat, it.chunkIdx, meta.offset)
+					}
+				}
+				it.chunkIdx++
+			}
 			if it.chunkIdx >= len(s.chunks) {
 				it.closeShard()
 				continue
@@ -293,10 +328,18 @@ func (it *corpusIterator) openShard() error {
 		return fmt.Errorf("tracestore: %w", err)
 	}
 	it.f = f
-	it.br = bufio.NewReaderSize(f, 1<<20)
-	if _, err := it.br.Discard(headerSize); err != nil {
-		it.closeShard()
-		return fmt.Errorf("tracestore: shard %s: %w: short header", s.path, ErrBadFormat)
+	if it.corpus.lenient && s.version == version2 {
+		// Lenient v2 shards are read chunk-at-a-time through ReadAt (the
+		// index pins every offset), which lets a failed read be retried
+		// in place with backoff and quarantined chunks be skipped without
+		// a seek dance.
+		it.br = nil
+	} else {
+		it.br = bufio.NewReaderSize(f, 1<<20)
+		if _, err := it.br.Discard(headerSize); err != nil {
+			it.closeShard()
+			return fmt.Errorf("tracestore: shard %s: %w: short header", s.path, ErrBadFormat)
+		}
 	}
 	it.chunkIdx = 0
 	it.buf = it.buf[:0]
@@ -309,9 +352,23 @@ func (it *corpusIterator) openShard() error {
 	return nil
 }
 
-// readChunk loads and verifies the next chunk of the current v2 shard.
+// readChunk loads and verifies the next chunk of the current v2 shard. In
+// lenient mode the read is positioned (ReadAt) and retried with bounded
+// backoff before the chunk is declared dead.
 func (it *corpusIterator) readChunk(s *shardInfo) error {
 	meta := s.chunks[it.chunkIdx]
+	if cap(it.buf) < int(meta.payloadLen) {
+		it.buf = make([]byte, meta.payloadLen)
+	}
+	it.buf = it.buf[:meta.payloadLen]
+	if it.br == nil {
+		if err := readChunkRetry(it.f, it.buf, meta); err != nil {
+			return fmt.Errorf("tracestore: shard %s: chunk %d: %w", s.path, it.chunkIdx, err)
+		}
+		it.chunkIdx++
+		it.bufPos = 0
+		return nil
+	}
 	var hdr [chunkHdrSize]byte
 	if _, err := io.ReadFull(it.br, hdr[:]); err != nil {
 		return fmt.Errorf("tracestore: shard %s: %w: chunk %d header truncated at offset %d",
@@ -324,10 +381,6 @@ func (it *corpusIterator) readChunk(s *shardInfo) error {
 		return fmt.Errorf("tracestore: shard %s: %w: chunk %d header (count=%d len=%d) disagrees with index (count=%d len=%d)",
 			s.path, ErrBadFormat, it.chunkIdx, count, payloadLen, meta.count, meta.payloadLen)
 	}
-	if cap(it.buf) < int(payloadLen) {
-		it.buf = make([]byte, payloadLen)
-	}
-	it.buf = it.buf[:payloadLen]
 	if _, err := io.ReadFull(it.br, it.buf); err != nil {
 		return fmt.Errorf("tracestore: shard %s: %w: chunk %d payload truncated at offset %d",
 			s.path, ErrBadFormat, it.chunkIdx, meta.offset)

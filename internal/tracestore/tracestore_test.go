@@ -2,6 +2,7 @@ package tracestore
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -312,7 +313,7 @@ func acquireTo(t *testing.T, dir string, workers int) []byte {
 		t.Fatal(err)
 	}
 	var last int
-	err = Acquire(dev, 99, 20, w, AcquireOptions{
+	err = Acquire(context.Background(), dev, 99, 20, w, AcquireOptions{
 		Workers:  workers,
 		Progress: func(done, total int) { last = done },
 	})
@@ -357,7 +358,7 @@ func TestAcquireMatchesObservationAt(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Acquire(dev, 7, 5, w, AcquireOptions{Workers: 3}); err != nil {
+	if err := Acquire(context.Background(), dev, 7, 5, w, AcquireOptions{Workers: 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -226,26 +227,15 @@ func (w *Writer) finishShard() error {
 		return err
 	}
 	path := w.paths[len(w.paths)-1]
-	// Index payload + trailer.
-	idx := make([]byte, 4+len(w.chunks)*16)
-	binary.LittleEndian.PutUint32(idx, uint32(len(w.chunks)))
+	idx, tr := buildIndex(w.chunks, w.offset)
 	var obs int64
-	for i, c := range w.chunks {
-		e := idx[4+i*16:]
-		binary.LittleEndian.PutUint64(e, uint64(c.offset))
-		binary.LittleEndian.PutUint32(e[8:], c.count)
-		binary.LittleEndian.PutUint32(e[12:], c.payloadLen)
+	for _, c := range w.chunks {
 		obs += int64(c.count)
 	}
-	var tr [trailerSize]byte
-	binary.LittleEndian.PutUint64(tr[0:], uint64(w.offset))
-	binary.LittleEndian.PutUint64(tr[8:], uint64(obs))
-	binary.LittleEndian.PutUint32(tr[16:], crc32.Checksum(idx, castagnoli))
-	copy(tr[20:], magicFooter)
 	if _, err := w.bw.Write(idx); err != nil {
 		return fmt.Errorf("tracestore: shard %s: %w", path, err)
 	}
-	if _, err := w.bw.Write(tr[:]); err != nil {
+	if _, err := w.bw.Write(tr); err != nil {
 		return fmt.Errorf("tracestore: shard %s: %w", path, err)
 	}
 	if err := w.bw.Flush(); err != nil {
@@ -270,6 +260,66 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	return w.finishShard()
+}
+
+// Interrupt finalizes the corpus at the last fully committed chunk,
+// discarding the partially filled in-memory chunk, and returns the number
+// of observations durable on disk. Unlike Close it keeps chunk boundaries
+// on their deterministic (n, Options) grid, so a campaign continued with
+// ResumeWriter from this point is byte-identical to an uninterrupted run.
+// The writer is unusable afterwards.
+func (w *Writer) Interrupt() (int64, error) {
+	if w.f == nil {
+		return w.total, nil
+	}
+	w.total -= int64(w.chunkCnt)
+	w.chunk = w.chunk[:0]
+	w.chunkCnt = 0
+	if err := w.finishShard(); err != nil {
+		return w.total, err
+	}
+	return w.total, nil
+}
+
+// reopenForAppend seats a writer on an existing shard file: the footer is
+// truncated away and subsequent chunks append after the last committed
+// one. Used by ResumeWriter; the writer's cumulative counters are restored
+// by the caller.
+func reopenForAppend(path string, n int, opts Options, paths []string, chunks []chunkMeta, indexOffset int64) (*Writer, error) {
+	w := &Writer{
+		path:    path,
+		n:       n,
+		obsSize: observationSize(n),
+		opts:    opts,
+		start:   time.Now(),
+	}
+	w.chunkObs = opts.ChunkObs
+	if w.chunkObs <= 0 {
+		w.chunkObs = defaultChunkBytes / w.obsSize
+		if w.chunkObs < 1 {
+			w.chunkObs = 1
+		}
+	}
+	last := paths[len(paths)-1]
+	f, err := os.OpenFile(last, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("tracestore: shard %s: %w", last, err)
+	}
+	if err := f.Truncate(indexOffset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracestore: shard %s: %w", last, err)
+	}
+	if _, err := f.Seek(indexOffset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tracestore: shard %s: %w", last, err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<20)
+	w.offset = indexOffset
+	w.chunks = append(w.chunks[:0], chunks...)
+	w.shardCnt = len(paths) - 1
+	w.paths = append([]string(nil), paths...)
+	return w, nil
 }
 
 // Stats returns cumulative statistics.

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery smoke test (n=8, seconds, deterministic):
+#
+#   1. capture a reference corpus in one uninterrupted run;
+#   2. capture the same campaign again, then tear its tail off mid-chunk —
+#      byte-for-byte the on-disk state a SIGKILL mid-write leaves behind;
+#   3. confirm the strict attack rejects the torn corpus with exit code 2;
+#   4. resume the campaign (salvages the torn shard) and require the result
+#      to be byte-identical to the uninterrupted reference;
+#   5. run the checkpointed attack to a verified forgery (exit 0, sidecar
+#      cleaned up);
+#   6. flip one byte mid-corpus: strict attack exits 2, lenient attack
+#      quarantines the chunk and still recovers the key.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO="${GO:-go}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Seed chosen for a well-conditioned key: some seeds (e.g. 5) generate a
+# secret with a near-zero FFT coefficient whose exponent/sign cannot be
+# established at any trace count — a structural hazard documented in the
+# README, not a pipeline failure.
+N=8 TRACES=1200 NOISE=1.5 SEED=1
+gen() { "$tmp/tracegen" -n "$N" -traces "$TRACES" -noise "$NOISE" -seed "$SEED" "$@"; }
+
+echo "== build"
+"$GO" build -o "$tmp/tracegen" ./cmd/tracegen
+"$GO" build -o "$tmp/attack" ./cmd/attack
+
+echo "== reference campaign (uninterrupted)"
+gen -out "$tmp/ref.fdt2" -pub "$tmp/victim.pub"
+
+echo "== interrupted campaign: capture, then tear the tail off (SIGKILL shape)"
+gen -out "$tmp/work.fdt2" -pub "$tmp/victim.pub"
+size=$(wc -c <"$tmp/work.fdt2")
+dd if=/dev/null of="$tmp/work.fdt2" bs=1 seek=$((size - 1000)) 2>/dev/null
+
+echo "== strict attack on the torn corpus must exit 2 (malformed corpus)"
+rc=0
+"$tmp/attack" -traces "$tmp/work.fdt2" -pub "$tmp/victim.pub" -sig "$tmp/x.sig" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "FAIL: torn corpus gave exit $rc, want 2"; exit 1; }
+
+echo "== resume salvages the torn shard and completes the campaign"
+gen -out "$tmp/work.fdt2" -pub "$tmp/victim.pub" -resume
+
+echo "== resumed corpus must be byte-identical to the uninterrupted reference"
+cmp "$tmp/ref.fdt2" "$tmp/work.fdt2" || { echo "FAIL: resumed corpus differs"; exit 1; }
+
+echo "== checkpointed attack forges a verified signature"
+"$tmp/attack" -traces "$tmp/work.fdt2" -pub "$tmp/victim.pub" -resume -sig "$tmp/forged.sig"
+[ ! -e "$tmp/work.fdt2.ckpt" ] || { echo "FAIL: checkpoint sidecar not cleaned up"; exit 1; }
+
+echo "== damaged corpus: strict exits 2, lenient quarantines and recovers"
+cp "$tmp/ref.fdt2" "$tmp/bad.fdt2"
+mid=$(( $(wc -c <"$tmp/bad.fdt2") / 2 ))
+orig=$(dd if="$tmp/bad.fdt2" bs=1 skip="$mid" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $(( (orig + 1) % 256 )))" \
+	| dd of="$tmp/bad.fdt2" bs=1 seek="$mid" conv=notrunc 2>/dev/null
+rc=0
+"$tmp/attack" -traces "$tmp/bad.fdt2" -pub "$tmp/victim.pub" -sig "$tmp/y.sig" >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "FAIL: corrupt corpus gave exit $rc, want 2"; exit 1; }
+out=$("$tmp/attack" -traces "$tmp/bad.fdt2" -pub "$tmp/victim.pub" -lenient -sig "$tmp/z.sig")
+echo "$out" | grep -q "quarantined" \
+	|| { echo "FAIL: lenient attack did not report the quarantine"; exit 1; }
+
+echo "smoke: all stages passed"
