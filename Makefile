@@ -10,8 +10,9 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on catches inter-test state leaks; seeds are reported on failure.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Full race run over every package.
 race:
@@ -20,7 +21,7 @@ race:
 # Quick race pass over the concurrent paths (acquisition worker pool and
 # the multi-iterator attack sweeps).
 race-short:
-	$(GO) test -race -short -run 'Acquire|Stream|Corpus' ./internal/tracestore ./internal/core
+	$(GO) test -race -short -run 'Acquire|Stream|Corpus|Pool|Breaker|Clock' ./internal/tracestore ./internal/core ./internal/supervise ./internal/faultinject
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

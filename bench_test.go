@@ -12,9 +12,15 @@ package falcondown
 //   recovered     — 1 when the attacked value/key came out exactly
 
 import (
+	"context"
 	"testing"
 
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
 	"falcondown/internal/experiments"
+	"falcondown/internal/rng"
+	"falcondown/internal/supervise"
+	"falcondown/internal/tracestore"
 )
 
 // benchSetup is the reduced-size configuration used by the benchmarks.
@@ -233,6 +239,82 @@ func BenchmarkTemplateVsCPA(b *testing.B) {
 			b.ReportMetric(float64(r.CPACorrectRank), "cpa_rank")
 		}
 	}
+}
+
+// discardAppender sinks observations without storing them, so the
+// acquisition benchmarks measure the runner rather than an allocator.
+type discardAppender struct{ count int }
+
+func (a *discardAppender) Append(emleak.Observation) error { a.count++; return nil }
+
+func benchVictim(b *testing.B, n int, noise float64) *emleak.Device {
+	b.Helper()
+	priv, _, err := GenerateKey(n, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{}, emleak.Probe{Gain: 1, NoiseSigma: noise}, 2)
+}
+
+// BenchmarkSupervisorOverhead compares the plain parallel acquisition
+// runner against the supervised pool on a single perfectly behaved
+// device: the delta is pure supervision cost (breakers, routing, the
+// per-attempt goroutine join).
+func BenchmarkSupervisorOverhead(b *testing.B) {
+	const traces = 1000
+	dev := benchVictim(b, 16, 2)
+	b.Run("acquire", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w discardAppender
+			if err := tracestore.Acquire(context.Background(), dev, 3, traces, &w, tracestore.AcquireOptions{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pool", func(b *testing.B) {
+		devices := []supervise.Device{supervise.NewIdeal(dev)}
+		for i := 0; i < b.N; i++ {
+			var w discardAppender
+			if _, err := supervise.AcquirePool(context.Background(), devices, 3, traces, &w, supervise.PoolOptions{Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWinsorizedCPA compares the plain streamed CPA against the
+// dirty-trace-hardened variant (energy trim + resync + winsorize) on the
+// same 5%-glitched/5%-desynced corpus: the delta is the cost of the three
+// extra preprocessing sweeps.
+func BenchmarkWinsorizedCPA(b *testing.B) {
+	const traces = 1000
+	dev := benchVictim(b, 8, 1.5)
+	fl := emleak.NewFlakyDevice(dev, emleak.Distortion{
+		Seed:        77,
+		GlitchProb:  0.05,
+		DesyncProb:  0.05,
+		DesyncShift: 2,
+	}, nil)
+	obs := make([]emleak.Observation, traces)
+	for i := range obs {
+		o, err := fl.Measure(context.Background(), 3, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		obs[i] = o
+	}
+	src := tracestore.NewSliceSource(8, obs)
+	run := func(b *testing.B, cfg core.Config) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.AttackFFTfFrom(src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("plain", func(b *testing.B) { run(b, core.Config{}) })
+	b.Run("winsorized", func(b *testing.B) {
+		run(b, core.Config{Robust: core.RobustConfig{TrimSigmas: 4, ResyncShift: 3, Winsorize: 4}})
+	})
 }
 
 func BenchmarkTVLA(b *testing.B) {

@@ -18,6 +18,12 @@
 //     continues from the last completed phase instead of re-sweeping.
 //   - a failed recovery prints the partial report — which of the 2·(n/2)
 //     values failed and why — rather than a bare error.
+//   - -trim/-resync/-winsorize harden the CPA against dirty corpora
+//     (glitched, desynchronized or saturated traces from a misbehaving
+//     bench): energy outliers are dropped, traces re-aligned by
+//     cross-correlation and samples clamped to per-point bands before
+//     correlating. The preprocessing plan is derived once and pinned, so
+//     -resume stays byte-deterministic.
 //
 // Exit codes: 0 success, 1 generic failure, 2 malformed corpus,
 // 3 recovery failed (traces readable but the key could not be
@@ -57,9 +63,13 @@ func main() {
 	sigOut := flag.String("sig", "forged.sig", "forged signature output")
 	lenient := flag.Bool("lenient", false, "tolerate corpus damage: quarantine bad chunks and attack what survives")
 	resume := flag.Bool("resume", false, "checkpoint attack phases to a sidecar and resume a killed run from the last completed phase")
+	trim := flag.Float64("trim", 0, "drop traces whose RMS energy sits this many robust sigmas from the corpus median (0 = off)")
+	resync := flag.Int("resync", 0, "re-align traces by cross-correlation within ± this many samples (0 = off)")
+	winsorize := flag.Float64("winsorize", 0, "clamp samples to mean ± this many sigmas per sample point before correlating (0 = off)")
 	flag.Parse()
 
-	if err := run(*tracePath, *pubPath, *msg, *sigOut, *lenient, *resume); err != nil {
+	robust := core.RobustConfig{TrimSigmas: *trim, ResyncShift: *resync, Winsorize: *winsorize}
+	if err := run(*tracePath, *pubPath, *msg, *sigOut, *lenient, *resume, robust); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		switch {
 		case errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum):
@@ -71,7 +81,7 @@ func main() {
 	}
 }
 
-func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool) error {
+func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool, robust core.RobustConfig) error {
 	var corpus *tracestore.Corpus
 	var err error
 	if lenient {
@@ -123,8 +133,12 @@ func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool) error {
 		}
 	}
 
+	if robust.Enabled() {
+		fmt.Printf("dirty-trace hardening on: trim %gσ, resync ±%d, winsorize %gσ\n",
+			robust.TrimSigmas, robust.ResyncShift, robust.Winsorize)
+	}
 	fmt.Println("running streamed divide-and-conquer extend-and-prune extraction...")
-	priv, report, err := core.RecoverKeyResumable(corpus, pub, core.Config{}, store)
+	priv, report, err := core.RecoverKeyResumable(corpus, pub, core.Config{Robust: robust}, store)
 	if err != nil {
 		printPartialReport(report)
 		return fmt.Errorf("key recovery failed (detected, not silent): %w", err)

@@ -13,12 +13,26 @@
 // corpus is byte-identical to an uninterrupted run, provided the same
 // -n/-seed/-noise/-shard-size flags are given.
 //
+// With -devices > 1 (or -flaky/-timeout/-hedge) acquisition runs through
+// the supervision layer: a pool of devices with per-observation deadlines,
+// retry with backoff, per-device circuit breakers and hedged
+// re-measurement. -flaky injects deterministic misbehavior into chosen
+// pool devices for dress rehearsals of hostile benches:
+//
+//	-flaky "0:hang,1:glitch=0.05,1:desync=0.05"
+//
+// with kinds hang, glitch[=prob], desync[=prob], transient[=prob] and
+// latency[=duration]. Every fault draw derives from (seed, device, index),
+// so a flaky campaign replays identically.
+//
 // Usage:
 //
 //	tracegen -n 64 -traces 2000 -noise 2 -seed 1 -out traces.fdt2 \
 //	         -workers 8 -shard-size 500 -pub pub.key
 //	tracegen -resume -n 64 -traces 2000 -noise 2 -seed 1 -out traces.fdt2 \
 //	         -workers 8 -shard-size 500 -pub pub.key
+//	tracegen -n 64 -traces 2000 -devices 3 -timeout 250ms -hedge 50ms \
+//	         -breaker 3 -flaky "0:hang" -out traces.fdt2
 package main
 
 import (
@@ -29,6 +43,8 @@ import (
 	"math/bits"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +52,7 @@ import (
 	"falcondown/internal/emleak"
 	"falcondown/internal/falcon"
 	"falcondown/internal/rng"
+	"falcondown/internal/supervise"
 	"falcondown/internal/tracestore"
 )
 
@@ -50,6 +67,11 @@ func main() {
 	workers := flag.Int("workers", 0, "acquisition goroutines (0 = GOMAXPROCS); output is identical for any value")
 	shardSize := flag.Int("shard-size", 0, "observations per shard file (0 = single file)")
 	resume := flag.Bool("resume", false, "continue an interrupted campaign (salvages a torn final shard; requires identical other flags)")
+	devices := flag.Int("devices", 1, "measurement devices in the supervised pool (>1 enables supervision)")
+	timeout := flag.Duration("timeout", 0, "per-observation deadline of one supervised attempt (0 = none)")
+	hedge := flag.Duration("hedge", 0, "hedged re-measurement delay for stragglers (0 = off)")
+	breaker := flag.Int("breaker", 0, "consecutive failures that open a device's circuit breaker (0 = default 5)")
+	flaky := flag.String("flaky", "", `inject misbehavior into pool devices, e.g. "0:hang,1:glitch=0.05"`)
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancels acquisition; the writer then finalizes at the
@@ -57,7 +79,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := run(ctx, *n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize, *resume)
+	pf := poolFlags{devices: *devices, timeout: *timeout, hedge: *hedge, breaker: *breaker, flaky: *flaky}
+	err := run(ctx, *n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize, *resume, pf)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(130) // 128 + SIGINT: scripted campaigns can branch on interruption
@@ -68,7 +91,21 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize int, resume bool) error {
+// poolFlags carries the supervision flags; any non-zero value routes
+// acquisition through the supervised pool.
+type poolFlags struct {
+	devices int
+	timeout time.Duration
+	hedge   time.Duration
+	breaker int
+	flaky   string
+}
+
+func (p poolFlags) enabled() bool {
+	return p.devices > 1 || p.flaky != "" || p.timeout > 0 || p.hedge > 0 || p.breaker > 0
+}
+
+func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize int, resume bool, pf poolFlags) error {
 	priv, pub, err := falcon.GenerateKey(n, rng.New(seed))
 	if err != nil {
 		return err
@@ -104,10 +141,15 @@ func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pu
 	}
 
 	start := time.Now()
-	acqErr := tracestore.Acquire(ctx, dev, seed+2, traces, w, tracestore.AcquireOptions{
-		Workers: workers,
-		Start:   done,
-	})
+	var acqErr error
+	if pf.enabled() {
+		acqErr = acquireSupervised(ctx, dev, seed, traces, done, workers, w, pf)
+	} else {
+		acqErr = tracestore.Acquire(ctx, dev, seed+2, traces, w, tracestore.AcquireOptions{
+			Workers: workers,
+			Start:   done,
+		})
+	}
 	if errors.Is(acqErr, context.Canceled) || errors.Is(acqErr, context.DeadlineExceeded) {
 		committed, ierr := w.Interrupt()
 		if ierr != nil {
@@ -134,6 +176,107 @@ func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pu
 	}
 	fmt.Printf("public key -> %s\n", pubOut)
 	return nil
+}
+
+// acquireSupervised runs the campaign through the supervision layer: a
+// pool of pf.devices measurement channels (with -flaky misbehavior
+// injected into chosen ones), deadlines, retries, breakers and hedging.
+// The corpus stays byte-identical to a plain single-device run as long as
+// no byte-altering distortion (glitch/desync) is injected.
+func acquireSupervised(ctx context.Context, dev *emleak.Device, seed uint64, traces, done, workers int, w tracestore.Appender, pf poolFlags) error {
+	dists, err := parseFlaky(pf.flaky, pf.devices, seed)
+	if err != nil {
+		return err
+	}
+	for _, d := range dists {
+		if d.HangProb > 0 && pf.timeout <= 0 && pf.hedge <= 0 {
+			return errors.New("a hanging device needs -timeout or -hedge to recover from")
+		}
+	}
+	pool := make([]supervise.Device, pf.devices)
+	for i := range pool {
+		if d, ok := dists[i]; ok {
+			pool[i] = emleak.NewFlakyDevice(dev, d, nil)
+		} else {
+			pool[i] = supervise.NewIdeal(dev)
+		}
+	}
+	fmt.Printf("supervised pool: %d device(s), %d flaky, timeout %v, hedge %v\n",
+		len(pool), len(dists), pf.timeout, pf.hedge)
+	report, err := supervise.AcquirePool(ctx, pool, seed+2, traces, w, supervise.PoolOptions{
+		Workers: workers,
+		Start:   done,
+		Timeout: pf.timeout,
+		Hedge:   pf.hedge,
+		Breaker: supervise.BreakerConfig{Threshold: pf.breaker},
+	})
+	if report != nil {
+		fmt.Println(report)
+		if report.Health.Degraded() {
+			fmt.Println("corpus health:", &report.Health)
+		}
+	}
+	return err
+}
+
+// parseFlaky decodes "DEV:KIND[=PARAM],..." into per-device distortions.
+// Kinds: hang, glitch[=prob], desync[=prob], transient[=prob],
+// latency[=duration]. Repeating a device index composes its kinds.
+func parseFlaky(spec string, devices int, seed uint64) (map[int]emleak.Distortion, error) {
+	dists := make(map[int]emleak.Distortion)
+	if spec == "" {
+		return dists, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		devStr, kind, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad -flaky entry %q: want DEV:KIND[=PARAM]", part)
+		}
+		idx, err := strconv.Atoi(devStr)
+		if err != nil || idx < 0 || idx >= devices {
+			return nil, fmt.Errorf("bad -flaky device %q: want an index below -devices=%d", devStr, devices)
+		}
+		kind, param, hasParam := strings.Cut(kind, "=")
+		prob := func(def float64) (float64, error) {
+			if !hasParam {
+				return def, nil
+			}
+			return strconv.ParseFloat(param, 64)
+		}
+		d := dists[idx]
+		// Every device's fault schedule derives from (seed, device): the
+		// same flags replay the identical campaign.
+		d.Seed = rng.DeriveSeed(seed, 0xf1a4c0de+uint64(idx))
+		switch kind {
+		case "hang":
+			d.HangProb, err = prob(1)
+		case "glitch":
+			d.GlitchProb, err = prob(0.05)
+		case "desync":
+			if d.DesyncProb, err = prob(0.05); err == nil {
+				d.DesyncShift = 2
+			}
+		case "transient":
+			d.TransientProb, err = prob(0.1)
+		case "latency":
+			if !hasParam {
+				d.Latency = 50 * time.Millisecond
+			} else {
+				d.Latency, err = time.ParseDuration(param)
+			}
+		default:
+			return nil, fmt.Errorf("unknown -flaky kind %q (want hang, glitch, desync, transient or latency)", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad -flaky parameter in %q: %v", part, err)
+		}
+		dists[idx] = d
+	}
+	return dists, nil
 }
 
 func writePub(pub *falcon.PublicKey, n int, pubOut string) error {

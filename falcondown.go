@@ -26,6 +26,7 @@ import (
 	"falcondown/internal/falcon"
 	"falcondown/internal/fft"
 	"falcondown/internal/rng"
+	"falcondown/internal/supervise"
 	"falcondown/internal/tracestore"
 )
 
@@ -76,9 +77,49 @@ type (
 	AcquireOptions = tracestore.AcquireOptions
 	// CorpusHealth reports what a lenient open quarantined or lost.
 	CorpusHealth = tracestore.CorpusHealth
+	// ObservationFault is one quality-gate verdict in CorpusHealth.
+	ObservationFault = tracestore.ObservationFault
+	// TraceAppender is the write side of a campaign as acquisition
+	// runners see it; *TraceWriter is the production implementation.
+	TraceAppender = tracestore.Appender
+
+	// MeasuringDevice is one measurement channel of a supervised pool.
+	MeasuringDevice = supervise.Device
+	// PoolOptions tunes the supervised acquisition runner.
+	PoolOptions = supervise.PoolOptions
+	// PoolReport summarizes a supervised acquisition (breaker states,
+	// retry and hedge counts, quality-gate verdicts).
+	PoolReport = supervise.Report
+	// BreakerConfig tunes the per-device circuit breakers.
+	BreakerConfig = supervise.BreakerConfig
+	// BreakerStatus is the reported state of one device's breaker.
+	BreakerStatus = supervise.BreakerStatus
+	// GateConfig tunes the online trace-quality gate.
+	GateConfig = supervise.GateConfig
+
+	// FlakyDevice wraps a Device with deterministic misbehavior —
+	// latency, hangs, transient faults, desync, glitches, gain drift.
+	FlakyDevice = emleak.FlakyDevice
+	// Distortion declares a FlakyDevice's misbehavior mix.
+	Distortion = emleak.Distortion
+	// Clock abstracts time for the acquisition stack (tests inject a
+	// virtual clock; nil means wall time).
+	Clock = emleak.Clock
+
+	// RobustAttackConfig tunes the dirty-trace hardening of the CPA
+	// (energy trim, cross-correlation resync, winsorization); it rides
+	// in AttackConfig.Robust.
+	RobustAttackConfig = core.RobustConfig
 
 	// RNG is the deterministic random generator used across the library.
 	RNG = rng.Xoshiro
+)
+
+// Breaker states as reported in BreakerStatus.
+const (
+	BreakerClosed   = supervise.StateClosed
+	BreakerOpen     = supervise.StateOpen
+	BreakerHalfOpen = supervise.StateHalfOpen
 )
 
 // Q is FALCON's modulus (12289).
@@ -110,6 +151,13 @@ func NewVictimDevice(priv *PrivateKey, probe Probe, seed uint64) *Device {
 // against the device.
 func CollectTraces(dev *Device, count int, seed uint64) ([]Observation, error) {
 	return emleak.NewCampaign(dev, seed).Collect(count)
+}
+
+// CollectTracesContext is CollectTraces with cancellation: on ctx
+// cancellation it returns the observations collected so far together
+// with the context's error.
+func CollectTracesContext(ctx context.Context, dev *Device, count int, seed uint64) ([]Observation, error) {
+	return emleak.NewCampaign(dev, seed).CollectContext(ctx, count)
 }
 
 // RecoverKey runs the full Falcon-Down attack: extract FFT(f) from the
@@ -169,6 +217,34 @@ func NewTraceWriter(path string, n int, opts TraceWriterOptions) (*TraceWriter, 
 // ResumeTraceWriter plus opts.Start.
 func AcquireTraces(ctx context.Context, dev *Device, seed uint64, count int, w *TraceWriter, opts AcquireOptions) error {
 	return tracestore.Acquire(ctx, dev, seed, count, w, opts)
+}
+
+// NewPoolDevice wraps a victim as a perfectly behaved pool device for
+// AcquirePool.
+func NewPoolDevice(dev *Device) MeasuringDevice { return supervise.NewIdeal(dev) }
+
+// NewFlakyDevice wraps a victim with deterministic misbehavior: every
+// fault draw is a pure function of (dist.Seed, index), so a flaky
+// campaign replays identically. A nil clock uses wall time.
+func NewFlakyDevice(dev *Device, dist Distortion, clock Clock) *FlakyDevice {
+	return emleak.NewFlakyDevice(dev, dist, clock)
+}
+
+// AcquirePool runs a supervised campaign against a pool of possibly
+// unreliable devices: per-observation deadlines, retries with backoff,
+// per-device circuit breakers, hedged re-measurement and an online
+// quality gate, while preserving AcquireTraces' byte-identical-corpus
+// contract (observation i depends only on (seed, i)). The report is
+// returned even when acquisition fails partway.
+func AcquirePool(ctx context.Context, devices []MeasuringDevice, seed uint64, count int, w TraceAppender, opts PoolOptions) (*PoolReport, error) {
+	return supervise.AcquirePool(ctx, devices, seed, count, w, opts)
+}
+
+// NewMaskedTraceSource hides the observations at the given indices from
+// a campaign — typically the quality gate's suspects from a PoolReport —
+// without rewriting the corpus.
+func NewMaskedTraceSource(src TraceSource, skip []int) TraceSource {
+	return tracestore.NewMaskedSource(src, skip)
 }
 
 // ResumeTraceWriter reopens an interrupted campaign for appending,

@@ -90,6 +90,11 @@ type Config struct {
 	// the prune-phase correlation lands below this (default 0.35): a weak
 	// winner usually means the extend phase dropped the true prefix.
 	EscalateBelow float64
+	// Robust enables dirty-trace preprocessing (energy trimming,
+	// cross-correlation resync, winsorized clamping) ahead of the attack
+	// passes. The zero value disables it. All fields are scalars so
+	// Config stays comparable for checkpoint binding.
+	Robust RobustConfig
 }
 
 func (c Config) withDefaults() Config {

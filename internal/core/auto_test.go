@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// AutoRecover's grow-then-verify path: the first (undersized) attempt
+// fails plausibility, the deterministic campaign extension doubles the
+// traces, and the second attempt recovers the exact key.
+func TestAutoRecoverGrowThenVerify(t *testing.T) {
+	dev, priv, pub := deviceFor(t, 8, 4.0, 1)
+	var attempts []int
+	var errs []error
+	rec, report, err := AutoRecover(dev, 9, pub, Config{}, AutoOptions{
+		InitialTraces: 60,
+		MaxTraces:     2000,
+		OnAttempt: func(traces int, e error) {
+			attempts = append(attempts, traces)
+			errs = append(errs, e)
+		},
+	})
+	if err != nil {
+		t.Fatalf("auto recovery failed: %v", err)
+	}
+	if len(attempts) < 2 {
+		t.Fatalf("recovered in %d attempt(s); the grow path never ran (attempts %v)", len(attempts), attempts)
+	}
+	if errs[0] == nil {
+		t.Fatal("first undersized attempt unexpectedly succeeded")
+	}
+	if errs[len(errs)-1] != nil {
+		t.Fatalf("final attempt reported error %v alongside overall success", errs[len(errs)-1])
+	}
+	for i := 1; i < len(attempts); i++ {
+		if attempts[i] <= attempts[i-1] {
+			t.Fatalf("campaign did not grow: attempts %v", attempts)
+		}
+	}
+	for i := range rec.Fs {
+		if rec.Fs[i] != priv.Fs[i] || rec.Gs[i] != priv.Gs[i] {
+			t.Fatalf("recovered key differs from victim at %d", i)
+		}
+	}
+	if report == nil || len(report.Values) != 8 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+// AutoRecover's budget-exhaustion path: with noise far beyond what the
+// budget can average out, every attempt fails and the final error names
+// the exhausted budget while the partial report diagnoses the failed
+// values.
+func TestAutoRecoverBudgetExhaustion(t *testing.T) {
+	dev, _, pub := deviceFor(t, 8, 50.0, 1)
+	var attempts []int
+	rec, report, err := AutoRecover(dev, 9, pub, Config{}, AutoOptions{
+		InitialTraces: 30,
+		MaxTraces:     60,
+		OnAttempt:     func(traces int, e error) { attempts = append(attempts, traces) },
+	})
+	if err == nil {
+		t.Fatal("recovery claimed success on hopeless noise")
+	}
+	if rec != nil {
+		t.Fatal("failed recovery returned a key")
+	}
+	if !strings.Contains(err.Error(), "exhausting the 60-trace budget") {
+		t.Fatalf("error does not name the budget: %v", err)
+	}
+	if report == nil || len(report.Failed) == 0 {
+		t.Fatalf("partial report missing failure diagnosis: %+v", report)
+	}
+	want := []int{30, 60}
+	if len(attempts) != len(want) {
+		t.Fatalf("attempts = %v, want %v", attempts, want)
+	}
+	for i := range want {
+		if attempts[i] != want[i] {
+			t.Fatalf("attempts = %v, want %v", attempts, want)
+		}
+	}
+}
+
+func TestAutoOptionsDefaults(t *testing.T) {
+	o := AutoOptions{}.withDefaults()
+	if o.InitialTraces != 500 || o.MaxTraces != 4000 || o.Growth != 2 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = AutoOptions{InitialTraces: 100, MaxTraces: 50}.withDefaults()
+	if o.MaxTraces != 100 {
+		t.Fatalf("MaxTraces not clamped up to InitialTraces: %+v", o)
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math"
+
+	"falcondown/internal/cpa"
+	"falcondown/internal/emleak"
+	"falcondown/internal/tracestore"
+)
+
+// Dirty-trace hardening. A real capture rig emits a few percent of
+// saturated, desynchronized or drifting traces; plain Pearson CPA is
+// fragile against them (one full-scale outlier outweighs hundreds of
+// clean traces in the cross-product sums). When Config.Robust is enabled
+// the attack first derives a pinned preprocessing plan from the corpus —
+// which traces to drop, the alignment template, the winsorization bounds
+// — and then runs every phase through a transforming Source that applies
+// the identical plan on every pass, preserving the multi-pass contract
+// (each sweep sees the same traces, same order, same bytes).
+
+// RobustConfig tunes the dirty-trace preprocessing. The zero value
+// disables it entirely.
+type RobustConfig struct {
+	// TrimSigmas drops traces whose RMS energy is more than this many
+	// robust standard deviations (median/MAD) from the campaign's
+	// typical energy — saturated or dead captures (0 disables).
+	TrimSigmas float64
+	// ResyncShift realigns each trace against the campaign-mean template
+	// by cross-correlation over ±ResyncShift samples, undoing trigger
+	// desync (0 disables).
+	ResyncShift int
+	// Winsorize clamps every sample into its per-position mean ± k·σ
+	// band, with the band refined once on the clamped data so outliers
+	// do not inflate their own bounds (0 disables).
+	Winsorize float64
+}
+
+// Enabled reports whether any preprocessing step is active.
+func (r RobustConfig) Enabled() bool {
+	return r.TrimSigmas > 0 || r.ResyncShift > 0 || r.Winsorize > 0
+}
+
+// funcJob adapts a closure to the passJob interface so the preprocessing
+// statistics passes ride the same transient-retrying sweep as the attack.
+type funcJob func(o emleak.Observation)
+
+func (f funcJob) observe(o emleak.Observation) { f(o) }
+
+// prepareRobust derives the preprocessing plan from the corpus (up to
+// three extra sweeps) and returns the transforming source. The plan is a
+// pure function of the corpus bytes and rc, so resumed attacks rebuild
+// the identical plan.
+func prepareRobust(src Source, rc RobustConfig) (Source, error) {
+	// Pass 1: per-trace RMS energies.
+	rms := make([]float64, 0, src.Count())
+	if err := sweep(src, []passJob{funcJob(func(o emleak.Observation) {
+		rms = append(rms, cpa.RMS(o.Trace.Samples))
+	})}); err != nil {
+		return nil, err
+	}
+	var skip []int
+	if rc.TrimSigmas > 0 {
+		skip = energyOutliers(rms, rc.TrimSigmas)
+	}
+	base := src
+	if len(skip) > 0 {
+		base = tracestore.NewMaskedSource(src, skip)
+	}
+	rs := &robustSource{inner: base, cfg: rc, trimmed: len(skip)}
+	if rc.ResyncShift <= 0 && rc.Winsorize <= 0 {
+		return rs, nil
+	}
+
+	// Pass 2 (kept traces): per-sample mean template and variance.
+	mean, m2, n, err := sampleStats(base, nil, rc, false)
+	if err != nil {
+		return nil, err
+	}
+	rs.template = mean
+	if rc.Winsorize <= 0 {
+		return rs, nil
+	}
+	lo, hi := winsorBounds(mean, m2, n, rc.Winsorize)
+
+	// Pass 3: refine the bounds on resynced-and-clamped data, so the
+	// outliers being clamped do not inflate the σ that bounds them.
+	rs.lo, rs.hi = lo, hi
+	mean2, m22, n2, err := sampleStats(base, rs, rc, true)
+	if err != nil {
+		return nil, err
+	}
+	rs.lo, rs.hi = winsorBounds(mean2, m22, n2, rc.Winsorize)
+	return rs, nil
+}
+
+// energyOutliers flags indices whose value sits more than k robust
+// standard deviations from the median (MAD-based; falls back to the
+// plain σ when the MAD degenerates to zero).
+func energyOutliers(vals []float64, k float64) []int {
+	if len(vals) < 3 {
+		return nil
+	}
+	med := medianOf(vals)
+	dev := make([]float64, len(vals))
+	for i, v := range vals {
+		dev[i] = math.Abs(v - med)
+	}
+	scale := 1.4826 * medianOf(dev)
+	if scale == 0 {
+		var st cpa.RunningStats
+		for _, v := range vals {
+			st.Add(v)
+		}
+		scale = st.Std()
+	}
+	if scale == 0 {
+		return nil
+	}
+	var out []int
+	for i, v := range vals {
+		if math.Abs(v-med) > k*scale {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func medianOf(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	// Insertion sort: the slices here are one value per trace, and the
+	// cost is dwarfed by the corpus sweep that produced them.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// sampleStats accumulates per-sample Welford mean/m2 over one pass of
+// src. When transform is non-nil the pass sees traces through the given
+// robustSource's resync/clamp pipeline (used by the refinement pass).
+func sampleStats(src Source, transform *robustSource, rc RobustConfig, clamp bool) (mean, m2 []float64, n int, err error) {
+	var scratch []float64
+	err = sweep(src, []passJob{funcJob(func(o emleak.Observation) {
+		s := o.Trace.Samples
+		if transform != nil {
+			if scratch == nil {
+				scratch = make([]float64, len(s))
+			}
+			copy(scratch, s)
+			transform.apply(scratch, clamp)
+			s = scratch
+		}
+		if mean == nil {
+			mean = make([]float64, len(s))
+			m2 = make([]float64, len(s))
+		}
+		n++
+		fn := float64(n)
+		for j, v := range s {
+			d := v - mean[j]
+			mean[j] += d / fn
+			m2[j] += d * (v - mean[j])
+		}
+	})})
+	return mean, m2, n, err
+}
+
+// winsorBounds converts per-sample Welford accumulators into clamp bands
+// mean ± k·σ; zero-variance positions get infinite bands (nothing to
+// clamp there).
+func winsorBounds(mean, m2 []float64, n int, k float64) (lo, hi []float64) {
+	lo = make([]float64, len(mean))
+	hi = make([]float64, len(mean))
+	for j := range mean {
+		sd := 0.0
+		if n >= 2 {
+			sd = math.Sqrt(m2[j] / float64(n))
+		}
+		if sd <= 0 {
+			lo[j] = math.Inf(-1)
+			hi[j] = math.Inf(1)
+			continue
+		}
+		lo[j] = mean[j] - k*sd
+		hi[j] = mean[j] + k*sd
+	}
+	return lo, hi
+}
+
+// robustSource is the transforming Source: it masks trimmed traces (via
+// its inner MaskedSource), resynchronizes each surviving trace against
+// the template, and winsorizes samples into their pinned bands. The plan
+// (mask, template, bounds) is fixed at construction, so every Iterate
+// yields identical bytes.
+type robustSource struct {
+	inner    tracestore.Source
+	cfg      RobustConfig
+	trimmed  int
+	template []float64 // per-sample mean of kept traces (resync reference)
+	lo, hi   []float64 // winsorization bands (nil until derived)
+}
+
+// N implements Source.
+func (s *robustSource) N() int { return s.inner.N() }
+
+// Count implements Source (after trimming).
+func (s *robustSource) Count() int { return s.inner.Count() }
+
+// Trimmed reports how many traces the energy screen dropped.
+func (s *robustSource) Trimmed() int { return s.trimmed }
+
+// apply runs the in-place transform pipeline on one trace's samples.
+func (s *robustSource) apply(samples []float64, clamp bool) {
+	if s.cfg.ResyncShift > 0 && s.template != nil {
+		if lag := cpa.BestLag(samples, s.template, s.cfg.ResyncShift); lag != 0 {
+			shifted := make([]float64, len(samples))
+			cpa.ShiftInto(shifted, samples, s.template, lag)
+			copy(samples, shifted)
+		}
+	}
+	if clamp && s.lo != nil {
+		for j, v := range samples {
+			if v < s.lo[j] {
+				samples[j] = s.lo[j]
+			} else if v > s.hi[j] {
+				samples[j] = s.hi[j]
+			}
+		}
+	}
+}
+
+// Iterate implements Source.
+func (s *robustSource) Iterate() (tracestore.Iterator, error) {
+	it, err := s.inner.Iterate()
+	if err != nil {
+		return nil, err
+	}
+	return &robustIterator{inner: it, src: s}, nil
+}
+
+type robustIterator struct {
+	inner tracestore.Iterator
+	src   *robustSource
+}
+
+func (it *robustIterator) Next() (emleak.Observation, error) {
+	o, err := it.inner.Next()
+	if err != nil {
+		return o, err
+	}
+	// Copy before transforming: slice-backed sources hand out views of
+	// their underlying storage.
+	samples := append([]float64(nil), o.Trace.Samples...)
+	it.src.apply(samples, true)
+	o.Trace = emleak.Trace{Samples: samples}
+	return o, nil
+}
+
+func (it *robustIterator) Close() error { return it.inner.Close() }
+
+var _ Source = (*robustSource)(nil)

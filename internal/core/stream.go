@@ -191,6 +191,19 @@ func AttackFFTfResumable(src Source, cfg Config, store CheckpointStore) ([]fft.C
 	if src == nil || src.Count() == 0 {
 		return nil, nil, errNoTraces
 	}
+	if cfg.Robust.Enabled() {
+		// The preprocessing plan is a pure function of (corpus, config),
+		// so a resumed attack rebuilds the identical transformed source;
+		// the checkpoint's Count binds the post-trim trace count.
+		rsrc, err := prepareRobust(src, cfg.Robust)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rsrc.Count() == 0 {
+			return nil, nil, errNoTraces
+		}
+		src = rsrc
+	}
 	a := &attackRun{
 		src:   src,
 		cfg:   cfg,

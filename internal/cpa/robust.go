@@ -1,0 +1,140 @@
+package cpa
+
+import "math"
+
+// Robust statistics for dirty corpora. Real capture rigs emit saturated,
+// desynced and drifting traces; a few percent of them is enough to drown
+// a plain Pearson CPA (one full-scale outlier contributes more to the
+// cross-product sums than hundreds of clean traces). These helpers back
+// core's robust preprocessing: per-trace energy screening, winsorized
+// clamping, and cross-correlation resynchronization.
+
+// RunningStats accumulates mean and variance in one pass (Welford's
+// algorithm, numerically stable for long campaigns).
+type RunningStats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds in one value.
+func (s *RunningStats) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the count of accumulated values.
+func (s *RunningStats) N() int { return s.n }
+
+// Mean returns the running mean (0 before the first Add).
+func (s *RunningStats) Mean() float64 { return s.mean }
+
+// Var returns the population variance.
+func (s *RunningStats) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *RunningStats) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Winsorize clamps every element of x into [lo, hi] in place and returns
+// how many samples were clamped. Clamping (rather than dropping) keeps
+// the trace layout intact, which the fixed per-coefficient sample windows
+// require.
+func Winsorize(x []float64, lo, hi float64) int {
+	clamped := 0
+	for i, v := range x {
+		switch {
+		case v < lo:
+			x[i] = lo
+			clamped++
+		case v > hi:
+			x[i] = hi
+			clamped++
+		}
+	}
+	return clamped
+}
+
+// RMS returns the root-mean-square of x (0 for an empty slice) — the
+// per-trace energy statistic the quality gate and the robust trimmer
+// screen on.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// BestLag finds the shift s in [-maxShift, maxShift] maximizing the
+// cross-correlation between t shifted by s and the template; ties prefer
+// the smaller |s| (and the positive sign), so clean traces stay put. The
+// returned lag is the shift to apply to t (via ShiftInto) to align it
+// with the template.
+func BestLag(t, template []float64, maxShift int) int {
+	if maxShift <= 0 || len(t) != len(template) || len(t) == 0 {
+		return 0
+	}
+	best, bestScore := 0, math.Inf(-1)
+	// Search order 0, +1, -1, +2, -2… so ties keep the smallest shift.
+	for k := 0; k <= 2*maxShift; k++ {
+		s := (k + 1) / 2
+		if k%2 == 0 {
+			s = -s
+		}
+		if s < -maxShift || s > maxShift {
+			continue
+		}
+		score := lagScore(t, template, s)
+		if score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// lagScore is the dot product of template with t advanced by s samples
+// (t[i+s] aligned against template[i]), over the overlapping region,
+// normalized by overlap length so different shifts are comparable.
+func lagScore(t, template []float64, s int) float64 {
+	n := len(t)
+	var sum float64
+	lo, hi := 0, n
+	if s > 0 {
+		hi = n - s
+	} else {
+		lo = -s
+	}
+	if hi <= lo {
+		return math.Inf(-1)
+	}
+	for i := lo; i < hi; i++ {
+		sum += template[i] * t[i+s]
+	}
+	return sum / float64(hi-lo)
+}
+
+// ShiftInto writes t advanced by s samples into dst (len(dst) ==
+// len(t)): dst[i] = t[i+s], with positions that fall outside t filled
+// from the template — the inverse of a capture desync of -s. dst and t
+// must not alias.
+func ShiftInto(dst, t, template []float64, s int) {
+	n := len(t)
+	for i := 0; i < n; i++ {
+		j := i + s
+		if j >= 0 && j < n {
+			dst[i] = t[j]
+		} else {
+			dst[i] = template[i]
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cpa
+
+import (
+	"math"
+	"testing"
+
+	"falcondown/internal/rng"
+)
+
+func TestRunningStats(t *testing.T) {
+	var s RunningStats
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	if s.N() != len(vals) {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %v, want 2", s.Std())
+	}
+	var empty RunningStats
+	if empty.Mean() != 0 || empty.Var() != 0 {
+		t.Fatal("empty stats must be zero")
+	}
+}
+
+func TestWinsorize(t *testing.T) {
+	x := []float64{-10, -1, 0, 1, 10}
+	n := Winsorize(x, -2, 2)
+	if n != 2 {
+		t.Fatalf("clamped %d, want 2", n)
+	}
+	want := []float64{-2, -1, 0, 1, 2}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if RMS(nil) != 0 {
+		t.Fatal("RMS(nil) != 0")
+	}
+	if got := RMS([]float64{3, 4, 3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMS = %v", got)
+	}
+}
+
+// BestLag must recover the shift applied to a structured trace, and
+// report zero for an unshifted trace.
+func TestBestLagRecoversShift(t *testing.T) {
+	r := rng.New(1)
+	template := make([]float64, 200)
+	for i := range template {
+		template[i] = math.Sin(float64(i)/3) + 0.1*r.NormFloat64()
+	}
+	for _, shift := range []int{-3, -1, 0, 1, 2, 3} {
+		// Desync by `shift`: t[i] = template[i-shift] (move right for +).
+		tr := make([]float64, len(template))
+		for i := range tr {
+			j := i - shift
+			if j < 0 {
+				j = 0
+			}
+			if j >= len(template) {
+				j = len(template) - 1
+			}
+			tr[i] = template[j]
+		}
+		if got := BestLag(tr, template, 4); got != shift {
+			t.Fatalf("BestLag for desync %d = %d", shift, got)
+		}
+		// Undo it: ShiftInto with the found lag restores the interior.
+		dst := make([]float64, len(tr))
+		ShiftInto(dst, tr, template, shift)
+		for i := 5; i < len(dst)-5; i++ {
+			if dst[i] != template[i] {
+				t.Fatalf("shift %d: resynced sample %d = %v, want %v", shift, i, dst[i], template[i])
+			}
+		}
+	}
+}
+
+func TestBestLagDegenerate(t *testing.T) {
+	if BestLag([]float64{1, 2}, []float64{1}, 3) != 0 {
+		t.Fatal("mismatched lengths must return 0")
+	}
+	if BestLag(nil, nil, 3) != 0 {
+		t.Fatal("empty input must return 0")
+	}
+	if BestLag([]float64{1, 2, 3}, []float64{1, 2, 3}, 0) != 0 {
+		t.Fatal("maxShift 0 must return 0")
+	}
+}

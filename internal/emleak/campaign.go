@@ -1,6 +1,7 @@
 package emleak
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,6 +48,25 @@ func (c *Campaign) Collect(count int) ([]Observation, error) {
 		o, err := c.Next()
 		if err != nil {
 			return nil, err
+		}
+		obs = append(obs, o)
+	}
+	return obs, nil
+}
+
+// CollectContext gathers count observations, checking ctx between
+// measurements so long in-memory campaigns are cancellable like the
+// streamed acquisition path. On cancellation the observations collected
+// so far are returned alongside ctx's error.
+func (c *Campaign) CollectContext(ctx context.Context, count int) ([]Observation, error) {
+	obs := make([]Observation, 0, count)
+	for i := 0; i < count; i++ {
+		if err := ctx.Err(); err != nil {
+			return obs, err
+		}
+		o, err := c.Next()
+		if err != nil {
+			return obs, err
 		}
 		obs = append(obs, o)
 	}

@@ -1,0 +1,268 @@
+package emleak
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"falcondown/internal/rng"
+)
+
+// ErrTransient marks a measurement failure that is worth retrying: the
+// device dropped a trigger, the scope armed late, the capture bus timed
+// out. It mirrors tracestore.ErrTransient on the read side; the
+// supervision layer retries it with backoff instead of failing the
+// campaign.
+var ErrTransient = errors.New("emleak: transient measurement failure")
+
+// Clock abstracts time for the acquisition path so supervisor tests can
+// run on a virtual clock with zero wall-clock sleeps. WallClock is the
+// production implementation; faultinject provides the deterministic test
+// double.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the time once d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d or until ctx is cancelled, returning ctx.Err()
+	// in the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// WallClock is the real-time Clock used outside tests.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (WallClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Distortion parameterizes the misbehavior of a FlakyDevice. Every field
+// is a physical failure mode observed on real EM capture rigs; all of
+// them are deterministic functions of (Seed, observation index), so a
+// flaky campaign is exactly as reproducible as a clean one.
+type Distortion struct {
+	// Seed derives the per-observation misbehavior schedule.
+	Seed uint64
+
+	// Latency is the fixed per-observation measurement latency; Jitter
+	// adds a uniformly random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// HangProb is the per-observation probability of an indefinite hang:
+	// the measurement never completes and only returns when the caller's
+	// context is cancelled. HangProb = 1 models a wedged device.
+	HangProb float64
+
+	// TransientProb is the per-observation probability that the first
+	// TransientTries attempts fail with ErrTransient before the
+	// measurement succeeds (a dropped trigger that a retry fixes).
+	// TransientTries <= 0 defaults to 1.
+	TransientProb  float64
+	TransientTries int
+
+	// DesyncProb shifts the trace by a uniformly random ±1..DesyncShift
+	// samples (edge samples replicated) — a late or early trigger.
+	// DesyncShift <= 0 defaults to 1.
+	DesyncProb  float64
+	DesyncShift int
+
+	// GlitchProb saturates GlitchSamples consecutive samples (0 = the
+	// whole trace) to ±GlitchLevel — probe contact loss or amplifier
+	// clipping. GlitchLevel <= 0 defaults to 1000.
+	GlitchProb    float64
+	GlitchLevel   float64
+	GlitchSamples int
+
+	// DriftAmp applies a slow sinusoidal gain drift of amplitude
+	// DriftAmp across the campaign with period DriftPeriod observations
+	// (temperature drift of the analog front end). DriftPeriod <= 0
+	// defaults to 1000.
+	DriftAmp    float64
+	DriftPeriod int
+}
+
+// hangStep is how long a hung FlakyDevice sleeps between context checks.
+// Each sleep also advances a virtual clock's pending timers, so a hung
+// device drives other waiters' deadlines forward instead of deadlocking
+// a virtual-time test.
+const hangStep = 250 * time.Millisecond
+
+// FlakyDevice wraps a victim Device with a deterministic misbehavior
+// schedule. Unlike the raw Device it is safe for concurrent use: every
+// Measure derives all randomness from (Distortion.Seed, idx) and clones
+// the underlying device state it needs.
+type FlakyDevice struct {
+	dev   *Device
+	dist  Distortion
+	clock Clock
+
+	mu    sync.Mutex
+	tries map[uint64]int // transient-failure attempts seen per index
+}
+
+// NewFlakyDevice wraps dev with the given distortion model. A nil clock
+// defaults to WallClock.
+func NewFlakyDevice(dev *Device, dist Distortion, clock Clock) *FlakyDevice {
+	if clock == nil {
+		clock = WallClock{}
+	}
+	if dist.TransientTries <= 0 {
+		dist.TransientTries = 1
+	}
+	if dist.DesyncShift <= 0 {
+		dist.DesyncShift = 1
+	}
+	if dist.GlitchLevel <= 0 {
+		dist.GlitchLevel = 1000
+	}
+	if dist.DriftPeriod <= 0 {
+		dist.DriftPeriod = 1000
+	}
+	return &FlakyDevice{dev: dev, dist: dist, clock: clock, tries: make(map[uint64]int)}
+}
+
+// N returns the wrapped device's ring degree.
+func (f *FlakyDevice) N() int { return f.dev.N() }
+
+// Measure produces observation idx of the indexed campaign (seed, idx)
+// through the distortion model. The observation content depends only on
+// (seed, idx) — identical to emleak.ObservationAt plus the scheduled
+// distortions — never on timing, attempt count or goroutine interleaving,
+// so supervised acquisition keeps the byte-identical-corpus contract.
+func (f *FlakyDevice) Measure(ctx context.Context, seed, idx uint64) (Observation, error) {
+	// The schedule draw order is fixed: hang, transient, glitch, desync,
+	// jitter. Consuming the draws in this order on every call keeps the
+	// schedule stable regardless of which distortions are enabled.
+	r := rng.New(rng.DeriveSeed(f.dist.Seed, idx))
+	hang := r.Float64() < f.dist.HangProb
+	transient := r.Float64() < f.dist.TransientProb
+	glitch := r.Float64() < f.dist.GlitchProb
+	desync := r.Float64() < f.dist.DesyncProb
+	var shift int
+	if desync {
+		mag := 1 + r.Intn(f.dist.DesyncShift)
+		if r.Intn(2) == 0 {
+			shift = -mag
+		} else {
+			shift = mag
+		}
+	}
+	var glitchStart int
+	if glitch && f.dist.GlitchSamples > 0 {
+		glitchStart = r.Intn(maxInt(1, f.dev.N()/2*SamplesPerCoeff-f.dist.GlitchSamples+1))
+	}
+	jitter := time.Duration(0)
+	if f.dist.Jitter > 0 {
+		jitter = time.Duration(r.Float64() * float64(f.dist.Jitter))
+	}
+
+	if hang {
+		// A wedged device: never completes, only honors cancellation.
+		for {
+			if err := f.clock.Sleep(ctx, hangStep); err != nil {
+				return Observation{}, err
+			}
+		}
+	}
+	if d := f.dist.Latency + jitter; d > 0 {
+		if err := f.clock.Sleep(ctx, d); err != nil {
+			return Observation{}, err
+		}
+	}
+	if transient {
+		f.mu.Lock()
+		seen := f.tries[idx]
+		if seen < f.dist.TransientTries {
+			f.tries[idx] = seen + 1
+			f.mu.Unlock()
+			return Observation{}, ErrTransient
+		}
+		f.mu.Unlock()
+	}
+
+	o, err := ObservationAt(f.dev.Clone(0), seed, idx)
+	if err != nil {
+		return Observation{}, err
+	}
+	s := o.Trace.Samples
+	if shift != 0 {
+		desyncShift(s, shift)
+	}
+	if glitch {
+		lo, hi := 0, len(s)
+		if f.dist.GlitchSamples > 0 {
+			lo = glitchStart
+			hi = minInt(len(s), lo+f.dist.GlitchSamples)
+		}
+		for i := lo; i < hi; i++ {
+			if s[i] >= 0 {
+				s[i] = f.dist.GlitchLevel
+			} else {
+				s[i] = -f.dist.GlitchLevel
+			}
+		}
+	}
+	if f.dist.DriftAmp != 0 {
+		gain := 1 + f.dist.DriftAmp*math.Sin(2*math.Pi*float64(idx)/float64(f.dist.DriftPeriod))
+		for i := range s {
+			s[i] *= gain
+		}
+	}
+	return o, nil
+}
+
+// desyncShift shifts samples by k in place, replicating the edge sample
+// into the uncovered positions — what a mis-triggered scope capture looks
+// like.
+func desyncShift(s []float64, k int) {
+	n := len(s)
+	if k == 0 || n == 0 {
+		return
+	}
+	if k > 0 { // trace starts late: samples move right
+		copy(s[k:], s[:n-k])
+		for i := 0; i < k; i++ {
+			s[i] = s[k]
+		}
+	} else { // trace starts early: samples move left
+		k = -k
+		copy(s[:n-k], s[k:])
+		for i := n - k; i < n; i++ {
+			s[i] = s[n-k-1]
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,197 @@
+package emleak
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"falcondown/internal/fft"
+	"falcondown/internal/fpr"
+	"falcondown/internal/rng"
+)
+
+func flakyTestDevice(t *testing.T) *Device {
+	t.Helper()
+	secret := make([]fft.Cplx, 4)
+	r := rng.New(7)
+	for i := range secret {
+		re := r.Intn(9) - 4
+		im := r.Intn(9) - 4
+		if re == 0 {
+			re = 1
+		}
+		if im == 0 {
+			im = -1
+		}
+		secret[i] = fft.Cplx{Re: fpr.FromFloat64(float64(re)), Im: fpr.FromFloat64(float64(im))}
+	}
+	return NewDevice(secret, HammingWeight{}, Probe{Gain: 1, NoiseSigma: 0.5}, 1)
+}
+
+// A FlakyDevice with a zero Distortion must reproduce ObservationAt
+// exactly, and must do so on repeated calls (stateless determinism).
+func TestFlakyDeviceIdentity(t *testing.T) {
+	dev := flakyTestDevice(t)
+	f := NewFlakyDevice(dev, Distortion{}, nil)
+	for idx := uint64(0); idx < 5; idx++ {
+		want, err := ObservationAt(dev.Clone(0), 42, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			got, err := f.Measure(context.Background(), 42, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want.Trace.Samples {
+				if got.Trace.Samples[j] != want.Trace.Samples[j] {
+					t.Fatalf("idx %d rep %d: sample %d = %v, want %v", idx, rep, j, got.Trace.Samples[j], want.Trace.Samples[j])
+				}
+			}
+		}
+	}
+}
+
+// Distorted measurements are deterministic: same (Seed, idx) ⇒ same
+// bytes, independent of call order or attempt count.
+func TestFlakyDeviceDeterministic(t *testing.T) {
+	dev := flakyTestDevice(t)
+	dist := Distortion{
+		Seed:        9,
+		GlitchProb:  0.5,
+		DesyncProb:  0.5,
+		DesyncShift: 3,
+		DriftAmp:    0.1,
+	}
+	a := NewFlakyDevice(dev, dist, nil)
+	b := NewFlakyDevice(dev, dist, nil)
+	for idx := uint64(0); idx < 8; idx++ {
+		oa, err := a.Measure(context.Background(), 3, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := b.Measure(context.Background(), 3, 7-idx) // different order
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = ob
+		oa2, err := b.Measure(context.Background(), 3, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range oa.Trace.Samples {
+			if oa.Trace.Samples[j] != oa2.Trace.Samples[j] {
+				t.Fatalf("idx %d: sample %d differs across devices/order", idx, j)
+			}
+		}
+	}
+}
+
+// A hang-scheduled measurement returns only when the context is
+// cancelled, with the context's error.
+func TestFlakyDeviceHangCancels(t *testing.T) {
+	dev := flakyTestDevice(t)
+	f := NewFlakyDevice(dev, Distortion{HangProb: 1}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Measure(ctx, 1, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang did not honor cancellation promptly")
+	}
+}
+
+// Transient faults fail the first TransientTries attempts of a scheduled
+// index, then succeed with the correct bytes.
+func TestFlakyDeviceTransientRetry(t *testing.T) {
+	dev := flakyTestDevice(t)
+	f := NewFlakyDevice(dev, Distortion{Seed: 5, TransientProb: 1, TransientTries: 2}, nil)
+	want, err := ObservationAt(dev.Clone(0), 11, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := f.Measure(context.Background(), 11, 3); !errors.Is(err, ErrTransient) {
+			t.Fatalf("attempt %d: err = %v, want ErrTransient", attempt, err)
+		}
+	}
+	got, err := f.Measure(context.Background(), 11, 3)
+	if err != nil {
+		t.Fatalf("post-retry measure: %v", err)
+	}
+	for j := range want.Trace.Samples {
+		if got.Trace.Samples[j] != want.Trace.Samples[j] {
+			t.Fatalf("post-retry sample %d = %v, want %v", j, got.Trace.Samples[j], want.Trace.Samples[j])
+		}
+	}
+}
+
+// Glitches saturate samples at ±GlitchLevel; desync shifts are bounded
+// by DesyncShift; drift stays within 1±DriftAmp.
+func TestFlakyDeviceDistortionShapes(t *testing.T) {
+	dev := flakyTestDevice(t)
+	f := NewFlakyDevice(dev, Distortion{Seed: 2, GlitchProb: 1, GlitchLevel: 777}, nil)
+	o, err := f.Measure(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, s := range o.Trace.Samples {
+		if math.Abs(s) != 777 {
+			t.Fatalf("glitched sample %d = %v, want ±777", j, s)
+		}
+	}
+
+	f = NewFlakyDevice(dev, Distortion{Seed: 2, DesyncProb: 1, DesyncShift: 2}, nil)
+	clean, err := ObservationAt(dev.Clone(0), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err = f.Measure(context.Background(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for shift := -2; shift <= 2 && !found; shift++ {
+		if shift == 0 {
+			continue
+		}
+		ref := append([]float64(nil), clean.Trace.Samples...)
+		desyncShift(ref, shift)
+		match := true
+		for j := range ref {
+			if ref[j] != o.Trace.Samples[j] {
+				match = false
+				break
+			}
+		}
+		found = match
+	}
+	if !found {
+		t.Fatal("desynced trace is not a bounded shift of the clean trace")
+	}
+}
+
+// CollectContext honors cancellation and returns the prefix gathered so
+// far.
+func TestCollectContextCancel(t *testing.T) {
+	dev := flakyTestDevice(t)
+	c := NewCampaign(dev, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	obs, err := c.CollectContext(ctx, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if len(obs) != 0 {
+		t.Fatalf("got %d observations after immediate cancel", len(obs))
+	}
+	obs, err = NewCampaign(dev, 3).CollectContext(context.Background(), 4)
+	if err != nil || len(obs) != 4 {
+		t.Fatalf("clean collect: %d obs, err %v", len(obs), err)
+	}
+}

@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"falcondown/internal/emleak"
+)
+
+// VirtualClock is a deterministic emleak.Clock for supervisor tests: time
+// is a logical counter that only moves when someone sleeps, so suites
+// exercising multi-second timeout/backoff/breaker schedules finish in
+// microseconds with zero wall-clock dependence.
+//
+// Sleep advances the clock by the requested duration instead of
+// blocking; every Advance fires the After timers whose deadlines it
+// crossed, in deadline order. A goroutine modeling a hung device thus
+// drives the deadlines of everyone waiting on the same clock — exactly
+// the role wall time plays on a real bench.
+type VirtualClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*vtimer // sorted by deadline
+}
+
+type vtimer struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewVirtualClock returns a clock starting at a fixed epoch.
+func NewVirtualClock() *VirtualClock {
+	return &VirtualClock{now: time.Unix(0, 0)}
+}
+
+// Now implements emleak.Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements emleak.Clock: the returned channel delivers once the
+// virtual clock reaches now+d.
+func (c *VirtualClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &vtimer{deadline: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if !t.deadline.After(c.now) {
+		t.ch <- c.now
+		return t.ch
+	}
+	i := sort.Search(len(c.timers), func(i int) bool {
+		return c.timers[i].deadline.After(t.deadline)
+	})
+	c.timers = append(c.timers, nil)
+	copy(c.timers[i+1:], c.timers[i:])
+	c.timers[i] = t
+	return t.ch
+}
+
+// Sleep implements emleak.Clock: it checks ctx, advances the virtual
+// clock by d (firing any timers that deadline within the window), and
+// checks ctx again — never blocking on wall time.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Advance(d)
+	// Yield so goroutines released by the fired timers get scheduled
+	// before the sleeper loops around (a hung device stepping the clock
+	// must let deadline waiters react between steps).
+	runtime.Gosched()
+	return ctx.Err()
+}
+
+// Advance moves the clock forward by d, delivering every timer whose
+// deadline falls within the window, in deadline order.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	fired := 0
+	for fired < len(c.timers) && !c.timers[fired].deadline.After(c.now) {
+		c.timers[fired].ch <- c.timers[fired].deadline
+		fired++
+	}
+	c.timers = c.timers[fired:]
+	c.mu.Unlock()
+}
+
+// Pending reports how many timers are armed (test introspection).
+func (c *VirtualClock) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}
+
+var _ emleak.Clock = (*VirtualClock)(nil)
+
+// ScriptedDevice is a pool-device test double driven by an explicit
+// per-index script instead of probabilities: exact control over which
+// observation hangs, errors, or delays, for supervisor tests that assert
+// precise retry/breaker/hedge behavior.
+type ScriptedDevice struct {
+	dev   *emleak.Device
+	clock emleak.Clock
+
+	mu     sync.Mutex
+	script map[uint64][]Step // consumed front-first per index
+	calls  int
+}
+
+// Step is one scripted Measure outcome.
+type Step struct {
+	// Delay is slept (through the clock) before the outcome applies.
+	Delay time.Duration
+	// Hang, when set, ignores Err and blocks until ctx is cancelled.
+	Hang bool
+	// Err, when non-nil, fails the call after Delay.
+	Err error
+}
+
+// NewScriptedDevice wraps dev; clock may be nil for wall time.
+func NewScriptedDevice(dev *emleak.Device, clock emleak.Clock) *ScriptedDevice {
+	if clock == nil {
+		clock = emleak.WallClock{}
+	}
+	return &ScriptedDevice{dev: dev, clock: clock, script: make(map[uint64][]Step)}
+}
+
+// On appends scripted steps for observation idx: the first Measure(idx)
+// call consumes the first step, and so on; calls beyond the script
+// succeed immediately.
+func (d *ScriptedDevice) On(idx uint64, steps ...Step) *ScriptedDevice {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.script[idx] = append(d.script[idx], steps...)
+	return d
+}
+
+// Calls reports how many Measure calls the device has served.
+func (d *ScriptedDevice) Calls() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.calls
+}
+
+// N returns the wrapped device's ring degree.
+func (d *ScriptedDevice) N() int { return d.dev.N() }
+
+// Measure implements the supervisor's Device interface.
+func (d *ScriptedDevice) Measure(ctx context.Context, seed, idx uint64) (emleak.Observation, error) {
+	d.mu.Lock()
+	d.calls++
+	var step Step
+	if s := d.script[idx]; len(s) > 0 {
+		step = s[0]
+		d.script[idx] = s[1:]
+	}
+	d.mu.Unlock()
+	if step.Delay > 0 {
+		if err := d.clock.Sleep(ctx, step.Delay); err != nil {
+			return emleak.Observation{}, err
+		}
+	}
+	if step.Hang {
+		for {
+			if err := d.clock.Sleep(ctx, 250*time.Millisecond); err != nil {
+				return emleak.Observation{}, err
+			}
+		}
+	}
+	if step.Err != nil {
+		return emleak.Observation{}, step.Err
+	}
+	if err := ctx.Err(); err != nil {
+		return emleak.Observation{}, err
+	}
+	return emleak.ObservationAt(d.dev.Clone(0), seed, idx)
+}

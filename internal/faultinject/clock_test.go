@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/rng"
+)
+
+func TestVirtualClockAdvanceFiresTimers(t *testing.T) {
+	c := NewVirtualClock()
+	t0 := c.Now()
+	ch1 := c.After(100 * time.Millisecond)
+	ch2 := c.After(300 * time.Millisecond)
+	if c.Pending() != 2 {
+		t.Fatalf("Pending = %d", c.Pending())
+	}
+	c.Advance(150 * time.Millisecond)
+	select {
+	case at := <-ch1:
+		if got := at.Sub(t0); got != 100*time.Millisecond {
+			t.Fatalf("timer fired at +%v", got)
+		}
+	default:
+		t.Fatal("100ms timer did not fire after 150ms advance")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("300ms timer fired early")
+	default:
+	}
+	c.Advance(150 * time.Millisecond)
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("300ms timer did not fire after 300ms total")
+	}
+	if got := c.Now().Sub(t0); got != 300*time.Millisecond {
+		t.Fatalf("Now advanced by %v", got)
+	}
+}
+
+func TestVirtualClockImmediateAfter(t *testing.T) {
+	c := NewVirtualClock()
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("zero-duration After must be ready immediately")
+	}
+}
+
+func TestVirtualClockSleepAdvancesAndHonorsCtx(t *testing.T) {
+	c := NewVirtualClock()
+	t0 := c.Now()
+	if err := c.Sleep(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Now().Sub(t0) != time.Second {
+		t.Fatal("Sleep did not advance the clock")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Sleep(ctx, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx = %v", err)
+	}
+}
+
+// A hung goroutine sleeping on the virtual clock drives another
+// goroutine's After deadline — the interplay the supervisor tests rely
+// on — without any wall-clock sleeps.
+func TestVirtualClockHangDrivesWaiters(t *testing.T) {
+	c := NewVirtualClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	deadline := c.After(2 * time.Second)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the "hung device"
+		defer wg.Done()
+		for c.Sleep(ctx, 250*time.Millisecond) == nil {
+		}
+	}()
+
+	<-deadline // only reachable if the hanger advances virtual time
+	cancel()
+	wg.Wait()
+}
+
+func scriptedVictim(t *testing.T) *emleak.Device {
+	t.Helper()
+	priv, _, err := falcon.GenerateKey(8, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{}, emleak.Probe{Gain: 1, NoiseSigma: 1}, 2)
+}
+
+func TestScriptedDevice(t *testing.T) {
+	dev := scriptedVictim(t)
+	c := NewVirtualClock()
+	injected := errors.New("scripted failure")
+	sd := NewScriptedDevice(dev, c).
+		On(3, Step{Err: injected}, Step{Delay: 100 * time.Millisecond})
+
+	if _, err := sd.Measure(context.Background(), 7, 3); !errors.Is(err, injected) {
+		t.Fatalf("first call err = %v", err)
+	}
+	t0 := c.Now()
+	o, err := sd.Measure(context.Background(), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Now().Sub(t0) != 100*time.Millisecond {
+		t.Fatal("scripted delay did not advance the virtual clock")
+	}
+	want, err := emleak.ObservationAt(dev.Clone(0), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Trace.Samples {
+		if o.Trace.Samples[j] != want.Trace.Samples[j] {
+			t.Fatal("scripted device observation differs from ObservationAt")
+		}
+	}
+	// Unscripted indices succeed immediately.
+	if _, err := sd.Measure(context.Background(), 7, 99); err != nil {
+		t.Fatal(err)
+	}
+	if sd.Calls() != 3 {
+		t.Fatalf("Calls = %d", sd.Calls())
+	}
+}
+
+func TestScriptedDeviceHang(t *testing.T) {
+	dev := scriptedVictim(t)
+	c := NewVirtualClock()
+	sd := NewScriptedDevice(dev, c).On(0, Step{Hang: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sd.Measure(ctx, 1, 0)
+		done <- err
+	}()
+	// The hang loop spins the virtual clock; cancel and it must return.
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("hang returned %v", err)
+	}
+}

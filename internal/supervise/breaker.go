@@ -1,0 +1,175 @@
+package supervise
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-device circuit breaker. A wedged capture device must not keep
+// eating per-observation timeouts: after Threshold consecutive failures
+// the breaker opens and the router skips the device instantly (failing
+// over to the next one in the ring); after OpenFor it admits a bounded
+// number of probe measurements, closing again only when they all
+// succeed.
+
+// BreakerConfig tunes the per-device circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (default 5).
+	Threshold int
+	// OpenFor is how long an open breaker rejects attempts before
+	// admitting probes (default 30s).
+	OpenFor time.Duration
+	// Probes is how many trial measurements the half-open state admits;
+	// all must succeed to close the breaker (default 1).
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 30 * time.Second
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+// Breaker states as reported in BreakerStatus.
+const (
+	StateClosed   = "closed"
+	StateOpen     = "open"
+	StateHalfOpen = "half-open"
+)
+
+type breakerState int
+
+const (
+	stClosed breakerState = iota
+	stOpen
+	stHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stOpen:
+		return StateOpen
+	case stHalfOpen:
+		return StateHalfOpen
+	}
+	return StateClosed
+}
+
+// breaker is the closed/open/half-open state machine for one device.
+type breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state    breakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  int // probe attempts in flight while half-open
+	probeOK  int // probe successes so far
+
+	// Lifetime counters for the report.
+	successes, failed, skips int
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// allow reports whether an attempt may be routed to this device now,
+// transitioning open→half-open once OpenFor has elapsed. A false return
+// is a skip (counted for the report).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stClosed:
+		return true
+	case stOpen:
+		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+			b.skips++
+			return false
+		}
+		b.state = stHalfOpen
+		b.probing = 1
+		b.probeOK = 0
+		return true
+	default: // half-open
+		if b.probing < b.cfg.Probes {
+			b.probing++
+			return true
+		}
+		b.skips++
+		return false
+	}
+}
+
+// record folds in the outcome of one attempt on this device.
+func (b *breaker) record(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.successes++
+	} else {
+		b.failed++
+	}
+	switch b.state {
+	case stClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = stOpen
+			b.openedAt = now
+		}
+	case stHalfOpen:
+		if b.probing > 0 {
+			b.probing--
+		}
+		if !ok {
+			// A failed probe reopens the breaker for a fresh OpenFor.
+			b.state = stOpen
+			b.openedAt = now
+			b.probeOK = 0
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			b.state = stClosed
+			b.failures = 0
+		}
+	case stOpen:
+		// A stale record from an attempt dispatched before the breaker
+		// opened; the state machine ignores it.
+	}
+}
+
+// BreakerStatus is the reported state of one device's breaker.
+type BreakerStatus struct {
+	Device    int
+	State     string // closed | open | half-open
+	Successes int    // measurements that returned an observation
+	Failures  int    // measurements that errored, hung or timed out
+	Skips     int    // attempts rejected while the breaker was open
+}
+
+// snapshot returns the report view of the breaker.
+func (b *breaker) snapshot(device int) BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{
+		Device:    device,
+		State:     b.state.String(),
+		Successes: b.successes,
+		Failures:  b.failed,
+		Skips:     b.skips,
+	}
+}

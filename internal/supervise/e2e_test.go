@@ -1,0 +1,117 @@
+package supervise
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+	"falcondown/internal/faultinject"
+	"falcondown/internal/rng"
+	"falcondown/internal/tracestore"
+)
+
+// The acceptance scenario of the supervisor issue, end to end: a
+// three-device pool where device 0 hangs indefinitely on every
+// measurement and device 1 injects ~5% glitched plus ~5% desynced traces,
+// running entirely on a virtual clock. The campaign must complete, the
+// hung device's breaker must be reported open, the robust CPA must
+// recover the exact key from the dirty corpus, and a resumed campaign
+// must be byte-identical to an uninterrupted one.
+//
+// Acquisition runs with Workers=1: with a device that alters trace bytes
+// (device 1), byte-level determinism requires the serialized schedule —
+// see the package documentation of the routing rules.
+func TestSupervisedPoolEndToEnd(t *testing.T) {
+	const (
+		n     = 8
+		count = 1200
+		seed  = 3
+	)
+	priv, _, err := falcon.GenerateKey(n, rng.New(1))
+	if err != nil {
+		t.Fatalf("keygen: %v", err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{}, emleak.Probe{Gain: 1, NoiseSigma: 1.5}, 2)
+
+	pool := func(clock emleak.Clock) []Device {
+		return []Device{
+			emleak.NewFlakyDevice(dev, emleak.Distortion{Seed: 11, HangProb: 1}, clock),
+			emleak.NewFlakyDevice(dev, emleak.Distortion{
+				Seed:        77,
+				GlitchProb:  0.05,
+				DesyncProb:  0.05,
+				DesyncShift: 2,
+			}, clock),
+			NewIdeal(dev),
+		}
+	}
+	opts := func(clock emleak.Clock, start int) PoolOptions {
+		return PoolOptions{
+			Workers: 1,
+			Start:   start,
+			Timeout: 2 * time.Second,
+			Hedge:   500 * time.Millisecond,
+			Breaker: BreakerConfig{Threshold: 3, OpenFor: time.Hour},
+			Clock:   clock,
+		}
+	}
+
+	// Uninterrupted supervised campaign.
+	clock := faultinject.NewVirtualClock()
+	var w sliceAppender
+	report, err := AcquirePool(context.Background(), pool(clock), seed, count, &w, opts(clock, 0))
+	if err != nil {
+		t.Fatalf("supervised acquisition: %v", err)
+	}
+	if len(w.obs) != count {
+		t.Fatalf("committed %d of %d observations", len(w.obs), count)
+	}
+
+	// The hung device's breaker is open; the campaign leaned on hedges
+	// and failover to route around it.
+	if b := report.Breakers[0]; b.State != StateOpen {
+		t.Fatalf("hung device breaker = %s, want open\n%s", b.State, report)
+	}
+	if report.Hedged == 0 {
+		t.Fatal("no hedges launched against the hanging primary")
+	}
+	if report.Retried == 0 {
+		t.Fatal("no failover retries after the breaker opened")
+	}
+
+	// Robust CPA recovers the exact key from the dirty corpus.
+	src := tracestore.NewSliceSource(n, w.obs)
+	out, _, err := core.AttackFFTfFrom(src, core.Config{
+		Robust: core.RobustConfig{TrimSigmas: 4, ResyncShift: 3, Winsorize: 4},
+	})
+	if err != nil {
+		t.Fatalf("robust attack: %v", err)
+	}
+	secret := priv.FFTOfF()
+	for k := range out {
+		if out[k].Re != secret[k].Re || out[k].Im != secret[k].Im {
+			t.Fatalf("recovered value %d differs from the secret", k)
+		}
+	}
+
+	// A resumed campaign — fresh pool, fresh clock, fresh breakers, as
+	// after a process restart — is byte-identical to the uninterrupted
+	// one.
+	const splitAt = 600
+	clock2 := faultinject.NewVirtualClock()
+	var w2 sliceAppender
+	if _, err := AcquirePool(context.Background(), pool(clock2), seed, splitAt, &w2, opts(clock2, 0)); err != nil {
+		t.Fatalf("first segment: %v", err)
+	}
+	clock3 := faultinject.NewVirtualClock()
+	if _, err := AcquirePool(context.Background(), pool(clock3), seed, count, &w2, opts(clock3, splitAt)); err != nil {
+		t.Fatalf("resumed segment: %v", err)
+	}
+	if !reflect.DeepEqual(w.obs, w2.obs) {
+		t.Fatal("resumed supervised campaign is not byte-identical to the uninterrupted one")
+	}
+}

@@ -1,0 +1,118 @@
+package supervise
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/rng"
+)
+
+// obsWith wraps raw samples as an observation (the gate only looks at the
+// trace).
+func obsWith(samples []float64) emleak.Observation {
+	return emleak.Observation{Trace: emleak.Trace{Samples: samples}}
+}
+
+// cleanTrace is a fixed waveform plus small deterministic noise: strong
+// enough structure that cross-correlation locks to lag 0.
+func cleanTrace(r *rng.Xoshiro, n int) []float64 {
+	s := make([]float64, n)
+	for j := range s {
+		s[j] = 20*math.Sin(float64(j)/2) + (r.Float64()*2 - 1)
+	}
+	return s
+}
+
+func TestGateConfigEnabled(t *testing.T) {
+	if (GateConfig{}).Enabled() {
+		t.Fatal("zero gate config must be disabled")
+	}
+	for _, cfg := range []GateConfig{{SatLevel: 100}, {EnergySigmas: 4}, {DesyncShift: 2}} {
+		if !cfg.Enabled() {
+			t.Fatalf("%+v should be enabled", cfg)
+		}
+	}
+}
+
+func TestGateFlagsSaturationImmediately(t *testing.T) {
+	g := newGate(GateConfig{SatLevel: 100})
+	bad := make([]float64, 64)
+	for j := range bad {
+		if j%8 == 0 { // 12.5% of samples pinned at the rail
+			bad[j] = 150
+		} else {
+			bad[j] = 5
+		}
+	}
+	// First trace ever — no warmup needed for the saturation detector.
+	if v := g.check(obsWith(bad)); !strings.Contains(v, "saturated") {
+		t.Fatalf("verdict = %q, want saturation flag", v)
+	}
+	ok := make([]float64, 64)
+	for j := range ok {
+		ok[j] = 50
+	}
+	if v := g.check(obsWith(ok)); v != "" {
+		t.Fatalf("clean trace flagged: %q", v)
+	}
+}
+
+func TestGateFlagsEnergyOutlierAfterWarmup(t *testing.T) {
+	g := newGate(GateConfig{EnergySigmas: 4, Window: 16, Warmup: 8})
+	r := rng.New(42)
+	for i := 0; i < 20; i++ {
+		if v := g.check(obsWith(cleanTrace(r, 96))); v != "" {
+			t.Fatalf("clean trace %d flagged: %q", i, v)
+		}
+	}
+	loud := cleanTrace(r, 96)
+	for j := range loud {
+		loud[j] *= 8
+	}
+	if v := g.check(obsWith(loud)); !strings.Contains(v, "energy outlier") {
+		t.Fatalf("verdict = %q, want energy-outlier flag", v)
+	}
+}
+
+func TestGateFlagsDesyncAfterWarmup(t *testing.T) {
+	g := newGate(GateConfig{DesyncShift: 3, Window: 16, Warmup: 8})
+	r := rng.New(7)
+	for i := 0; i < 20; i++ {
+		if v := g.check(obsWith(cleanTrace(r, 96))); v != "" {
+			t.Fatalf("clean trace %d flagged: %q", i, v)
+		}
+	}
+	shifted := cleanTrace(r, 96)
+	copy(shifted, shifted[2:]) // desync by 2 samples
+	if v := g.check(obsWith(shifted)); !strings.Contains(v, "desynced") {
+		t.Fatalf("verdict = %q, want desync flag", v)
+	}
+}
+
+// A burst of dirty traces must not drag the rolling baseline toward
+// itself: flagged observations are excluded from the statistics.
+func TestGateDirtyTracesDoNotPoisonBaseline(t *testing.T) {
+	g := newGate(GateConfig{EnergySigmas: 4, Window: 16, Warmup: 8})
+	r := rng.New(3)
+	for i := 0; i < 16; i++ {
+		g.check(obsWith(cleanTrace(r, 96)))
+	}
+	before := g.clean
+	loud := cleanTrace(r, 96)
+	for j := range loud {
+		loud[j] *= 8
+	}
+	for i := 0; i < 10; i++ { // a burst of identical outliers
+		if v := g.check(obsWith(append([]float64(nil), loud...))); v == "" {
+			t.Fatalf("outlier burst trace %d passed the gate", i)
+		}
+	}
+	if g.clean != before {
+		t.Fatalf("dirty traces entered the rolling statistics: clean %d -> %d", before, g.clean)
+	}
+	if v := g.check(obsWith(cleanTrace(r, 96))); v != "" {
+		t.Fatalf("clean trace flagged after outlier burst: %q", v)
+	}
+}

@@ -37,21 +37,38 @@ type ChunkFault struct {
 	Reason       string
 }
 
+// ObservationFault records one observation the acquisition-time quality
+// gate flagged as suspect: the bytes are in the corpus (supervised
+// acquisition writes every observation so resume offsets stay stable),
+// but the attack should consider masking it out.
+type ObservationFault struct {
+	Index  int    // observation index within the corpus
+	Reason string // detector verdict ("saturated", "energy outlier", "desynced")
+}
+
+// String formats one suspect observation for CLI output.
+func (f ObservationFault) String() string {
+	return fmt.Sprintf("observation %d: %s", f.Index, f.Reason)
+}
+
 // CorpusHealth reports the outcome of a lenient open: which shards needed
 // their footer reconstructed in memory, which chunks are quarantined, and
 // how many observations survive. The quarantine list is pinned — every
-// pass over the corpus skips exactly these chunks.
+// pass over the corpus skips exactly these chunks. Supervised acquisition
+// reuses the type to carry its quality-gate verdicts in Suspect.
 type CorpusHealth struct {
 	Shards        int
 	Reconstructed []string // shards opened without a valid trailer (in-memory salvage)
 	Quarantined   []ChunkFault
-	Healthy       int // observations readable
-	Lost          int // observations quarantined
+	Suspect       []ObservationFault // written but flagged by the online quality gate
+	Healthy       int                // observations readable
+	Lost          int                // observations quarantined
 }
 
-// Degraded reports whether any data was lost or reconstructed.
+// Degraded reports whether any data was lost, reconstructed, or flagged
+// suspect.
 func (h *CorpusHealth) Degraded() bool {
-	return len(h.Quarantined) > 0 || len(h.Reconstructed) > 0
+	return len(h.Quarantined) > 0 || len(h.Reconstructed) > 0 || len(h.Suspect) > 0
 }
 
 // String summarizes the health report for CLI output.
@@ -59,8 +76,12 @@ func (h *CorpusHealth) String() string {
 	if !h.Degraded() {
 		return fmt.Sprintf("corpus healthy: %d observations in %d shard(s)", h.Healthy, h.Shards)
 	}
-	return fmt.Sprintf("corpus degraded: %d observations readable, %d lost in %d quarantined chunk(s), %d shard footer(s) reconstructed",
+	s := fmt.Sprintf("corpus degraded: %d observations readable, %d lost in %d quarantined chunk(s), %d shard footer(s) reconstructed",
 		h.Healthy, h.Lost, len(h.Quarantined), len(h.Reconstructed))
+	if len(h.Suspect) > 0 {
+		s += fmt.Sprintf(", %d observation(s) flagged suspect by the quality gate", len(h.Suspect))
+	}
+	return s
 }
 
 // OpenLenient resolves path exactly like Open but tolerates damage: a

@@ -1,0 +1,77 @@
+package tracestore
+
+import (
+	"sort"
+
+	"falcondown/internal/emleak"
+)
+
+// MaskedSource wraps a Source, skipping a pinned set of observation
+// indices on every pass — the bridge between the quality gate's suspect
+// list and the attack: supervised acquisition writes every observation
+// (so resume offsets stay stable) and the attack masks the flagged ones
+// out. Like the lenient reader's chunk quarantine, the skip set is fixed
+// at construction, so every Iterate sweeps the identical subset in the
+// identical order.
+type MaskedSource struct {
+	inner Source
+	skip  map[int]bool
+	count int
+}
+
+// NewMaskedSource wraps src, hiding the observations at the given corpus
+// indices. Out-of-range and duplicate indices are ignored.
+func NewMaskedSource(src Source, skip []int) *MaskedSource {
+	m := &MaskedSource{inner: src, skip: make(map[int]bool, len(skip))}
+	sorted := append([]int(nil), skip...)
+	sort.Ints(sorted)
+	for _, i := range sorted {
+		if i >= 0 && i < src.Count() && !m.skip[i] {
+			m.skip[i] = true
+		}
+	}
+	m.count = src.Count() - len(m.skip)
+	return m
+}
+
+// N implements Source.
+func (m *MaskedSource) N() int { return m.inner.N() }
+
+// Count implements Source (observations after masking).
+func (m *MaskedSource) Count() int { return m.count }
+
+// Skipped reports how many observations the mask hides.
+func (m *MaskedSource) Skipped() int { return len(m.skip) }
+
+// Iterate implements Source.
+func (m *MaskedSource) Iterate() (Iterator, error) {
+	it, err := m.inner.Iterate()
+	if err != nil {
+		return nil, err
+	}
+	return &maskedIterator{inner: it, skip: m.skip}, nil
+}
+
+type maskedIterator struct {
+	inner Iterator
+	skip  map[int]bool
+	pos   int
+}
+
+func (it *maskedIterator) Next() (emleak.Observation, error) {
+	for {
+		o, err := it.inner.Next()
+		if err != nil {
+			return o, err
+		}
+		i := it.pos
+		it.pos++
+		if !it.skip[i] {
+			return o, nil
+		}
+	}
+}
+
+func (it *maskedIterator) Close() error { return it.inner.Close() }
+
+var _ Source = (*MaskedSource)(nil)

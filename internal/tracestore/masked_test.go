@@ -1,0 +1,90 @@
+package tracestore
+
+import (
+	"io"
+	"testing"
+
+	"falcondown/internal/emleak"
+)
+
+func maskedTestObs(n int) []emleak.Observation {
+	obs := make([]emleak.Observation, n)
+	for i := range obs {
+		obs[i] = emleak.Observation{Trace: emleak.Trace{Samples: []float64{float64(i)}}}
+	}
+	return obs
+}
+
+func TestMaskedSource(t *testing.T) {
+	src := NewSliceSource(8, maskedTestObs(10))
+	m := NewMaskedSource(src, []int{3, 7, 3, -1, 99})
+	if m.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", m.Count())
+	}
+	if m.Skipped() != 2 {
+		t.Fatalf("Skipped = %d, want 2", m.Skipped())
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d, want 8", m.N())
+	}
+	// Two passes must yield the identical subset in the identical order.
+	for pass := 0; pass < 2; pass++ {
+		it, err := m.Iterate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []float64{0, 1, 2, 4, 5, 6, 8, 9}
+		for _, w := range want {
+			o, err := it.Next()
+			if err != nil {
+				t.Fatalf("pass %d: Next: %v", pass, err)
+			}
+			if o.Trace.Samples[0] != w {
+				t.Fatalf("pass %d: got observation %v, want %v", pass, o.Trace.Samples[0], w)
+			}
+		}
+		if _, err := it.Next(); err != io.EOF {
+			t.Fatalf("pass %d: want EOF, got %v", pass, err)
+		}
+		it.Close()
+	}
+}
+
+func TestMaskedSourceEmptyMask(t *testing.T) {
+	src := NewSliceSource(8, maskedTestObs(3))
+	m := NewMaskedSource(src, nil)
+	if m.Count() != 3 || m.Skipped() != 0 {
+		t.Fatalf("Count=%d Skipped=%d, want 3/0", m.Count(), m.Skipped())
+	}
+	all, err := ReadAll(m)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("ReadAll: %d obs, err %v", len(all), err)
+	}
+}
+
+func TestCorpusHealthSuspect(t *testing.T) {
+	h := &CorpusHealth{Shards: 1, Healthy: 100}
+	if h.Degraded() {
+		t.Fatal("clean health reported degraded")
+	}
+	h.Suspect = append(h.Suspect, ObservationFault{Index: 7, Reason: "saturated"})
+	if !h.Degraded() {
+		t.Fatal("suspect observations must mark the corpus degraded")
+	}
+	s := h.String()
+	if s == "" || !containsStr(s, "suspect") {
+		t.Fatalf("String() = %q, want mention of suspects", s)
+	}
+	if fs := h.Suspect[0].String(); !containsStr(fs, "saturated") {
+		t.Fatalf("fault String() = %q", fs)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -10,7 +10,13 @@
 #   5. run the checkpointed attack to a verified forgery (exit 0, sidecar
 #      cleaned up);
 #   6. flip one byte mid-corpus: strict attack exits 2, lenient attack
-#      quarantines the chunk and still recovers the key.
+#      quarantines the chunk and still recovers the key;
+#   7. supervised pool with a permanently hung device: short per-attempt
+#      timeouts, hedging and the circuit breaker route around it, the
+#      breaker is reported open, and the corpus stays byte-identical to
+#      the single-device reference;
+#   8. a glitchy device dirties the corpus; the winsorized attack
+#      (-trim/-resync/-winsorize) still recovers the key and forges.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,5 +70,19 @@ rc=0
 out=$("$tmp/attack" -traces "$tmp/bad.fdt2" -pub "$tmp/victim.pub" -lenient -sig "$tmp/z.sig")
 echo "$out" | grep -q "quarantined" \
 	|| { echo "FAIL: lenient attack did not report the quarantine"; exit 1; }
+
+echo "== supervised pool: hung device 0, breaker opens, bytes identical"
+out=$(gen -out "$tmp/pool.fdt2" -pub "$tmp/victim.pub" \
+	-devices 3 -timeout 250ms -hedge 50ms -breaker 3 -flaky "0:hang")
+echo "$out" | grep -q "device 0: open" \
+	|| { echo "FAIL: hung device's breaker not reported open"; exit 1; }
+cmp "$tmp/ref.fdt2" "$tmp/pool.fdt2" \
+	|| { echo "FAIL: supervised corpus differs from single-device reference"; exit 1; }
+
+echo "== dirty corpus from a glitchy device: winsorized attack recovers"
+gen -out "$tmp/dirty.fdt2" -pub "$tmp/victim.pub" \
+	-devices 2 -flaky "1:glitch=0.10,1:desync=0.10"
+"$tmp/attack" -traces "$tmp/dirty.fdt2" -pub "$tmp/victim.pub" \
+	-trim 4 -resync 3 -winsorize 4 -sig "$tmp/w.sig"
 
 echo "smoke: all stages passed"
