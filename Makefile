@@ -18,10 +18,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Quick race pass over the concurrent paths (acquisition worker pool and
-# the multi-iterator attack sweeps).
+# Quick race pass over the concurrent paths (acquisition worker pool,
+# the parallel attack engine and its differential bit-identity suite,
+# the prefetch pipeline, and the statistics merge operations).
 race-short:
-	$(GO) test -race -short -run 'Acquire|Stream|Corpus|Pool|Breaker|Clock' ./internal/tracestore ./internal/core ./internal/supervise ./internal/faultinject
+	$(GO) test -race -short -shuffle=on -run 'Acquire|Stream|Corpus|Pool|Breaker|Clock|Differential|Parallel|Merge|Prefetch' ./internal/tracestore ./internal/core ./internal/supervise ./internal/faultinject ./internal/cpa
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -31,8 +32,10 @@ bench:
 smoke:
 	GO="$(GO)" ./scripts/smoke.sh
 
-# Short randomized pass over the corpus-parsing fuzz target.
+# Short randomized passes over the fuzz targets: corpus parsing and the
+# signature codec (canonicality + malformed-encoding rejection).
 fuzz:
 	$(GO) test -fuzz FuzzOpen -fuzztime 30s ./internal/tracestore
+	$(GO) test -fuzz FuzzSignatureCodec -fuzztime 30s ./internal/codec
 
 check: build vet test race-short

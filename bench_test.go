@@ -13,11 +13,13 @@ package falcondown
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"falcondown/internal/core"
 	"falcondown/internal/emleak"
 	"falcondown/internal/experiments"
+	"falcondown/internal/falcon"
 	"falcondown/internal/rng"
 	"falcondown/internal/supervise"
 	"falcondown/internal/tracestore"
@@ -328,5 +330,33 @@ func BenchmarkTVLA(b *testing.B) {
 			b.ReportMetric(r.MaxAbsT, "max_abs_t")
 			b.ReportMetric(float64(r.LeakyOps), "leaky_samples")
 		}
+	}
+}
+
+func BenchmarkAttack(b *testing.B) {
+	// The parallel attack engine on a FALCON-64 campaign. The sub-benchmarks
+	// differ ONLY in worker count — the recovered values are bit-identical
+	// (the differential suite in internal/core proves it), so the ratio of
+	// their ns/op is a pure scheduling speedup. EXPERIMENTS.md records the
+	// PARALLEL table measured from this benchmark.
+	priv, _, err := falcon.GenerateKey(64, rng.New(51))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: 2}, 52)
+	obs, err := emleak.NewCampaign(dev, 53).Collect(400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := tracestore.NewSliceSource(64, obs)
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.AttackFFTfFrom(src, core.Config{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -66,10 +66,14 @@ func main() {
 	trim := flag.Float64("trim", 0, "drop traces whose RMS energy sits this many robust sigmas from the corpus median (0 = off)")
 	resync := flag.Int("resync", 0, "re-align traces by cross-correlation within ± this many samples (0 = off)")
 	winsorize := flag.Float64("winsorize", 0, "clamp samples to mean ± this many sigmas per sample point before correlating (0 = off)")
+	workers := flag.Int("workers", 0, "parallel attack workers (0 = GOMAXPROCS); recovered key and checkpoints are bit-identical for any value")
 	flag.Parse()
 
-	robust := core.RobustConfig{TrimSigmas: *trim, ResyncShift: *resync, Winsorize: *winsorize}
-	if err := run(*tracePath, *pubPath, *msg, *sigOut, *lenient, *resume, robust); err != nil {
+	cfg := core.Config{
+		Robust:  core.RobustConfig{TrimSigmas: *trim, ResyncShift: *resync, Winsorize: *winsorize},
+		Workers: *workers,
+	}
+	if err := run(*tracePath, *pubPath, *msg, *sigOut, *lenient, *resume, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		switch {
 		case errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum):
@@ -81,7 +85,7 @@ func main() {
 	}
 }
 
-func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool, robust core.RobustConfig) error {
+func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool, cfg core.Config) error {
 	var corpus *tracestore.Corpus
 	var err error
 	if lenient {
@@ -133,12 +137,12 @@ func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool, robust co
 		}
 	}
 
-	if robust.Enabled() {
+	if cfg.Robust.Enabled() {
 		fmt.Printf("dirty-trace hardening on: trim %gσ, resync ±%d, winsorize %gσ\n",
-			robust.TrimSigmas, robust.ResyncShift, robust.Winsorize)
+			cfg.Robust.TrimSigmas, cfg.Robust.ResyncShift, cfg.Robust.Winsorize)
 	}
 	fmt.Println("running streamed divide-and-conquer extend-and-prune extraction...")
-	priv, report, err := core.RecoverKeyResumable(corpus, pub, core.Config{Robust: robust}, store)
+	priv, report, err := core.RecoverKeyResumable(corpus, pub, cfg, store)
 	if err != nil {
 		printPartialReport(report)
 		return fmt.Errorf("key recovery failed (detected, not silent): %w", err)

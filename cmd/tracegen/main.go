@@ -66,6 +66,7 @@ func main() {
 	shuffle := flag.Bool("shuffle", false, "enable the shuffling countermeasure")
 	workers := flag.Int("workers", 0, "acquisition goroutines (0 = GOMAXPROCS); output is identical for any value")
 	shardSize := flag.Int("shard-size", 0, "observations per shard file (0 = single file)")
+	chunkSize := flag.Int("chunk", 0, "observations per CRC-framed chunk inside a shard (0 = format default); smaller chunks lose less to a torn write and feed the attack's read-ahead pipeline at finer grain")
 	resume := flag.Bool("resume", false, "continue an interrupted campaign (salvages a torn final shard; requires identical other flags)")
 	devices := flag.Int("devices", 1, "measurement devices in the supervised pool (>1 enables supervision)")
 	timeout := flag.Duration("timeout", 0, "per-observation deadline of one supervised attempt (0 = none)")
@@ -80,7 +81,7 @@ func main() {
 	defer stop()
 
 	pf := poolFlags{devices: *devices, timeout: *timeout, hedge: *hedge, breaker: *breaker, flaky: *flaky}
-	err := run(ctx, *n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize, *resume, pf)
+	err := run(ctx, *n, *traces, *noise, *seed, *out, *pubOut, *shuffle, *workers, *shardSize, *chunkSize, *resume, pf)
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(130) // 128 + SIGINT: scripted campaigns can branch on interruption
@@ -105,7 +106,7 @@ func (p poolFlags) enabled() bool {
 	return p.devices > 1 || p.flaky != "" || p.timeout > 0 || p.hedge > 0 || p.breaker > 0
 }
 
-func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize int, resume bool, pf poolFlags) error {
+func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pubOut string, shuffle bool, workers, shardSize, chunkSize int, resume bool, pf poolFlags) error {
 	priv, pub, err := falcon.GenerateKey(n, rng.New(seed))
 	if err != nil {
 		return err
@@ -116,6 +117,7 @@ func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pu
 
 	opts := tracestore.Options{
 		ShardObs: shardSize,
+		ChunkObs: chunkSize,
 		OnShard: func(path string, obs int, bytes int64) {
 			fmt.Printf("  shard %s: %d observations, %d bytes\n", path, obs, bytes)
 		},

@@ -48,7 +48,9 @@ type (
 	// Probe is the synthetic acquisition channel.
 	Probe = emleak.Probe
 
-	// AttackConfig tunes the extend-and-prune attack.
+	// AttackConfig tunes the extend-and-prune attack, including the
+	// parallelism of its corpus sweeps (Workers); results are
+	// bit-identical for every worker count.
 	AttackConfig = core.Config
 	// AttackReport summarizes a key recovery.
 	AttackReport = core.RecoveryReport

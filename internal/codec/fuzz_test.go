@@ -1,0 +1,71 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSignatureCodec drives the Golomb–Rice signature codec with
+// adversarial byte streams. Two properties must hold for every input:
+//
+//  1. Canonicality: any stream Decompress accepts must re-Compress to the
+//     identical bytes at the same length. A second valid encoding of the
+//     same signature would break signature malleability assumptions (an
+//     attacker could re-randomize valid signatures without the key).
+//  2. Decoded coefficients stay in the encodable range, so an accepted
+//     stream can never round-trip through a rejecting Compress.
+//
+// Malformed streams (truncated, minus-zero, nonzero padding, runaway
+// unary runs) must be rejected with an error, never a panic or an
+// out-of-range coefficient.
+func FuzzSignatureCodec(f *testing.F) {
+	// Seed with valid encodings across the supported degrees…
+	for _, n := range []int{8, 16, 64} {
+		s := make([]int16, n)
+		for i := range s {
+			v := int16((i * 37) % 300)
+			if i%2 == 1 {
+				v = -v
+			}
+			s[i] = v
+		}
+		buf, err := Compress(s, 2*n)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf, uint8(n))
+	}
+	// …one maximal-magnitude coefficient (longest unary run)…
+	big, err := Compress([]int16{2047, -2047}, 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(big, uint8(2))
+	// …and malformed material: truncation, minus zero, dirty padding.
+	f.Add([]byte{0x80}, uint8(1))
+	f.Add([]byte{0x00, 0x80, 0xFF}, uint8(1))
+	f.Add([]byte{}, uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8) {
+		n := int(nRaw)%64 + 1
+		s, err := Decompress(data, n)
+		if err != nil {
+			return // rejection is fine; panics and hangs are what fuzzing hunts
+		}
+		if len(s) != n {
+			t.Fatalf("accepted stream decoded to %d coefficients, want %d", len(s), n)
+		}
+		for i, v := range s {
+			if v > 2047 || v < -2047 {
+				t.Fatalf("coefficient %d out of encodable range: %d", i, v)
+			}
+		}
+		re, err := Compress(s, len(data))
+		if err != nil {
+			t.Fatalf("accepted stream of %d bytes does not re-encode at that length: %v", len(data), err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("codec is not canonical: accepted % x, re-encoded % x", data, re)
+		}
+	})
+}

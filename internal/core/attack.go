@@ -95,6 +95,13 @@ type Config struct {
 	// passes. The zero value disables it. All fields are scalars so
 	// Config stays comparable for checkpoint binding.
 	Robust RobustConfig
+	// Workers sets the parallelism of the corpus passes (0 = one worker
+	// per CPU). It is pure scheduling: the parallel engine folds partial
+	// statistics in a pinned shard order, so results are bit-identical
+	// for every worker count. Because of that it is excluded from
+	// checkpoint binding — a campaign checkpointed at one worker count
+	// resumes at any other.
+	Workers int `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

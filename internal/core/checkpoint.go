@@ -24,12 +24,12 @@ import (
 // Attack phases in execution order. A checkpoint's Stage names the last
 // phase that COMPLETED; resume starts at the next one.
 const (
-	StageExponents   = "exponents"   // per-value exponent pass done
-	StageMantissa    = "mantissa"    // extend rounds + prune done for every value
-	StageEscalation  = "escalation"  // weak-prune beam escalation done
-	StageSigns       = "signs"       // joint sign pass done; values assembled
-	StageStragglers  = "stragglers"  // below-median retry done; attack complete
-	checkpointFormat = 1             // sidecar schema version
+	StageExponents   = "exponents"  // per-value exponent pass done
+	StageMantissa    = "mantissa"   // extend rounds + prune done for every value
+	StageEscalation  = "escalation" // weak-prune beam escalation done
+	StageSigns       = "signs"      // joint sign pass done; values assembled
+	StageStragglers  = "stragglers" // below-median retry done; attack complete
+	checkpointFormat = 1            // sidecar schema version
 )
 
 // stageRank maps a completed stage to the number of phases finished; the
@@ -110,7 +110,11 @@ func (c *Checkpoint) matches(n, count int, cfg Config) error {
 		return fmt.Errorf("%w: checkpoint is for a degree-%d campaign of %d traces, corpus has degree %d and %d traces",
 			ErrCheckpointMismatch, c.N, c.Count, n, count)
 	}
-	if c.Config != cfg {
+	// Workers is scheduling only (results are worker-count-independent),
+	// so it never binds a checkpoint to a topology: normalize both sides.
+	ckCfg, runCfg := c.Config, cfg
+	ckCfg.Workers, runCfg.Workers = 0, 0
+	if ckCfg != runCfg {
 		return fmt.Errorf("%w: checkpoint was written with a different attack configuration", ErrCheckpointMismatch)
 	}
 	rank, err := stageRank(c.Stage)

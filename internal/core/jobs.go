@@ -7,8 +7,14 @@ package core
 // streamed path (AttackFFTfFrom) feeds the *same* jobs from a replayable
 // on-disk Source, batching every value's job into shared passes so the
 // whole-key attack touches the corpus a bounded number of times
-// regardless of its size. Because both paths drive identical accumulators
-// in identical observation order, their results are bit-for-bit equal.
+// regardless of its size. Every path — slice-fed, streamed serial, and
+// the parallel engine at any worker count — accumulates through the same
+// canonical sharded reduction (see parallel.go), so their results are
+// bit-for-bit equal.
+//
+// Each job implements mergeJob: clone() returns a zero-state accumulator
+// sharing the job's read-only configuration (targets, candidate lists,
+// sample offsets), and merge() folds a clone's engine sums back in.
 
 import (
 	"math"
@@ -27,12 +33,26 @@ type passJob interface {
 	observe(o emleak.Observation)
 }
 
-// feedSlice drives jobs from an in-memory campaign.
+// feedSlice drives jobs from an in-memory campaign through the canonical
+// sharded reduction, so slice-fed results stay bit-identical to the
+// streamed and parallel paths. Jobs that cannot merge (none of the attack
+// jobs today) fall back to plain sequential accumulation.
 func feedSlice(obs []emleak.Observation, jobs ...passJob) {
-	for _, o := range obs {
-		for _, j := range jobs {
-			j.observe(o)
+	mjobs := make([]mergeJob, len(jobs))
+	for i, j := range jobs {
+		mj, ok := j.(mergeJob)
+		if !ok {
+			for _, o := range obs {
+				for _, j := range jobs {
+					j.observe(o)
+				}
+			}
+			return
 		}
+		mjobs[i] = mj
+	}
+	for lo := 0; lo < len(obs); lo += shardObs {
+		foldShard(mjobs, obs[lo:min(lo+shardObs, len(obs))])
 	}
 }
 
@@ -61,6 +81,14 @@ func (j *signJob) observe(o emleak.Observation) {
 		j.h[1] = float64(sc ^ 1)
 		t := o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(fpr.OpMulSign))]
 		j.engines[w].Update(j.h, t)
+	}
+}
+
+func (j *signJob) clone() mergeJob { return newSignJob(j.coeff, j.part) }
+
+func (j *signJob) merge(o mergeJob) {
+	for w, e := range o.(*signJob).engines {
+		j.engines[w].Merge(e)
 	}
 }
 
@@ -105,6 +133,14 @@ func (j *expJob) observe(o emleak.Observation) {
 		}
 		t := o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(fpr.OpMulExp))]
 		j.engines[w].Update(j.h, t)
+	}
+}
+
+func (j *expJob) clone() mergeJob { return newExpJob(j.coeff, j.part) }
+
+func (j *expJob) merge(o mergeJob) {
+	for w, e := range o.(*expJob).engines {
+		j.engines[w].Merge(e)
 	}
 }
 
@@ -296,6 +332,29 @@ func (j *extendRoundJob) observe(o emleak.Observation) {
 	}
 }
 
+// clone shares the round's candidate expansion (targets, next, mask —
+// all read-only during the pass) and gets fresh engines and scratch.
+func (j *extendRoundJob) clone() mergeJob {
+	engines := make([]*cpa.Engine, len(j.engines))
+	for i := range engines {
+		engines[i] = cpa.NewEngine(len(j.next))
+	}
+	return &extendRoundJob{
+		coeff:   j.coeff,
+		targets: j.targets,
+		next:    j.next,
+		mask:    j.mask,
+		engines: engines,
+		h:       make([]float64, len(j.next)),
+	}
+}
+
+func (j *extendRoundJob) merge(o mergeJob) {
+	for i, e := range o.(*extendRoundJob).engines {
+		j.engines[i].Merge(e)
+	}
+}
+
 // pruneJob is the prune phase: every surviving (D, C) pair is scored
 // against the intermediate additions mid = lh+hl, sum1 = mid+(ll>>25) and
 // sum2 = hh+(sum1>>25) in both windows, whose values the adversary can
@@ -358,6 +417,29 @@ func (j *pruneJob) observe(o emleak.Observation) {
 			j.engines[wi*len(j.ops)+oi].Update(j.h[wi*len(j.ops)+oi],
 				o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(op))])
 		}
+	}
+}
+
+// clone shares the pair list and op table and gets fresh engines.
+func (j *pruneJob) clone() mergeJob {
+	c := &pruneJob{
+		coeff:   j.coeff,
+		part:    j.part,
+		pairs:   j.pairs,
+		ops:     j.ops,
+		engines: make([]*cpa.Engine, len(j.engines)),
+		h:       make([][]float64, len(j.engines)),
+	}
+	for i := range c.engines {
+		c.engines[i] = cpa.NewEngine(len(j.pairs))
+		c.h[i] = make([]float64, len(j.pairs))
+	}
+	return c
+}
+
+func (j *pruneJob) merge(o mergeJob) {
+	for i, e := range o.(*pruneJob).engines {
+		j.engines[i].Merge(e)
 	}
 }
 
@@ -444,6 +526,23 @@ func (j *jointSignJob) observe(o emleak.Observation) {
 		j.t[k] = o.Trace.Samples[base+off]
 	}
 	j.eng.Update(j.hs, j.t)
+}
+
+// clone shares the candidate table and sample offsets and gets a fresh
+// matrix engine plus its own replay recorder and scratch.
+func (j *jointSignJob) clone() mergeJob {
+	return &jointSignJob{
+		coeff:         j.coeff,
+		cands:         j.cands,
+		sampleOffsets: j.sampleOffsets,
+		eng:           cpa.NewMatrixEngine(4, len(j.sampleOffsets)),
+		hs:            make([]float64, 4*len(j.sampleOffsets)),
+		t:             make([]float64, len(j.sampleOffsets)),
+	}
+}
+
+func (j *jointSignJob) merge(o mergeJob) {
+	j.eng.Merge(o.(*jointSignJob).eng)
 }
 
 func (j *jointSignJob) result() (sRe, sIm int, corr float64) {

@@ -40,22 +40,18 @@ func (r RobustConfig) Enabled() bool {
 	return r.TrimSigmas > 0 || r.ResyncShift > 0 || r.Winsorize > 0
 }
 
-// funcJob adapts a closure to the passJob interface so the preprocessing
-// statistics passes ride the same transient-retrying sweep as the attack.
-type funcJob func(o emleak.Observation)
-
-func (f funcJob) observe(o emleak.Observation) { f(o) }
-
 // prepareRobust derives the preprocessing plan from the corpus (up to
 // three extra sweeps) and returns the transforming source. The plan is a
-// pure function of the corpus bytes and rc, so resumed attacks rebuild
-// the identical plan.
-func prepareRobust(src Source, rc RobustConfig) (Source, error) {
-	// Pass 1: per-trace RMS energies.
-	rms := make([]float64, 0, src.Count())
-	if err := sweep(src, []passJob{funcJob(func(o emleak.Observation) {
-		rms = append(rms, cpa.RMS(o.Trace.Samples))
-	})}); err != nil {
+// pure function of the corpus bytes and rc — never of the worker count:
+// the per-trace pass writes into index-keyed slots and the per-sample
+// pass folds shard partials in the canonical order — so resumed attacks
+// rebuild the identical plan at any parallelism.
+func prepareRobust(src Source, rc RobustConfig, workers int) (Source, error) {
+	// Pass 1: per-trace RMS energies, keyed by corpus index.
+	rms := make([]float64, src.Count())
+	if err := parallelMap(src, workers, func(idx int, o emleak.Observation) {
+		rms[idx] = cpa.RMS(o.Trace.Samples)
+	}); err != nil {
 		return nil, err
 	}
 	var skip []int
@@ -72,7 +68,7 @@ func prepareRobust(src Source, rc RobustConfig) (Source, error) {
 	}
 
 	// Pass 2 (kept traces): per-sample mean template and variance.
-	mean, m2, n, err := sampleStats(base, nil, rc, false)
+	mean, m2, n, err := sampleStats(base, nil, false, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +81,7 @@ func prepareRobust(src Source, rc RobustConfig) (Source, error) {
 	// Pass 3: refine the bounds on resynced-and-clamped data, so the
 	// outliers being clamped do not inflate the σ that bounds them.
 	rs.lo, rs.hi = lo, hi
-	mean2, m22, n2, err := sampleStats(base, rs, rc, true)
+	mean2, m22, n2, err := sampleStats(base, rs, true, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -140,34 +136,73 @@ func medianOf(vals []float64) float64 {
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
-// sampleStats accumulates per-sample Welford mean/m2 over one pass of
-// src. When transform is non-nil the pass sees traces through the given
-// robustSource's resync/clamp pipeline (used by the refinement pass).
-func sampleStats(src Source, transform *robustSource, rc RobustConfig, clamp bool) (mean, m2 []float64, n int, err error) {
-	var scratch []float64
-	err = sweep(src, []passJob{funcJob(func(o emleak.Observation) {
-		s := o.Trace.Samples
-		if transform != nil {
-			if scratch == nil {
-				scratch = make([]float64, len(s))
-			}
-			copy(scratch, s)
-			transform.apply(scratch, clamp)
-			s = scratch
+// welfordJob accumulates per-sample Welford statistics as a mergeJob, so
+// the preprocessing statistics ride the same canonical sharded reduction
+// as the attack passes: clones fold their shard partials in shard order
+// (Chan's combination in RunningStats.Merge), making the derived plan a
+// deterministic, worker-count-independent function of the corpus. When
+// transform is non-nil each trace is seen through the robustSource's
+// resync/clamp pipeline (used by the refinement pass); apply is
+// read-only on the source's plan, so clones share it safely.
+type welfordJob struct {
+	transform *robustSource
+	clamp     bool
+	stats     []cpa.RunningStats // lazily sized to the trace length
+	scratch   []float64
+}
+
+func (j *welfordJob) observe(o emleak.Observation) {
+	s := o.Trace.Samples
+	if j.transform != nil {
+		if j.scratch == nil {
+			j.scratch = make([]float64, len(s))
 		}
-		if mean == nil {
-			mean = make([]float64, len(s))
-			m2 = make([]float64, len(s))
-		}
-		n++
-		fn := float64(n)
-		for j, v := range s {
-			d := v - mean[j]
-			mean[j] += d / fn
-			m2[j] += d * (v - mean[j])
-		}
-	})})
-	return mean, m2, n, err
+		copy(j.scratch, s)
+		j.transform.apply(j.scratch, j.clamp)
+		s = j.scratch
+	}
+	if j.stats == nil {
+		j.stats = make([]cpa.RunningStats, len(s))
+	}
+	for i, v := range s {
+		j.stats[i].Add(v)
+	}
+}
+
+func (j *welfordJob) clone() mergeJob {
+	return &welfordJob{transform: j.transform, clamp: j.clamp}
+}
+
+func (j *welfordJob) merge(o mergeJob) {
+	ow := o.(*welfordJob)
+	if ow.stats == nil {
+		return
+	}
+	if j.stats == nil {
+		j.stats = make([]cpa.RunningStats, len(ow.stats))
+	}
+	for i := range j.stats {
+		j.stats[i].Merge(ow.stats[i])
+	}
+}
+
+// sampleStats accumulates per-sample mean/m2 over one pass of src.
+func sampleStats(src Source, transform *robustSource, clamp bool, workers int) (mean, m2 []float64, n int, err error) {
+	j := &welfordJob{transform: transform, clamp: clamp}
+	if err := runPass(src, []passJob{j}, workers); err != nil {
+		return nil, nil, 0, err
+	}
+	if j.stats == nil {
+		return nil, nil, 0, nil
+	}
+	mean = make([]float64, len(j.stats))
+	m2 = make([]float64, len(j.stats))
+	n = j.stats[0].N()
+	for i := range j.stats {
+		mean[i] = j.stats[i].Mean()
+		m2[i] = j.stats[i].M2()
+	}
+	return mean, m2, n, nil
 }
 
 // winsorBounds converts per-sample Welford accumulators into clamp bands

@@ -88,7 +88,7 @@ func TestRobustSourceDeterministicPasses(t *testing.T) {
 	dev, _, _ := deviceFor(t, 8, 1.5, 1)
 	obs := dirtyCorpus(t, dev, 300)
 	src := tracestore.NewSliceSource(8, obs)
-	rs, err := prepareRobust(src, RobustConfig{TrimSigmas: 4, ResyncShift: 3, Winsorize: 4})
+	rs, err := prepareRobust(src, RobustConfig{TrimSigmas: 4, ResyncShift: 3, Winsorize: 4}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestRobustSourceDeterministicPasses(t *testing.T) {
 	}
 	// And rebuilding the plan from scratch (what a resumed attack does)
 	// yields the same bytes again.
-	rs2, err := prepareRobust(src, RobustConfig{TrimSigmas: 4, ResyncShift: 3, Winsorize: 4})
+	rs2, err := prepareRobust(src, RobustConfig{TrimSigmas: 4, ResyncShift: 3, Winsorize: 4}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

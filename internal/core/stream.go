@@ -3,8 +3,6 @@ package core
 import (
 	"errors"
 	"io"
-	"runtime"
-	"sync"
 	"time"
 
 	"falcondown/internal/cpa"
@@ -57,46 +55,6 @@ func sweep(src Source, jobs []passJob) error {
 	}
 }
 
-// runPass drives one logical campaign pass for all jobs. Jobs are
-// partitioned across GOMAXPROCS workers, each running its own sweep with
-// its own iterator, so no per-observation synchronization is needed and
-// every job still sees the corpus in order — results are deterministic
-// for any worker count.
-func runPass(src Source, jobs []passJob) error {
-	if len(jobs) == 0 {
-		return nil
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		return sweep(src, jobs)
-	}
-	per := (len(jobs) + workers - 1) / workers
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := min(lo+per, len(jobs))
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w int, part []passJob) {
-			defer wg.Done()
-			errs[w] = sweep(src, part)
-		}(w, jobs[lo:hi])
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // mantItem names one value (index 2·coeff + part) and the beam
 // configuration for its mantissa attack.
 type mantItem struct {
@@ -114,7 +72,7 @@ type mantOut struct {
 // values against shared corpus passes: every pass feeds every value's
 // round job, so the pass count is bounded by the round count (≤7 with the
 // default 5-bit window), not by the number of values.
-func runMantissa(src Source, items []mantItem) ([]mantOut, error) {
+func runMantissa(src Source, items []mantItem, workers int) ([]mantOut, error) {
 	los := make([]*extendState, len(items))
 	his := make([]*extendState, len(items))
 	states := make([]*extendState, 0, 2*len(items))
@@ -136,7 +94,7 @@ func runMantissa(src Source, items []mantItem) ([]mantOut, error) {
 		if len(jobs) == 0 {
 			break
 		}
-		if err := runPass(src, jobs); err != nil {
+		if err := runPass(src, jobs, workers); err != nil {
 			return nil, err
 		}
 		for _, s := range active {
@@ -149,7 +107,7 @@ func runMantissa(src Source, items []mantItem) ([]mantOut, error) {
 		pjobs[i] = newPruneJob(it.idx/2, Part(it.idx%2), los[i].cands, his[i].cands)
 		jobs[i] = pjobs[i]
 	}
-	if err := runPass(src, jobs); err != nil {
+	if err := runPass(src, jobs, workers); err != nil {
 		return nil, err
 	}
 	out := make([]mantOut, len(items))
@@ -191,11 +149,13 @@ func AttackFFTfResumable(src Source, cfg Config, store CheckpointStore) ([]fft.C
 	if src == nil || src.Count() == 0 {
 		return nil, nil, errNoTraces
 	}
+	workers := effectiveWorkers(cfg.Workers)
 	if cfg.Robust.Enabled() {
-		// The preprocessing plan is a pure function of (corpus, config),
-		// so a resumed attack rebuilds the identical transformed source;
-		// the checkpoint's Count binds the post-trim trace count.
-		rsrc, err := prepareRobust(src, cfg.Robust)
+		// The preprocessing plan is a pure function of (corpus, config) —
+		// never of the worker count — so a resumed attack rebuilds the
+		// identical transformed source; the checkpoint's Count binds the
+		// post-trim trace count.
+		rsrc, err := prepareRobust(src, cfg.Robust, workers)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -205,11 +165,12 @@ func AttackFFTfResumable(src Source, cfg Config, store CheckpointStore) ([]fft.C
 		src = rsrc
 	}
 	a := &attackRun{
-		src:   src,
-		cfg:   cfg,
-		store: store,
-		n:     src.N(),
-		count: src.Count(),
+		src:     src,
+		cfg:     cfg,
+		store:   store,
+		workers: workers,
+		n:       src.N(),
+		count:   src.Count(),
 	}
 	a.half = a.n / 2
 	a.nVals = 2 * a.half
@@ -254,9 +215,10 @@ func AttackFFTfResumable(src Source, cfg Config, store CheckpointStore) ([]fft.C
 // attackRun is the staged whole-key attack: the per-phase working state
 // plus the checkpoint plumbing that persists it between phases.
 type attackRun struct {
-	src   Source
-	cfg   Config
-	store CheckpointStore
+	src     Source
+	cfg     Config
+	store   CheckpointStore
+	workers int
 
 	n, half, count, nVals int
 
@@ -296,11 +258,16 @@ func (a *attackRun) save(stage string) error {
 	if a.store == nil {
 		return nil
 	}
+	// The sidecar must be byte-identical regardless of worker topology
+	// (the differential suite compares them), so Workers is zeroed on top
+	// of its json:"-" exclusion.
+	cfg := a.cfg
+	cfg.Workers = 0
 	ck := &Checkpoint{
 		Format: checkpointFormat,
 		N:      a.n,
 		Count:  a.count,
-		Config: a.cfg,
+		Config: cfg,
 		Stage:  stage,
 	}
 	ck.Mags = make([]MagCheckpoint, len(a.mags))
@@ -324,7 +291,7 @@ func (a *attackRun) stageExponents() error {
 		expJobs[v] = newExpJob(v/2, Part(v%2))
 		jobs[v] = expJobs[v]
 	}
-	if err := runPass(a.src, jobs); err != nil {
+	if err := runPass(a.src, jobs, a.workers); err != nil {
 		return err
 	}
 	a.mags = make([]magnitude, a.nVals)
@@ -342,7 +309,7 @@ func (a *attackRun) stageMantissa() error {
 	for v := range all {
 		all[v] = mantItem{idx: v, cfg: a.cfg}
 	}
-	outs, err := runMantissa(a.src, all)
+	outs, err := runMantissa(a.src, all, a.workers)
 	if err != nil {
 		return err
 	}
@@ -371,7 +338,7 @@ func (a *attackRun) stageEscalation() error {
 	if len(esc) == 0 {
 		return nil
 	}
-	eouts, err := runMantissa(a.src, esc)
+	eouts, err := runMantissa(a.src, esc, a.workers)
 	if err != nil {
 		return err
 	}
@@ -395,7 +362,7 @@ func (a *attackRun) stageSigns() error {
 		jjobs[k] = newJointSignJob(k, a.mags[2*k].abs(), a.mags[2*k+1].abs())
 		jobs[k] = jjobs[k]
 	}
-	if err := runPass(a.src, jobs); err != nil {
+	if err := runPass(a.src, jobs, a.workers); err != nil {
 		return err
 	}
 	a.out = make([]fft.Cplx, a.half)
@@ -453,11 +420,12 @@ func retryMaxBeam(src Source, cfg Config, out []fft.Cplx, results []ValueResult,
 	retry := cfg.withDefaults()
 	retry.TopK = maxTopK
 	retry.EscalateBelow = -1 // beam already maximal; no inner escalation
+	workers := effectiveWorkers(retry.Workers)
 	items := make([]mantItem, len(indices))
 	for i, v := range indices {
 		items[i] = mantItem{idx: v, cfg: retry}
 	}
-	wouts, err := runMantissa(src, items)
+	wouts, err := runMantissa(src, items, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -481,7 +449,7 @@ func retryMaxBeam(src Source, cfg Config, out []fft.Cplx, results []ValueResult,
 		absRe := fpr.Abs(out[k].Re)
 		absIm := fpr.Abs(out[k].Im)
 		jj := newJointSignJob(k, absRe, absIm)
-		if err := runPass(src, []passJob{jj}); err != nil {
+		if err := runPass(src, []passJob{jj}, workers); err != nil {
 			return improved, err
 		}
 		s0, s1, signCorr := jj.result()

@@ -51,6 +51,28 @@ func (e *Engine) Update(h []float64, t float64) {
 	}
 }
 
+// Merge folds another engine's accumulators into e, as if e had also
+// observed every trace o observed. Because the engine state is plain sums,
+// merging partials in a FIXED order is deterministic: the same partition
+// of a campaign merged in the same order yields the same bits on every
+// run, regardless of how many goroutines computed the partials. The
+// parallel attack engine relies on this — partial engines are always
+// combined in shard-index order, never arrival order. Both engines must
+// have the same hypothesis count. o is not modified.
+func (e *Engine) Merge(o *Engine) {
+	if len(e.sumH) != len(o.sumH) {
+		panic("cpa: Merge of engines with different hypothesis counts")
+	}
+	e.d += o.d
+	e.sumT += o.sumT
+	e.sumT2 += o.sumT2
+	for i := range e.sumH {
+		e.sumH[i] += o.sumH[i]
+		e.sumH2[i] += o.sumH2[i]
+		e.sumHT[i] += o.sumHT[i]
+	}
+}
+
 // Corr returns the Pearson correlation per hypothesis. Hypotheses with
 // zero prediction variance (constant predictions) report zero.
 func (e *Engine) Corr() []float64 {
@@ -188,6 +210,26 @@ func (e *MultiEngine) Update(h []float64, t []float64) {
 	}
 }
 
+// Merge folds another windowed engine's accumulators into e (see
+// Engine.Merge for the determinism contract). Shapes must match.
+func (e *MultiEngine) Merge(o *MultiEngine) {
+	if e.nHyp != o.nHyp || e.nSamp != o.nSamp {
+		panic("cpa: Merge of MultiEngines with different shapes")
+	}
+	e.d += o.d
+	for j := range e.sumT {
+		e.sumT[j] += o.sumT[j]
+		e.sumT2[j] += o.sumT2[j]
+	}
+	for i := range e.sumH {
+		e.sumH[i] += o.sumH[i]
+		e.sumH2[i] += o.sumH2[i]
+	}
+	for i := range e.sumHT {
+		e.sumHT[i] += o.sumHT[i]
+	}
+}
+
 // Corr returns the correlation matrix [hypothesis][sample].
 func (e *MultiEngine) Corr() [][]float64 {
 	out := make([][]float64, e.nHyp)
@@ -275,6 +317,24 @@ func (e *MatrixEngine) Update(h []float64, t []float64) {
 			e.sumH2[row+j] += hv * hv
 			e.sumHT[row+j] += hv * tv
 		}
+	}
+}
+
+// Merge folds another per-sample-prediction engine's accumulators into e
+// (see Engine.Merge for the determinism contract). Shapes must match.
+func (e *MatrixEngine) Merge(o *MatrixEngine) {
+	if e.nHyp != o.nHyp || e.nSamp != o.nSamp {
+		panic("cpa: Merge of MatrixEngines with different shapes")
+	}
+	e.d += o.d
+	for j := range e.sumT {
+		e.sumT[j] += o.sumT[j]
+		e.sumT2[j] += o.sumT2[j]
+	}
+	for i := range e.sumH {
+		e.sumH[i] += o.sumH[i]
+		e.sumH2[i] += o.sumH2[i]
+		e.sumHT[i] += o.sumHT[i]
 	}
 }
 

@@ -25,11 +25,37 @@ func (s *RunningStats) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds another accumulator into s (Chan et al.'s parallel
+// variance combination). The result is a deterministic function of the
+// two partials, so merging fixed shards in a fixed order yields identical
+// bits on every run — the contract the parallel preprocessing plan relies
+// on. Note the merged m2 is not bit-identical to feeding the same values
+// sequentially (the combination rounds differently); determinism comes
+// from the pinned reduction order, not from associativity.
+func (s *RunningStats) Merge(o RunningStats) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	s.n = n
+}
+
 // N returns the count of accumulated values.
 func (s *RunningStats) N() int { return s.n }
 
 // Mean returns the running mean (0 before the first Add).
 func (s *RunningStats) Mean() float64 { return s.mean }
+
+// M2 returns the accumulated sum of squared deviations (n·variance),
+// the raw quantity parallel reducers exchange.
+func (s *RunningStats) M2() float64 { return s.m2 }
 
 // Var returns the population variance.
 func (s *RunningStats) Var() float64 {

@@ -1,0 +1,106 @@
+package fpr
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the MulTraced golden vector file")
+
+// The golden-vector regression freezes the exact micro-op sequence of the
+// emulated multiplier. The CPA jobs predict these values bit-for-bit
+// (partial products, intermediate sums, exponent adder, sign XOR), so any
+// drift in the datapath emulation — a changed rounding path, a reordered
+// record, a different carry split — silently breaks the leakage model the
+// whole attack rests on. This test pins the sequence to a committed file;
+// an intentional datapath change regenerates it with `go test
+// ./internal/fpr -run Golden -update` and shows up as a reviewable diff.
+
+// goldenRNG is an inlined SplitMix64 so the vectors never depend on the
+// standard library generator changing across Go releases.
+type goldenRNG uint64
+
+func (r *goldenRNG) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// goldenOperands builds the fixed operand set: datapath specials (zeros,
+// powers of two, all-ones mantissas, one) plus seeded values whose biased
+// exponents sit in the FFT(f)-coefficient range the attack sees.
+func goldenOperands() []FPR {
+	ops := []FPR{
+		0,                           // +0
+		FPR(1) << 63,                // -0
+		FPR(1023) << 52,             // +1.0 (power-of-two mantissa)
+		FPR(1023)<<52 | 1<<63,       // -1.0
+		FPR(1000) << 52,             // small power of two
+		FPR(1046)<<52 | (1<<52 - 1), // all-ones mantissa, top of the range
+		FPR(1023)<<52 | 1,           // one ulp above 1.0 (carry-chain seed)
+	}
+	r := goldenRNG(0x5EED)
+	for i := 0; i < 17; i++ {
+		sign := r.next() & (1 << 63)
+		exp := 1000 + r.next()%47 // biased exponents the attack encounters
+		mant := r.next() & (1<<52 - 1)
+		ops = append(ops, FPR(sign|exp<<52|mant))
+	}
+	return ops
+}
+
+func TestMulTracedGoldenVectors(t *testing.T) {
+	operands := goldenOperands()
+	var sb strings.Builder
+	var rec SliceRecorder
+	for _, x := range operands {
+		for _, y := range operands {
+			rec.Reset()
+			z := MulTraced(x, y, &rec)
+			fmt.Fprintf(&sb, "x=%016x y=%016x z=%016x", uint64(x), uint64(y), uint64(z))
+			for i := range rec.Ops {
+				fmt.Fprintf(&sb, " %d:%016x", uint8(rec.Ops[i]), rec.Values[i])
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "multraced_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d vectors)", path, len(operands)*len(operands))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Pinpoint the first diverging vector for the failure message.
+	gl := strings.Split(got, "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := range gl {
+		if i >= len(wl) || gl[i] != wl[i] {
+			wantLine := "<missing>"
+			if i < len(wl) {
+				wantLine = wl[i]
+			}
+			t.Fatalf("MulTraced micro-op sequence drifted from the golden vectors at line %d:\n got: %s\nwant: %s", i+1, gl[i], wantLine)
+		}
+	}
+	t.Fatal("MulTraced golden vectors differ in length")
+}

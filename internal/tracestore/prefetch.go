@@ -1,0 +1,133 @@
+package tracestore
+
+import (
+	"errors"
+	"io"
+	"time"
+
+	"falcondown/internal/emleak"
+)
+
+// Read-ahead batching. The parallel attack engine consumes a campaign as
+// fixed-size observation batches (shards): a dedicated reader goroutine
+// decodes tracestore chunks sequentially and stays a bounded number of
+// batches ahead of the accumulator workers, so decode latency (disk reads,
+// CRC verification, robust-preprocessing transforms) overlaps with the
+// hypothesis×sample correlation math instead of serializing with it.
+//
+// The batches preserve corpus order exactly — batch k holds observations
+// [k·batchObs, (k+1)·batchObs) — which is what lets the consumer fold
+// per-batch partial statistics in a fixed order and stay bit-identical to
+// a sequential pass over the same reduction tree.
+
+// BatchIterator yields consecutive fixed-size observation batches from a
+// Source, decoded ahead of the consumer by a bounded prefetch pipeline.
+// It is single-consumer; Close releases the reader goroutine.
+type BatchIterator struct {
+	ch   chan prefetched
+	quit chan struct{}
+	done bool
+}
+
+// prefetched is one decoded batch or the pass-ending error.
+type prefetched struct {
+	batch []emleak.Observation
+	err   error // io.EOF after the final batch
+}
+
+// IterateBatches starts a prefetching pass over src. batchObs is the
+// batch size (the final batch may be shorter); depth bounds how many
+// decoded batches may be in flight ahead of the consumer. A Next that
+// fails with ErrTransient is retried with the given bounded backoff
+// schedule (nil disables retries), matching the attack sweep contract
+// that a transient failure has not consumed an observation.
+func IterateBatches(src Source, batchObs, depth int, backoff []time.Duration) (*BatchIterator, error) {
+	if batchObs <= 0 {
+		batchObs = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	it, err := src.Iterate()
+	if err != nil {
+		return nil, err
+	}
+	b := &BatchIterator{
+		ch:   make(chan prefetched, depth),
+		quit: make(chan struct{}),
+	}
+	go b.read(it, batchObs, backoff, b.quit)
+	return b, nil
+}
+
+// read is the prefetch pipeline: decode, batch, send. quit is captured by
+// value so a concurrent Close cannot race the field.
+func (b *BatchIterator) read(it Iterator, batchObs int, backoff []time.Duration, quit <-chan struct{}) {
+	defer it.Close()
+	batch := make([]emleak.Observation, 0, batchObs)
+	attempts := 0
+	emit := func(p prefetched) bool {
+		select {
+		case b.ch <- p:
+			return true
+		case <-quit:
+			return false
+		}
+	}
+	for {
+		o, err := it.Next()
+		if err == io.EOF {
+			if len(batch) > 0 && !emit(prefetched{batch: batch}) {
+				return
+			}
+			emit(prefetched{err: io.EOF})
+			return
+		}
+		if err != nil {
+			if errors.Is(err, ErrTransient) && attempts < len(backoff) {
+				time.Sleep(backoff[attempts])
+				attempts++
+				continue
+			}
+			if len(batch) > 0 && !emit(prefetched{batch: batch}) {
+				return
+			}
+			emit(prefetched{err: err})
+			return
+		}
+		attempts = 0
+		batch = append(batch, o)
+		if len(batch) == batchObs {
+			if !emit(prefetched{batch: batch}) {
+				return
+			}
+			batch = make([]emleak.Observation, 0, batchObs)
+		}
+	}
+}
+
+// Next returns the next batch in corpus order, or io.EOF after the last
+// one. Once an error (including io.EOF) is returned, the iterator is
+// exhausted.
+func (b *BatchIterator) Next() ([]emleak.Observation, error) {
+	if b.done {
+		return nil, io.EOF
+	}
+	p := <-b.ch
+	if p.err != nil {
+		b.done = true
+		return nil, p.err
+	}
+	return p.batch, nil
+}
+
+// Close stops the reader goroutine and discards undelivered batches. Safe
+// to call at any point, including after Next returned an error.
+func (b *BatchIterator) Close() error {
+	if b.quit != nil {
+		close(b.quit)
+		b.quit = nil
+	}
+	b.done = true
+	return nil
+}

@@ -1,0 +1,145 @@
+package tracestore
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"falcondown/internal/emleak"
+)
+
+func TestPrefetchBatchesPreserveOrder(t *testing.T) {
+	obs := testCampaign(t, 11)
+	src := NewSliceSource(8, obs)
+	it, err := IterateBatches(src, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []emleak.Observation
+	sizes := []int{}
+	for {
+		b, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, len(b))
+		got = append(got, b...)
+	}
+	if len(sizes) != 3 || sizes[0] != 4 || sizes[1] != 4 || sizes[2] != 3 {
+		t.Fatalf("batch sizes %v, want [4 4 3]", sizes)
+	}
+	if len(got) != len(obs) {
+		t.Fatalf("got %d observations, want %d", len(got), len(obs))
+	}
+	for i := range obs {
+		if len(got[i].CFFT) != len(obs[i].CFFT) || got[i].CFFT[0] != obs[i].CFFT[0] ||
+			got[i].Trace.Samples[0] != obs[i].Trace.Samples[0] {
+			t.Fatalf("observation %d out of order", i)
+		}
+	}
+	// Exhausted iterators stay exhausted.
+	if _, err := it.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestPrefetchEarlyCloseReleasesReader(t *testing.T) {
+	obs := testCampaign(t, 64)
+	it, err := IterateBatches(NewSliceSource(8, obs), 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// With depth 1 and 64 pending observations the reader is blocked on
+	// its channel; Close must unblock it (the race detector plus goroutine
+	// accounting in -race CI would flag a leak).
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil { // double Close is safe
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); err != io.EOF {
+		t.Fatalf("Next after Close: %v", err)
+	}
+}
+
+// transientBatchSource fails the first Next of every pass with a
+// transient error.
+type transientBatchSource struct {
+	inner Source
+	fails int
+}
+
+func (s *transientBatchSource) N() int     { return s.inner.N() }
+func (s *transientBatchSource) Count() int { return s.inner.Count() }
+func (s *transientBatchSource) Iterate() (Iterator, error) {
+	it, err := s.inner.Iterate()
+	if err != nil {
+		return nil, err
+	}
+	return &transientBatchIterator{inner: it, src: s}, nil
+}
+
+type transientBatchIterator struct {
+	inner Iterator
+	src   *transientBatchSource
+	n     int
+}
+
+func (it *transientBatchIterator) Next() (emleak.Observation, error) {
+	it.n++
+	if it.n == 1 {
+		it.src.fails++
+		return emleak.Observation{}, ErrTransient
+	}
+	return it.inner.Next()
+}
+
+func (it *transientBatchIterator) Close() error { return it.inner.Close() }
+
+func TestPrefetchRetriesTransient(t *testing.T) {
+	obs := testCampaign(t, 6)
+	src := &transientBatchSource{inner: NewSliceSource(8, obs)}
+
+	// Without a backoff schedule the transient error is terminal.
+	it, err := IterateBatches(src, 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := it.Next(); !errors.Is(err, ErrTransient) {
+		t.Fatalf("unretried transient: %v", err)
+	}
+	it.Close()
+
+	// With one, the full corpus arrives.
+	it, err = IterateBatches(src, 4, 2, []time.Duration{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	total := 0
+	for {
+		b, err := it.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(b)
+	}
+	if total != len(obs) {
+		t.Fatalf("retried pass yielded %d observations, want %d", total, len(obs))
+	}
+	if src.fails != 2 {
+		t.Fatalf("transient injected %d times, want 2 (one per pass)", src.fails)
+	}
+}
