@@ -67,13 +67,19 @@ func main() {
 	resync := flag.Int("resync", 0, "re-align traces by cross-correlation within ± this many samples (0 = off)")
 	winsorize := flag.Float64("winsorize", 0, "clamp samples to mean ± this many sigmas per sample point before correlating (0 = off)")
 	workers := flag.Int("workers", 0, "parallel attack workers (0 = GOMAXPROCS); recovered key and checkpoints are bit-identical for any value")
+	keyOut := flag.String("key", "", "also dump the recovered (f, g) pair as canonical JSON to this path (byte-comparable with the campaign server's key endpoint)")
 	flag.Parse()
 
+	w, err := core.ValidateWorkers(*workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attack: bad -workers:", err)
+		os.Exit(exitGeneric)
+	}
 	cfg := core.Config{
 		Robust:  core.RobustConfig{TrimSigmas: *trim, ResyncShift: *resync, Winsorize: *winsorize},
-		Workers: *workers,
+		Workers: w,
 	}
-	if err := run(*tracePath, *pubPath, *msg, *sigOut, *lenient, *resume, cfg); err != nil {
+	if err := run(*tracePath, *pubPath, *msg, *sigOut, *keyOut, *lenient, *resume, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		switch {
 		case errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum):
@@ -85,7 +91,7 @@ func main() {
 	}
 }
 
-func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool, cfg core.Config) error {
+func run(tracePath, pubPath, msg, sigOut, keyOut string, lenient, resume bool, cfg core.Config) error {
 	var corpus *tracestore.Corpus
 	var err error
 	if lenient {
@@ -156,6 +162,12 @@ func run(tracePath, pubPath, msg, sigOut string, lenient, resume bool, cfg core.
 		if err := sidecar.Remove(); err != nil {
 			fmt.Fprintf(os.Stderr, "attack: warning: could not remove checkpoint sidecar: %v\n", err)
 		}
+	}
+	if keyOut != "" {
+		if err := os.WriteFile(keyOut, core.KeyJSON(report.F, report.G), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("recovered key (f, g) -> %s\n", keyOut)
 	}
 
 	sig, err := priv.Sign([]byte(msg), rng.NewEntropy())

@@ -1,0 +1,272 @@
+// Command campaignctl is the CLI client for campaignd.
+//
+//	campaignctl -server URL submit -n 64 -traces 1200 -noise 1.5 -seed 1
+//	campaignctl -server URL list
+//	campaignctl -server URL status c000001
+//	campaignctl -server URL watch  c000001     # stream progress events
+//	campaignctl -server URL wait   c000001     # block until terminal
+//	campaignctl -server URL result c000001
+//	campaignctl -server URL key    c000001 [-o key.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8337", "campaignd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cl := &client{base: strings.TrimRight(*server, "/")}
+	var err error
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		err = cl.submit(rest)
+	case "list":
+		err = cl.getJSON("/campaigns", os.Stdout)
+	case "status":
+		err = cl.withID(rest, func(id string) error {
+			return cl.getJSON("/campaigns/"+id, os.Stdout)
+		})
+	case "watch":
+		err = cl.withID(rest, cl.watch)
+	case "wait":
+		err = cl.withID(rest, cl.wait)
+	case "result":
+		err = cl.withID(rest, func(id string) error {
+			return cl.getJSON("/campaigns/"+id+"/result", os.Stdout)
+		})
+	case "key":
+		err = cl.key(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "campaignctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaignctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: campaignctl [-server URL] <submit|list|status|watch|wait|result|key> [args]\n")
+	flag.PrintDefaults()
+}
+
+type client struct {
+	base string
+}
+
+func (cl *client) withID(args []string, f func(id string) error) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one campaign ID")
+	}
+	return f(args[0])
+}
+
+// httpError turns a non-2xx response into an error carrying the server's
+// message.
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (cl *client) getJSON(path string, out io.Writer) error {
+	resp, err := http.Get(cl.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
+func (cl *client) submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	tenant := fs.String("tenant", "", "tenant name")
+	name := fs.String("name", "", "human-readable campaign name")
+	priority := fs.Int("priority", 0, "queue priority (higher pops first)")
+	n := fs.Int("n", 64, "FALCON degree")
+	traces := fs.Int("traces", 0, "observations to capture (required)")
+	noise := fs.Float64("noise", 2.0, "probe noise sigma")
+	seed := fs.Uint64("seed", 1, "campaign seed (victim key, device, acquisition)")
+	shard := fs.Int("shard-obs", 0, "observations per corpus shard (0 = single file)")
+	chunk := fs.Int("chunk-obs", 0, "observations per chunk (0 = default)")
+	devices := fs.Int("devices", 1, "devices in the acquisition pool")
+	timeoutMS := fs.Int("timeout-ms", 0, "per-observation timeout (supervised pool)")
+	hedgeMS := fs.Int("hedge-ms", 0, "hedged-read delay (supervised pool)")
+	breaker := fs.Int("breaker", 0, "breaker failure threshold (supervised pool)")
+	flaky := fs.String("flaky", "", "flaky device spec (supervised pool)")
+	topK := fs.Int("topk", 0, "mantissa beam width (0 = default)")
+	window := fs.Int("window", 0, "CPA alignment window (0 = default)")
+	workers := fs.Int("workers", 0, "attack worker count (0 = one per CPU)")
+	msg := fs.String("message", "", "message to forge a signature for")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("submit takes flags only, got %q", fs.Args())
+	}
+
+	spec := map[string]any{
+		"tenant": *tenant, "name": *name, "priority": *priority,
+		"n": *n, "traces": *traces, "noise": *noise, "seed": *seed,
+		"shardObs": *shard, "chunkObs": *chunk,
+		"devices": *devices, "timeoutMS": *timeoutMS, "hedgeMS": *hedgeMS,
+		"breaker": *breaker, "flaky": *flaky,
+		"topK": *topK, "window": *window, "workers": *workers,
+		"message": *msg,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(cl.base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return httpError(resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// poll fetches one batch of events (long-polling up to waitSecs) and
+// returns the new cursor and the campaign status.
+func (cl *client) poll(id string, after, waitSecs int) ([]eventView, int, string, error) {
+	url := fmt.Sprintf("%s/campaigns/%s/events?after=%d&wait=%d", cl.base, id, after, waitSecs)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, after, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, after, "", httpError(resp)
+	}
+	var body struct {
+		Events []eventView `json:"events"`
+		Next   int         `json:"next"`
+		Status string      `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, after, "", err
+	}
+	return body.Events, body.Next, body.Status, nil
+}
+
+type eventView struct {
+	Seq      int    `json:"seq"`
+	Type     string `json:"type"`
+	Phase    string `json:"phase"`
+	Beam     int    `json:"beam"`
+	Count    int    `json:"count"`
+	Suspects int    `json:"suspects"`
+	Breakers string `json:"breakers"`
+	Msg      string `json:"msg"`
+}
+
+func (e eventView) String() string {
+	s := e.Type
+	if e.Phase != "" {
+		s += " " + e.Phase
+		if e.Beam > 0 {
+			s += fmt.Sprintf(" (beam %d)", e.Beam)
+		}
+	}
+	if e.Count > 0 {
+		s += fmt.Sprintf(" %d traces", e.Count)
+	}
+	if e.Suspects > 0 {
+		s += fmt.Sprintf(", %d suspect(s)", e.Suspects)
+	}
+	if e.Breakers != "" {
+		s += " [" + e.Breakers + "]"
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+func terminal(status string) bool { return status == "done" || status == "failed" }
+
+// watch streams progress events until the campaign reaches a terminal
+// state; exit status reflects the outcome.
+func (cl *client) watch(id string) error {
+	after := 0
+	for {
+		events, next, status, err := cl.poll(id, after, 30)
+		if err != nil {
+			return err
+		}
+		for _, e := range events {
+			fmt.Printf("%s  #%d %s\n", id, e.Seq, e)
+		}
+		after = next
+		if terminal(status) && len(events) == 0 {
+			if status == "failed" {
+				return fmt.Errorf("campaign %s failed", id)
+			}
+			return nil
+		}
+	}
+}
+
+// wait blocks silently until the campaign is terminal.
+func (cl *client) wait(id string) error {
+	after := 0
+	for {
+		events, next, status, err := cl.poll(id, after, 30)
+		if err != nil {
+			return err
+		}
+		after = next
+		if terminal(status) && len(events) == 0 {
+			if status == "failed" {
+				return fmt.Errorf("campaign %s failed", id)
+			}
+			return nil
+		}
+	}
+}
+
+func (cl *client) key(args []string) error {
+	fs := flag.NewFlagSet("key", flag.ExitOnError)
+	out := fs.String("o", "", "write key JSON to this file instead of stdout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one campaign ID")
+	}
+	id := fs.Arg(0)
+	var buf bytes.Buffer
+	if err := cl.getJSON("/campaigns/"+id+"/key", &buf); err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(*out, buf.Bytes(), 0o644)
+}

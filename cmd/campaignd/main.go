@@ -1,0 +1,83 @@
+// Command campaignd is the attack-campaign server: a long-running daemon
+// that accepts campaign specs over HTTP/JSON, queues them, and drives each
+// through the resumable acquisition and checkpointed key-recovery pipeline.
+// All campaign state lives under the store directory, so a killed daemon
+// restarted over the same store re-adopts every in-flight campaign and
+// finishes it with byte-identical artifacts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"falcondown/internal/campaign"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8337", "listen address")
+	store := flag.String("store", "", "campaign store directory (required)")
+	slots := flag.Int("slots", 1, "campaigns run concurrently")
+	queueCap := flag.Int("queue", 64, "max queued campaigns (beyond it: 503)")
+	tenantMax := flag.Int("tenant-max", 4, "max active campaigns per tenant (beyond it: 429); <0 = unlimited")
+	maxTraces := flag.Int("max-traces", 0, "max traces one campaign may request (0 = unlimited)")
+	maxN := flag.Int("max-n", 0, "max FALCON degree one campaign may request (0 = unlimited)")
+	flag.Parse()
+
+	if *store == "" {
+		fmt.Fprintln(os.Stderr, "campaignd: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := campaign.Open(*store, campaign.Config{
+		Slots:     *slots,
+		QueueCap:  *queueCap,
+		TenantMax: *tenantMax,
+		Limits:    campaign.Limits{MaxTraces: *maxTraces, MaxN: *maxN},
+	})
+	if err != nil {
+		log.Fatalf("campaignd: %v", err)
+	}
+	adopted := srv.Adopted()
+	log.Printf("campaignd: store %s: adopted %d in-flight campaign(s)", *store, len(adopted))
+	for _, id := range adopted {
+		log.Printf("campaignd: re-adopted %s", id)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("campaignd: %v", err)
+	}
+	log.Printf("campaignd: listening on %s", ln.Addr())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("campaignd: %v", err)
+		}
+	}()
+
+	// SIGTERM/SIGINT stop gracefully: in-flight campaigns halt at their
+	// next durable boundary and are re-adopted by the next start. SIGKILL
+	// (untrappable) is the crash case the salvage/sidecar machinery covers.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	log.Printf("campaignd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Stop(ctx); err != nil {
+		log.Printf("campaignd: shutdown timed out: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("campaignd: stopped; campaigns are re-adoptable from %s", *store)
+}

@@ -43,8 +43,6 @@ import (
 	"math/bits"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
@@ -186,7 +184,7 @@ func run(ctx context.Context, n, traces int, noise float64, seed uint64, out, pu
 // The corpus stays byte-identical to a plain single-device run as long as
 // no byte-altering distortion (glitch/desync) is injected.
 func acquireSupervised(ctx context.Context, dev *emleak.Device, seed uint64, traces, done, workers int, w tracestore.Appender, pf poolFlags) error {
-	dists, err := parseFlaky(pf.flaky, pf.devices, seed)
+	dists, err := emleak.ParseFlakySpec(pf.flaky, pf.devices, seed)
 	if err != nil {
 		return err
 	}
@@ -219,66 +217,6 @@ func acquireSupervised(ctx context.Context, dev *emleak.Device, seed uint64, tra
 		}
 	}
 	return err
-}
-
-// parseFlaky decodes "DEV:KIND[=PARAM],..." into per-device distortions.
-// Kinds: hang, glitch[=prob], desync[=prob], transient[=prob],
-// latency[=duration]. Repeating a device index composes its kinds.
-func parseFlaky(spec string, devices int, seed uint64) (map[int]emleak.Distortion, error) {
-	dists := make(map[int]emleak.Distortion)
-	if spec == "" {
-		return dists, nil
-	}
-	for _, part := range strings.Split(spec, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		devStr, kind, ok := strings.Cut(part, ":")
-		if !ok {
-			return nil, fmt.Errorf("bad -flaky entry %q: want DEV:KIND[=PARAM]", part)
-		}
-		idx, err := strconv.Atoi(devStr)
-		if err != nil || idx < 0 || idx >= devices {
-			return nil, fmt.Errorf("bad -flaky device %q: want an index below -devices=%d", devStr, devices)
-		}
-		kind, param, hasParam := strings.Cut(kind, "=")
-		prob := func(def float64) (float64, error) {
-			if !hasParam {
-				return def, nil
-			}
-			return strconv.ParseFloat(param, 64)
-		}
-		d := dists[idx]
-		// Every device's fault schedule derives from (seed, device): the
-		// same flags replay the identical campaign.
-		d.Seed = rng.DeriveSeed(seed, 0xf1a4c0de+uint64(idx))
-		switch kind {
-		case "hang":
-			d.HangProb, err = prob(1)
-		case "glitch":
-			d.GlitchProb, err = prob(0.05)
-		case "desync":
-			if d.DesyncProb, err = prob(0.05); err == nil {
-				d.DesyncShift = 2
-			}
-		case "transient":
-			d.TransientProb, err = prob(0.1)
-		case "latency":
-			if !hasParam {
-				d.Latency = 50 * time.Millisecond
-			} else {
-				d.Latency, err = time.ParseDuration(param)
-			}
-		default:
-			return nil, fmt.Errorf("unknown -flaky kind %q (want hang, glitch, desync, transient or latency)", kind)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("bad -flaky parameter in %q: %v", part, err)
-		}
-		dists[idx] = d
-	}
-	return dists, nil
 }
 
 func writePub(pub *falcon.PublicKey, n int, pubOut string) error {

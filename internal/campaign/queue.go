@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrQueueFull reports that the server's bounded queue has no room for
+// another campaign (HTTP 503: retry later, the backlog must drain).
+var ErrQueueFull = errors.New("campaign: queue full")
+
+// ErrTenantQuota reports that the submitting tenant already has its
+// maximum number of active campaigns (HTTP 429: this tenant must wait for
+// its own campaigns to finish, the server itself has capacity).
+var ErrTenantQuota = errors.New("campaign: tenant quota exceeded")
+
+// queue is a bounded priority queue of campaigns. Higher Spec.Priority
+// pops first; within a priority, admission order (Campaign.seq) wins —
+// deterministic, starvation-free for equal priorities.
+type queue struct {
+	mu     sync.Mutex
+	wake   chan struct{}
+	items  []*Campaign // kept sorted: best candidate at index 0
+	cap    int
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{wake: make(chan struct{}), cap: capacity}
+}
+
+// before is the queue ordering: priority descending, admission ascending.
+func before(a, b *Campaign) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.seq < b.seq
+}
+
+// push enqueues a campaign. force bypasses the capacity bound — used for
+// re-adopted campaigns, which were already admitted before the restart
+// and must never be dropped by a smaller queue configuration.
+func (q *queue) push(c *Campaign, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !force && q.cap > 0 && len(q.items) >= q.cap {
+		return ErrQueueFull
+	}
+	q.items = append(q.items, c)
+	sort.SliceStable(q.items, func(i, j int) bool { return before(q.items[i], q.items[j]) })
+	close(q.wake)
+	q.wake = make(chan struct{})
+	return nil
+}
+
+// pop blocks until a campaign is available or ctx ends.
+func (q *queue) pop(ctx context.Context) (*Campaign, error) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			c := q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return c, nil
+		}
+		wake := q.wake
+		q.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// depth returns the number of queued campaigns.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func qc(id string, priority, seq int) *Campaign {
+	return &Campaign{ID: id, Spec: Spec{Priority: priority}, seq: seq, log: newEventLog()}
+}
+
+func TestQueuePriorityThenAdmissionOrder(t *testing.T) {
+	q := newQueue(10)
+	q.push(qc("low-first", 0, 1), false)
+	q.push(qc("high", 5, 2), false)
+	q.push(qc("low-second", 0, 3), false)
+	q.push(qc("high-later", 5, 4), false)
+
+	want := []string{"high", "high-later", "low-first", "low-second"}
+	for _, id := range want {
+		c, err := q.pop(context.Background())
+		if err != nil {
+			t.Fatalf("pop: %v", err)
+		}
+		if c.ID != id {
+			t.Fatalf("popped %s, want %s", c.ID, id)
+		}
+	}
+}
+
+func TestQueueCapacityAndForce(t *testing.T) {
+	q := newQueue(2)
+	if err := q.push(qc("a", 0, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qc("b", 0, 2), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(qc("c", 0, 3), false); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+	// Re-adopted campaigns bypass the bound: they were admitted before the
+	// restart and must never be dropped.
+	if err := q.push(qc("adopted", 0, 4), true); err != nil {
+		t.Fatalf("forced push: %v", err)
+	}
+	if q.depth() != 3 {
+		t.Fatalf("depth = %d, want 3", q.depth())
+	}
+}
+
+func TestQueuePopBlocksUntilPushOrCancel(t *testing.T) {
+	q := newQueue(1)
+	got := make(chan *Campaign, 1)
+	go func() {
+		c, _ := q.pop(context.Background())
+		got <- c
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.push(qc("late", 0, 1), false)
+	select {
+	case c := <-got:
+		if c.ID != "late" {
+			t.Fatalf("popped %s", c.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop never woke up")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := q.pop(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}

@@ -1,0 +1,268 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes a Server. Zero values take the stated defaults.
+type Config struct {
+	// Slots is the number of campaigns that run concurrently (default 1).
+	// Each slot drives one campaign end to end; campaigns never share
+	// state — isolation is per-directory, proven by the concurrency
+	// suite.
+	Slots int
+	// QueueCap bounds the number of queued (not yet running) campaigns
+	// (default 64; submissions beyond it get ErrQueueFull / HTTP 503).
+	QueueCap int
+	// TenantMax bounds one tenant's active (queued + running) campaigns
+	// (default 4; 0 < TenantMax; submissions beyond it get
+	// ErrTenantQuota / HTTP 429). Set negative for unlimited.
+	TenantMax int
+	// Limits bounds what a single campaign may ask for.
+	Limits Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.Slots <= 0 {
+		c.Slots = 1
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 64
+	}
+	if c.TenantMax == 0 {
+		c.TenantMax = 4
+	}
+	return c
+}
+
+// Server multiplexes attack campaigns over a shared store root: a bounded
+// priority queue feeds slot workers that run each campaign through the
+// resumable acquisition and checkpointed attack phases. Opening a server
+// over an existing store re-adopts every in-flight campaign from its
+// durable artifacts.
+type Server struct {
+	cfg   Config
+	store *Store
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	order     []string // admission order, for listings
+	nextID    int
+	nextSeq   int
+	adopted   []string
+
+	queue     *queue
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	killed    atomic.Bool
+	wg        sync.WaitGroup
+	started   bool
+}
+
+// Open builds a server over the store root, scanning it for existing
+// campaigns. Terminal campaigns are listed as-is; in-flight ones
+// (queued/acquiring/attacking at the time of the crash or shutdown) are
+// marked adopted and re-enqueued when Start is called. Open never starts
+// work — callers inspect Adopted() and then Start().
+func Open(root string, cfg Config) (*Server, error) {
+	store, err := NewStore(root)
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		store:     store,
+		campaigns: make(map[string]*Campaign),
+		queue:     newQueue(cfg.QueueCap),
+		runCtx:    ctx,
+		runCancel: cancel,
+	}
+	scanned, err := store.Scan()
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.nextID = NextID(scanned)
+	for _, p := range scanned {
+		c := &Campaign{
+			ID:     p.ID,
+			Spec:   p.Spec,
+			seq:    s.nextSeq,
+			dir:    store.Dir(p.ID),
+			log:    newEventLog(),
+			status: p.State.Status,
+		}
+		c.phase = p.State.Phase
+		c.acquired = p.State.Acquired
+		c.errMsg = p.State.Error
+		s.nextSeq++
+		if !terminal(c.status) {
+			c.adopted = true
+			c.status = StatusQueued // re-runs from its durable artifacts
+			s.adopted = append(s.adopted, c.ID)
+			c.log.append(Event{
+				Type:  EventAdopted,
+				Phase: p.State.Phase,
+				Count: p.State.Acquired,
+				Msg:   fmt.Sprintf("re-adopted after restart (was %q)", p.State.Status),
+			})
+		}
+		s.campaigns[c.ID] = c
+		s.order = append(s.order, c.ID)
+	}
+	return s, nil
+}
+
+// Adopted lists the campaign IDs re-admitted from disk by Open, in ID
+// order.
+func (s *Server) Adopted() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.adopted...)
+}
+
+// Start enqueues the adopted campaigns (ahead of any new submissions, in
+// ID order, bypassing the queue bound — they were admitted before the
+// restart) and launches the slot workers.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	for _, id := range s.adopted {
+		s.queue.push(s.campaigns[id], true)
+	}
+	slots := s.cfg.Slots
+	s.mu.Unlock()
+	for i := 0; i < slots; i++ {
+		s.wg.Add(1)
+		go s.slot()
+	}
+}
+
+// slot is one campaign-execution worker.
+func (s *Server) slot() {
+	defer s.wg.Done()
+	for {
+		c, err := s.queue.pop(s.runCtx)
+		if err != nil {
+			return
+		}
+		s.runCampaign(c)
+		if s.runCtx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Submit validates, persists and enqueues a new campaign.
+func (s *Server) Submit(spec Spec) (*Campaign, error) {
+	spec, err := spec.Normalize(s.cfg.Limits)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.TenantMax > 0 && s.activeLocked(spec.Tenant) >= s.cfg.TenantMax {
+		return nil, fmt.Errorf("%w: tenant %q already has %d active campaign(s)",
+			ErrTenantQuota, spec.Tenant, s.cfg.TenantMax)
+	}
+	if s.queue.depth() >= s.cfg.QueueCap {
+		return nil, fmt.Errorf("%w: %d campaign(s) queued", ErrQueueFull, s.cfg.QueueCap)
+	}
+	id := FormatID(s.nextID)
+	if err := s.store.Create(id, spec); err != nil {
+		return nil, err
+	}
+	c := &Campaign{
+		ID:     id,
+		Spec:   spec,
+		seq:    s.nextSeq,
+		dir:    s.store.Dir(id),
+		log:    newEventLog(),
+		status: StatusQueued,
+	}
+	if err := s.store.SaveState(id, c.currentState()); err != nil {
+		return nil, err
+	}
+	s.nextID++
+	s.nextSeq++
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	c.log.append(Event{Type: EventQueued, Msg: fmt.Sprintf("queued at priority %d", spec.Priority)})
+	s.queue.push(c, true) // capacity already checked under s.mu
+	return c, nil
+}
+
+// activeLocked counts a tenant's non-terminal campaigns. Caller holds
+// s.mu.
+func (s *Server) activeLocked(tenant string) int {
+	n := 0
+	for _, c := range s.campaigns {
+		if c.Spec.Tenant == tenant && !terminal(c.Status()) {
+			n++
+		}
+	}
+	return n
+}
+
+// Get returns a campaign by ID.
+func (s *Server) Get(id string) (*Campaign, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// List returns snapshots of every campaign in admission order.
+func (s *Server) List() []Snapshot {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Snapshot, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := s.Get(id); ok {
+			out = append(out, c.Snapshot())
+		}
+	}
+	return out
+}
+
+// QueueDepth reports the number of queued campaigns.
+func (s *Server) QueueDepth() int { return s.queue.depth() }
+
+// Store exposes the server's store (result/key reads for the HTTP layer).
+func (s *Server) Store() *Store { return s.store }
+
+// Stop shuts the server down gracefully: campaigns stop at their next
+// boundary (acquisition commit, attack phase checkpoint) with their state
+// persisted, so a later Open re-adopts them. Stop waits for the slot
+// workers up to the context deadline.
+func (s *Server) Stop(ctx context.Context) error {
+	s.runCancel()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Kill hard-aborts the server without any cleanup: no shard
+// finalization, no state persistence, workers abandoned mid-flight. It
+// emulates a SIGKILL for the crash-recovery suite (a real SIGKILL is
+// exercised by scripts/smoke.sh against the daemon); production shutdown
+// is Stop.
+func (s *Server) Kill() {
+	s.killed.Store(true)
+	s.runCancel()
+}

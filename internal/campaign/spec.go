@@ -1,0 +1,186 @@
+// Package campaign turns the checkpointed attack pipeline into a
+// long-running, multi-tenant service: campaigns are first-class objects
+// (not CLI flag bundles) submitted to a bounded priority queue, executed
+// through the existing resumable acquisition and five-phase checkpointed
+// attack, and persisted under a per-campaign tracestore directory so a
+// killed daemon re-adopts every in-flight campaign on restart.
+//
+// The subsystem is split along its moving parts:
+//
+//   - Spec / Campaign (this file): the validated, serializable campaign
+//     definition and its runtime state;
+//   - Store (store.go): the durable per-campaign directory layout;
+//   - queue (queue.go): the bounded priority queue with tenant quotas;
+//   - eventLog (events.go): streaming progress with long-poll waits;
+//   - Server + runner (server.go, runner.go): slot workers that drive a
+//     campaign through acquire -> attack -> forge, checkpointing all the
+//     way;
+//   - HTTP layer (http.go): the JSON API cmd/campaignd serves and
+//     cmd/campaignctl consumes.
+//
+// DESIGN.md §3.5 documents the architecture and the re-adoption protocol.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"falcondown/internal/core"
+	"falcondown/internal/emleak"
+	"falcondown/internal/falcon"
+)
+
+// Spec is a campaign submission: everything needed to capture a trace
+// corpus against the synthetic victim and run the key-extraction attack
+// on it. All fields are plain scalars/strings so specs round-trip JSON
+// losslessly and two equal specs drive byte-identical campaigns.
+//
+// The acquisition fields mirror cmd/tracegen flag-for-flag and use the
+// same seed derivation, so a campaign's corpus is byte-identical to a
+// tracegen run with the same parameters — the server adds service
+// semantics, never different bytes.
+type Spec struct {
+	// Tenant is the quota-accounting identity (defaults to "default").
+	Tenant string `json:"tenant,omitempty"`
+	// Name is a free-form label echoed in listings.
+	Name string `json:"name,omitempty"`
+	// Priority orders the queue: higher runs first, ties run in
+	// submission order.
+	Priority int `json:"priority,omitempty"`
+
+	// Victim + corpus parameters (the tracegen half).
+	N      int     `json:"n"`
+	Traces int     `json:"traces"`
+	Noise  float64 `json:"noise,omitempty"`
+	Seed   uint64  `json:"seed"`
+	// ShardObs/ChunkObs select the corpus layout (0 = single file /
+	// format-default chunking).
+	ShardObs int `json:"shardObs,omitempty"`
+	ChunkObs int `json:"chunkObs,omitempty"`
+
+	// Supervised-pool parameters (optional; Devices > 1, a flaky spec, a
+	// timeout, a hedge delay or a breaker threshold route acquisition
+	// through internal/supervise exactly like tracegen's pool flags).
+	Devices   int    `json:"devices,omitempty"`
+	TimeoutMS int    `json:"timeoutMS,omitempty"`
+	HedgeMS   int    `json:"hedgeMS,omitempty"`
+	Breaker   int    `json:"breaker,omitempty"`
+	Flaky     string `json:"flaky,omitempty"`
+
+	// Attack tuning (the cmd/attack half; zero values take the core
+	// defaults).
+	TopK          int     `json:"topK,omitempty"`
+	Window        int     `json:"window,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	EscalateBelow float64 `json:"escalateBelow,omitempty"`
+	Trim          float64 `json:"trim,omitempty"`
+	Resync        int     `json:"resync,omitempty"`
+	Winsorize     float64 `json:"winsorize,omitempty"`
+	Workers       int     `json:"workers,omitempty"`
+
+	// Message is signed with the recovered key to demonstrate the break.
+	Message string `json:"message,omitempty"`
+}
+
+// Limits bounds what a server accepts per campaign; zero fields are
+// unlimited.
+type Limits struct {
+	// MaxTraces caps a campaign's trace budget.
+	MaxTraces int
+	// MaxN caps the victim degree.
+	MaxN int
+}
+
+// errSpec marks a rejected submission (mapped to HTTP 400).
+var errSpec = errors.New("campaign: invalid spec")
+
+// Normalize validates the spec against the server limits and fills
+// defaults, returning the canonical form that is persisted and executed.
+func (s Spec) Normalize(limits Limits) (Spec, error) {
+	if s.Tenant == "" {
+		s.Tenant = "default"
+	}
+	if s.N == 0 {
+		s.N = 64
+	}
+	if _, err := falcon.ParamsForDegree(s.N); err != nil {
+		return s, fmt.Errorf("%w: %v", errSpec, err)
+	}
+	if limits.MaxN > 0 && s.N > limits.MaxN {
+		return s, fmt.Errorf("%w: degree %d exceeds the server cap %d", errSpec, s.N, limits.MaxN)
+	}
+	if s.Traces <= 0 {
+		return s, fmt.Errorf("%w: traces must be positive, got %d", errSpec, s.Traces)
+	}
+	if limits.MaxTraces > 0 && s.Traces > limits.MaxTraces {
+		return s, fmt.Errorf("%w: trace budget %d exceeds the server cap %d", errSpec, s.Traces, limits.MaxTraces)
+	}
+	if s.Noise == 0 {
+		s.Noise = 2
+	}
+	if s.Noise < 0 {
+		return s, fmt.Errorf("%w: noise sigma must be non-negative, got %g", errSpec, s.Noise)
+	}
+	if s.ShardObs < 0 || s.ChunkObs < 0 {
+		return s, fmt.Errorf("%w: shardObs/chunkObs must be non-negative", errSpec)
+	}
+	w, err := core.ValidateWorkers(s.Workers)
+	if err != nil {
+		return s, fmt.Errorf("%w: %v", errSpec, err)
+	}
+	s.Workers = w
+	if s.Devices == 0 {
+		s.Devices = 1
+	}
+	if s.Devices < 0 {
+		return s, fmt.Errorf("%w: devices must be positive, got %d", errSpec, s.Devices)
+	}
+	if s.TimeoutMS < 0 || s.HedgeMS < 0 || s.Breaker < 0 {
+		return s, fmt.Errorf("%w: timeoutMS/hedgeMS/breaker must be non-negative", errSpec)
+	}
+	dists, err := emleak.ParseFlakySpec(s.Flaky, s.Devices, s.Seed)
+	if err != nil {
+		return s, fmt.Errorf("%w: %v", errSpec, err)
+	}
+	for _, d := range dists {
+		if d.HangProb > 0 && s.TimeoutMS <= 0 && s.HedgeMS <= 0 {
+			return s, fmt.Errorf("%w: a hanging device needs timeoutMS or hedgeMS to recover from", errSpec)
+		}
+	}
+	if s.TopK < 0 || s.Window < 0 || s.Confidence < 0 || s.Confidence >= 1 ||
+		s.Trim < 0 || s.Resync < 0 || s.Winsorize < 0 {
+		return s, fmt.Errorf("%w: attack tuning fields must be non-negative (confidence < 1)", errSpec)
+	}
+	if s.Message == "" {
+		s.Message = "forged by campaignd"
+	}
+	return s, nil
+}
+
+// Supervised reports whether acquisition goes through the supervise pool.
+func (s Spec) Supervised() bool {
+	return s.Devices > 1 || s.Flaky != "" || s.TimeoutMS > 0 || s.HedgeMS > 0 || s.Breaker > 0
+}
+
+// Timeout and Hedge convert the millisecond wire fields.
+func (s Spec) Timeout() time.Duration { return time.Duration(s.TimeoutMS) * time.Millisecond }
+
+// Hedge is the hedged re-measurement delay.
+func (s Spec) Hedge() time.Duration { return time.Duration(s.HedgeMS) * time.Millisecond }
+
+// AttackConfig assembles the core attack configuration the spec describes.
+func (s Spec) AttackConfig() core.Config {
+	return core.Config{
+		TopK:          s.TopK,
+		Window:        s.Window,
+		Confidence:    s.Confidence,
+		EscalateBelow: s.EscalateBelow,
+		Robust: core.RobustConfig{
+			TrimSigmas:  s.Trim,
+			ResyncShift: s.Resync,
+			Winsorize:   s.Winsorize,
+		},
+		Workers: s.Workers,
+	}
+}

@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"falcondown/internal/core"
+)
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	s, err := Spec{Traces: 100}.Normalize(Limits{})
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if s.Tenant != "default" || s.N != 64 || s.Noise != 2 || s.Devices != 1 || s.Message == "" {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+func TestNormalizeRejections(t *testing.T) {
+	base := Spec{N: 8, Traces: 100, Seed: 1}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		limits Limits
+		want   string
+	}{
+		{"no traces", func(s *Spec) { s.Traces = 0 }, Limits{}, "traces"},
+		{"negative traces", func(s *Spec) { s.Traces = -5 }, Limits{}, "traces"},
+		{"bad degree", func(s *Spec) { s.N = 7 }, Limits{}, "degree"},
+		{"negative workers", func(s *Spec) { s.Workers = -2 }, Limits{}, "workers"},
+		{"absurd workers", func(s *Spec) { s.Workers = core.MaxWorkers + 1 }, Limits{}, "cap"},
+		{"negative noise", func(s *Spec) { s.Noise = -1 }, Limits{}, "noise"},
+		{"negative devices", func(s *Spec) { s.Devices = -1 }, Limits{}, "devices"},
+		{"confidence one", func(s *Spec) { s.Confidence = 1 }, Limits{}, "confidence"},
+		{"trace cap", nil, Limits{MaxTraces: 50}, "exceeds"},
+		{"degree cap", nil, Limits{MaxN: 4}, "exceeds"},
+		{"bad flaky spec", func(s *Spec) { s.Flaky = "0:nonsense" }, Limits{}, "flaky"},
+		{"hang needs timeout", func(s *Spec) { s.Flaky = "0:hang"; s.Devices = 2 }, Limits{}, "timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			if tc.mutate != nil {
+				tc.mutate(&s)
+			}
+			_, err := s.Normalize(tc.limits)
+			if err == nil {
+				t.Fatalf("spec accepted: %+v", s)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeWorkersClampPassesValid(t *testing.T) {
+	s, err := Spec{N: 8, Traces: 10, Workers: 4}.Normalize(Limits{})
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if s.Workers != 4 {
+		t.Fatalf("workers = %d, want 4", s.Workers)
+	}
+}
+
+func TestSupervisedDetection(t *testing.T) {
+	if (Spec{Devices: 1}).Supervised() {
+		t.Fatal("single ideal device must not be supervised")
+	}
+	for _, s := range []Spec{{Devices: 3}, {Flaky: "0:hang"}, {TimeoutMS: 5}, {HedgeMS: 5}, {Breaker: 2}} {
+		if !s.Supervised() {
+			t.Fatalf("%+v should route through the supervised pool", s)
+		}
+	}
+}

@@ -132,6 +132,14 @@ const (
 	maxTopK = 64
 )
 
+// MaxBeam is the exported candidate-beam cap (the escalation and
+// straggler phases run at this width).
+const MaxBeam = maxTopK
+
+// EffectiveTopK returns the mantissa candidate beam width after defaults
+// are applied — what the extend/prune phases actually run with.
+func (c Config) EffectiveTopK() int { return c.withDefaults().TopK }
+
 // ValueResult reports one recovered 64-bit coefficient with per-phase
 // diagnostics.
 type ValueResult struct {

@@ -1,0 +1,25 @@
+package core
+
+import "encoding/json"
+
+// recoveredKey is the canonical JSON shape of a recovered secret element
+// pair. Only f and g appear: F and G are recomputed from them by the NTRU
+// solver, so (f, g) is the complete, minimal witness of a successful
+// extraction.
+type recoveredKey struct {
+	F []int16 `json:"f"`
+	G []int16 `json:"g"`
+}
+
+// KeyJSON serializes a recovered (f, g) pair to its canonical JSON form.
+// Both cmd/attack's -key dump and the campaign server's key endpoint emit
+// exactly these bytes, so "the server recovered the same key as the CLI"
+// is a byte comparison, not a structural one.
+func KeyJSON(f, g []int16) []byte {
+	data, err := json.Marshal(recoveredKey{F: f, G: g})
+	if err != nil {
+		// Two int16 slices cannot fail to marshal.
+		panic("core: key serialization: " + err.Error())
+	}
+	return append(data, '\n')
+}

@@ -28,6 +28,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -52,6 +53,28 @@ type mergeJob interface {
 	passJob
 	clone() mergeJob
 	merge(mergeJob)
+}
+
+// MaxWorkers is the largest Config.Workers value the engine accepts from
+// user input. Results are bit-identical at any worker count, so a huge
+// value is never wrong — but each worker pins shard-sized buffers and a
+// tile queue slot, so an absurd count (a typo like -workers 1000000) only
+// wastes memory. ValidateWorkers rejects it up front instead of letting
+// the scheduler silently oversubscribe.
+const MaxWorkers = 1024
+
+// ValidateWorkers checks a user-supplied worker count: 0 means one worker
+// per available CPU, negatives and values above MaxWorkers are errors.
+// CLI flags and campaign specs both funnel through this so a bad value is
+// a clear rejection, not a silent fallback.
+func ValidateWorkers(w int) (int, error) {
+	if w < 0 {
+		return 0, fmt.Errorf("core: workers must be >= 0 (0 = one per CPU), got %d", w)
+	}
+	if w > MaxWorkers {
+		return 0, fmt.Errorf("core: workers %d exceeds the %d cap (results are identical at any count; more workers only waste memory)", w, MaxWorkers)
+	}
+	return w, nil
 }
 
 // effectiveWorkers resolves a Config.Workers value: zero or negative

@@ -1,0 +1,74 @@
+package emleak
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"falcondown/internal/rng"
+)
+
+// ParseFlakySpec decodes a "DEV:KIND[=PARAM],..." misbehavior spec into
+// per-device distortions. Kinds: hang, glitch[=prob], desync[=prob],
+// transient[=prob] and latency[=duration]. Repeating a device index
+// composes its kinds. Every device's fault schedule derives from
+// (seed, device), so the same spec replays the identical campaign.
+//
+// The format is shared by cmd/tracegen's -flaky flag and campaign specs
+// submitted to the attack-campaign server; parsing lives here so both
+// accept exactly the same dialect.
+func ParseFlakySpec(spec string, devices int, seed uint64) (map[int]Distortion, error) {
+	dists := make(map[int]Distortion)
+	if spec == "" {
+		return dists, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		devStr, kind, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad flaky entry %q: want DEV:KIND[=PARAM]", part)
+		}
+		idx, err := strconv.Atoi(devStr)
+		if err != nil || idx < 0 || idx >= devices {
+			return nil, fmt.Errorf("bad flaky device %q: want an index below the pool size %d", devStr, devices)
+		}
+		kind, param, hasParam := strings.Cut(kind, "=")
+		prob := func(def float64) (float64, error) {
+			if !hasParam {
+				return def, nil
+			}
+			return strconv.ParseFloat(param, 64)
+		}
+		d := dists[idx]
+		d.Seed = rng.DeriveSeed(seed, 0xf1a4c0de+uint64(idx))
+		switch kind {
+		case "hang":
+			d.HangProb, err = prob(1)
+		case "glitch":
+			d.GlitchProb, err = prob(0.05)
+		case "desync":
+			if d.DesyncProb, err = prob(0.05); err == nil {
+				d.DesyncShift = 2
+			}
+		case "transient":
+			d.TransientProb, err = prob(0.1)
+		case "latency":
+			if !hasParam {
+				d.Latency = 50 * time.Millisecond
+			} else {
+				d.Latency, err = time.ParseDuration(param)
+			}
+		default:
+			return nil, fmt.Errorf("unknown flaky kind %q (want hang, glitch, desync, transient or latency)", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bad flaky parameter in %q: %v", part, err)
+		}
+		dists[idx] = d
+	}
+	return dists, nil
+}

@@ -486,3 +486,82 @@ func TestOpenLenientHealthyCorpus(t *testing.T) {
 	}
 	sameObservations(t, obs, got)
 }
+
+// TestResumeWriterDropsHeaderlessFinalShard covers the harshest SIGKILL
+// timing: the writer's shard file was created but the process died before
+// the first 1 MiB buffer flush, leaving a zero-byte (or sub-header) file
+// on disk. Such a shard holds zero durable observations, so resume must
+// discard it and continue from the prior shards — or from scratch — and
+// the finished corpus must still be byte-identical to an uninterrupted
+// run.
+func TestResumeWriterDropsHeaderlessFinalShard(t *testing.T) {
+	t.Run("single file", func(t *testing.T) {
+		opts := Options{ChunkObs: 3}
+		want, _ := referenceCampaign(t, t.TempDir(), opts)
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "traces.fdt2")
+		if err := os.WriteFile(path, nil, 0o644); err != nil { // crash before first flush
+			t.Fatal(err)
+		}
+		w, resumed, err := ResumeWriter(path, 8, opts)
+		if err != nil {
+			t.Fatalf("resume over empty file: %v", err)
+		}
+		if resumed != 0 {
+			t.Fatalf("resumed = %d, want 0", resumed)
+		}
+		if err := Acquire(context.Background(), testDevice(t), 99, 20, w, AcquireOptions{Workers: 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := shardBytes(t, w.Paths()); !bytes.Equal(want, got) {
+			t.Fatal("corpus resumed over an empty file differs from the uninterrupted run")
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		opts := Options{ShardObs: 7, ChunkObs: 3}
+		want, _ := referenceCampaign(t, t.TempDir(), opts)
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "traces.fdt2")
+		w, err := NewWriter(path, 8, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Complete shard 0 (7 observations), then emulate a crash that
+		// created shard 1 but flushed nothing into it.
+		if err := Acquire(context.Background(), testDevice(t), 99, 7, w, AcquireOptions{Workers: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := Acquire(context.Background(), testDevice(t), 99, 8, w, AcquireOptions{Start: 7}); err != nil {
+			t.Fatal(err)
+		}
+		w.bw.Flush()
+		w.f.Close()
+		last := w.paths[len(w.paths)-1]
+		if err := os.Truncate(last, 5); err != nil { // sub-header debris
+			t.Fatal(err)
+		}
+
+		w2, resumed, err := ResumeWriter(path, 8, opts)
+		if err != nil {
+			t.Fatalf("resume over sub-header shard: %v", err)
+		}
+		if resumed != 7 {
+			t.Fatalf("resumed = %d, want the 7 observations of the complete shard", resumed)
+		}
+		if err := Acquire(context.Background(), testDevice(t), 99, 20, w2, AcquireOptions{Workers: 4, Start: resumed}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := shardBytes(t, w2.Paths()); !bytes.Equal(want, got) {
+			t.Fatal("corpus resumed past a dropped shard differs from the uninterrupted run")
+		}
+	})
+}

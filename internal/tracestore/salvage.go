@@ -222,6 +222,17 @@ func ResumeWriter(path string, n int, opts Options) (*Writer, int, error) {
 			return nil, 0, err
 		}
 		if _, err := Salvage(last); err != nil {
+			// A final shard shorter than its own header holds zero durable
+			// observations: the crash landed before the writer's first
+			// buffer flush (os.Create ran, the 1 MiB buffered header and
+			// chunks never reached the kernel). Dropping it loses nothing —
+			// resume continues from the prior shards, or from scratch.
+			if st, sterr := os.Stat(last); sterr == nil && st.Size() < headerSize {
+				if rerr := os.Remove(last); rerr != nil {
+					return nil, 0, fmt.Errorf("tracestore: resume: %w", rerr)
+				}
+				return ResumeWriter(path, n, opts)
+			}
 			return nil, 0, fmt.Errorf("tracestore: resume: %w", err)
 		}
 		if s, err = openShard(last); err != nil {

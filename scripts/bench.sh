@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench.sh — run the parallel-attack benchmark and emit a machine-readable
+# summary as BENCH_attack.json in the repo root.
+#
+# Each record carries the sub-benchmark name, its ns/op, the worker count
+# the engine ran with, and the host's core count — enough to reproduce the
+# PARALLEL speedup table of EXPERIMENTS.md on any machine and to compare
+# runs across hosts. Results are bit-identical across worker counts, so
+# ns/op ratios are pure scheduling speedups.
+#
+# Usage: scripts/bench.sh [benchtime]     (default 3x)
+set -eu
+
+GO="${GO:-go}"
+BENCHTIME="${1:-3x}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="$ROOT/BENCH_attack.json"
+
+cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+raw="$("$GO" test -run xxx -bench '^BenchmarkAttack$' -benchtime "$BENCHTIME" "$ROOT" | tee /dev/stderr)"
+
+printf '%s\n' "$raw" | awk -v cores="$cores" '
+  /^BenchmarkAttack\// {
+    # "BenchmarkAttack/workers=1-8   3   123456 ns/op" -> name sans
+    # GOMAXPROCS suffix, workers from the subtest label, ns/op value.
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    workers = name
+    sub(/^.*workers=/, "", workers)
+    for (i = 2; i < NF; i++) {
+      if ($(i + 1) == "ns/op") { ns = $i; break }
+    }
+    if (count++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"workers\": %s, \"host_cores\": %s}", \
+      name, ns, workers, cores
+  }
+  BEGIN { printf "[\n" }
+  END {
+    printf "\n]\n"
+    if (count == 0) exit 1
+  }
+' > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -16,7 +16,11 @@
 #      breaker is reported open, and the corpus stays byte-identical to
 #      the single-device reference;
 #   8. a glitchy device dirties the corpus; the winsorized attack
-#      (-trim/-resync/-winsorize) still recovers the key and forges.
+#      (-trim/-resync/-winsorize) still recovers the key and forges;
+#   9. campaign server: submit the same campaign to campaignd, SIGKILL the
+#      daemon mid-run, restart it over the same store, and require it to
+#      re-adopt the campaign, finish it, and serve the same key the direct
+#      CLI recovers — with a corpus byte-identical to the reference.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -84,5 +88,77 @@ gen -out "$tmp/dirty.fdt2" -pub "$tmp/victim.pub" \
 	-devices 2 -flaky "1:glitch=0.10,1:desync=0.10"
 "$tmp/attack" -traces "$tmp/dirty.fdt2" -pub "$tmp/victim.pub" \
 	-trim 4 -resync 3 -winsorize 4 -sig "$tmp/w.sig"
+
+echo "== campaign server: SIGKILL mid-run, restart, re-adopt, key matches the CLI"
+"$GO" build -o "$tmp/campaignd" ./cmd/campaignd
+"$GO" build -o "$tmp/campaignctl" ./cmd/campaignctl
+
+# Reference key from the direct CLI on the reference corpus.
+"$tmp/attack" -traces "$tmp/ref.fdt2" -pub "$tmp/victim.pub" \
+	-sig "$tmp/cli.sig" -key "$tmp/cli.key.json" >/dev/null
+
+store="$tmp/campaigns"
+daemon_pid=""
+cleanup() {
+	[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+start_daemon() {
+	: >"$tmp/campaignd.log"
+	"$tmp/campaignd" -addr 127.0.0.1:0 -store "$store" >>"$tmp/campaignd.log" 2>&1 &
+	daemon_pid=$!
+	for _ in $(seq 100); do
+		url=$(sed -n 's/.*listening on \(.*\)/http:\/\/\1/p' "$tmp/campaignd.log" | head -1)
+		[ -n "$url" ] && return 0
+		sleep 0.1
+	done
+	echo "FAIL: campaignd never started"; cat "$tmp/campaignd.log"; exit 1
+}
+
+start_daemon
+id=$("$tmp/campaignctl" -server "$url" submit \
+	-n "$N" -traces "$TRACES" -noise "$NOISE" -seed "$SEED" -workers 1 \
+	| sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "FAIL: submit returned no campaign ID"; exit 1; }
+echo "   submitted $id"
+
+# SIGKILL the daemon once the campaign is demonstrably in flight.
+for _ in $(seq 400); do
+	status=$("$tmp/campaignctl" -server "$url" status "$id" \
+		| sed -n 's/.*"status": *"\([^"]*\)".*/\1/p')
+	case "$status" in
+	acquiring|attacking) break ;;
+	done|failed) echo "FAIL: campaign finished ($status) before the kill"; exit 1 ;;
+	esac
+	sleep 0.02
+done
+case "$status" in
+acquiring|attacking) ;;
+*) echo "FAIL: campaign never left state '$status'"; exit 1 ;;
+esac
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+echo "   killed campaignd while $id was $status"
+
+# Restart over the same store: the campaign must be re-adopted and
+# driven to completion.
+start_daemon
+grep -q "adopted 1 in-flight" "$tmp/campaignd.log" \
+	|| { echo "FAIL: restarted daemon did not re-adopt the campaign"; cat "$tmp/campaignd.log"; exit 1; }
+"$tmp/campaignctl" -server "$url" wait "$id" \
+	|| { echo "FAIL: re-adopted campaign did not finish"; cat "$tmp/campaignd.log"; exit 1; }
+
+echo "== campaign corpus and recovered key must match the direct CLI run"
+cmp "$tmp/ref.fdt2" "$store/$id/traces.fdt2" \
+	|| { echo "FAIL: campaign corpus differs from the tracegen reference"; exit 1; }
+"$tmp/campaignctl" -server "$url" key -o "$tmp/campaign.key.json" "$id"
+cmp "$tmp/cli.key.json" "$tmp/campaign.key.json" \
+	|| { echo "FAIL: server-recovered key differs from the CLI-recovered key"; exit 1; }
+[ -e "$store/$id/traces.fdt2.ckpt" ] \
+	|| { echo "FAIL: campaign kept no checkpoint sidecar as its attack record"; exit 1; }
+kill "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
 
 echo "smoke: all stages passed"
