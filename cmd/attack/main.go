@@ -41,7 +41,9 @@ import (
 	"fmt"
 	"math/bits"
 	"os"
+	"strings"
 
+	"falcondown/internal/cluster"
 	"falcondown/internal/codec"
 	"falcondown/internal/core"
 	"falcondown/internal/falcon"
@@ -68,6 +70,8 @@ func main() {
 	winsorize := flag.Float64("winsorize", 0, "clamp samples to mean ± this many sigmas per sample point before correlating (0 = off)")
 	workers := flag.Int("workers", 0, "parallel attack workers (0 = GOMAXPROCS); recovered key and checkpoints are bit-identical for any value")
 	keyOut := flag.String("key", "", "also dump the recovered (f, g) pair as canonical JSON to this path (byte-comparable with the campaign server's key endpoint)")
+	clusterURLs := flag.String("cluster", "", "comma-separated clusterd worker URLs; corpus sweeps fan out to the fleet, falling back to local compute if it dies (result is byte-identical either way)")
+	clusterCorpus := flag.String("cluster-corpus", "", "corpus name as the workers resolve it under their -root (default: the -traces path)")
 	flag.Parse()
 
 	w, err := core.ValidateWorkers(*workers)
@@ -79,7 +83,20 @@ func main() {
 		Robust:  core.RobustConfig{TrimSigmas: *trim, ResyncShift: *resync, Winsorize: *winsorize},
 		Workers: w,
 	}
-	if err := run(*tracePath, *pubPath, *msg, *sigOut, *keyOut, *lenient, *resume, cfg); err != nil {
+	var dist core.Distributor
+	var coord *cluster.Coordinator
+	if *clusterURLs != "" {
+		corpus := *clusterCorpus
+		if corpus == "" {
+			corpus = *tracePath
+		}
+		coord = cluster.New(cluster.Options{
+			Workers: strings.Split(*clusterURLs, ","),
+			Corpus:  corpus,
+		})
+		dist = coord
+	}
+	if err := run(*tracePath, *pubPath, *msg, *sigOut, *keyOut, *lenient, *resume, cfg, dist); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		switch {
 		case errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum):
@@ -89,9 +106,14 @@ func main() {
 		}
 		os.Exit(exitGeneric)
 	}
+	if coord != nil {
+		rep := coord.Report()
+		fmt.Printf("fleet report: tasks=%d remote=%d local=%d retries=%d hedges=%d rejected=%d skips=%d\n",
+			rep.Tasks, rep.Remote, rep.Local, rep.Retries, rep.Hedges, rep.Rejected, rep.Skips)
+	}
 }
 
-func run(tracePath, pubPath, msg, sigOut, keyOut string, lenient, resume bool, cfg core.Config) error {
+func run(tracePath, pubPath, msg, sigOut, keyOut string, lenient, resume bool, cfg core.Config, dist core.Distributor) error {
 	var corpus *tracestore.Corpus
 	var err error
 	if lenient {
@@ -148,7 +170,14 @@ func run(tracePath, pubPath, msg, sigOut, keyOut string, lenient, resume bool, c
 			cfg.Robust.TrimSigmas, cfg.Robust.ResyncShift, cfg.Robust.Winsorize)
 	}
 	fmt.Println("running streamed divide-and-conquer extend-and-prune extraction...")
-	priv, report, err := core.RecoverKeyResumable(corpus, pub, cfg, store)
+	var priv *falcon.PrivateKey
+	var report *core.RecoveryReport
+	if dist != nil {
+		fmt.Println("corpus sweeps distributed over the worker fleet")
+		priv, report, err = core.RecoverKeyDistributed(corpus, pub, cfg, store, dist)
+	} else {
+		priv, report, err = core.RecoverKeyResumable(corpus, pub, cfg, store)
+	}
 	if err != nil {
 		printPartialReport(report)
 		return fmt.Errorf("key recovery failed (detected, not silent): %w", err)

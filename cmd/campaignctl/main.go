@@ -7,6 +7,7 @@
 //	campaignctl -server URL wait   c000001     # block until terminal
 //	campaignctl -server URL result c000001
 //	campaignctl -server URL key    c000001 [-o key.json]
+//	campaignctl -server URL cancel c000001
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		})
 	case "key":
 		err = cl.key(rest)
+	case "cancel":
+		err = cl.withID(rest, cl.cancel)
 	default:
 		fmt.Fprintf(os.Stderr, "campaignctl: unknown command %q\n", cmd)
 		usage()
@@ -62,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: campaignctl [-server URL] <submit|list|status|watch|wait|result|key> [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: campaignctl [-server URL] <submit|list|status|watch|wait|result|key|cancel> [args]\n")
 	flag.PrintDefaults()
 }
 
@@ -123,6 +126,7 @@ func (cl *client) submit(args []string) error {
 	window := fs.Int("window", 0, "CPA alignment window (0 = default)")
 	workers := fs.Int("workers", 0, "attack worker count (0 = one per CPU)")
 	msg := fs.String("message", "", "message to forge a signature for")
+	distributed := fs.Bool("distributed", false, "run the attack over the server's worker fleet")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("submit takes flags only, got %q", fs.Args())
@@ -135,7 +139,7 @@ func (cl *client) submit(args []string) error {
 		"devices": *devices, "timeoutMS": *timeoutMS, "hedgeMS": *hedgeMS,
 		"breaker": *breaker, "flaky": *flaky,
 		"topK": *topK, "window": *window, "workers": *workers,
-		"message": *msg,
+		"message": *msg, "distributed": *distributed,
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -210,7 +214,9 @@ func (e eventView) String() string {
 	return s
 }
 
-func terminal(status string) bool { return status == "done" || status == "failed" }
+func terminal(status string) bool {
+	return status == "done" || status == "failed" || status == "cancelled"
+}
 
 // watch streams progress events until the campaign reaches a terminal
 // state; exit status reflects the outcome.
@@ -250,6 +256,25 @@ func (cl *client) wait(id string) error {
 			return nil
 		}
 	}
+}
+
+// cancel stops a campaign (DELETE); 409 (already terminal) is reported
+// as an error with the server's message.
+func (cl *client) cancel(id string) error {
+	req, err := http.NewRequest(http.MethodDelete, cl.base+"/campaigns/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
 }
 
 func (cl *client) key(args []string) error {

@@ -15,10 +15,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"falcondown/internal/campaign"
+	"falcondown/internal/cluster"
+	"falcondown/internal/core"
 )
 
 func main() {
@@ -29,6 +32,8 @@ func main() {
 	tenantMax := flag.Int("tenant-max", 4, "max active campaigns per tenant (beyond it: 429); <0 = unlimited")
 	maxTraces := flag.Int("max-traces", 0, "max traces one campaign may request (0 = unlimited)")
 	maxN := flag.Int("max-n", 0, "max FALCON degree one campaign may request (0 = unlimited)")
+	fleet := flag.String("fleet", "", "comma-separated clusterd worker URLs; campaigns submitted with distributed=true fan their attack sweeps out to them")
+	lease := flag.Duration("fleet-lease", 30*time.Second, "per-task worker lease; an unanswered lease is re-issued to the next node")
 	flag.Parse()
 
 	if *store == "" {
@@ -37,12 +42,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := campaign.Open(*store, campaign.Config{
+	cfg := campaign.Config{
 		Slots:     *slots,
 		QueueCap:  *queueCap,
 		TenantMax: *tenantMax,
 		Limits:    campaign.Limits{MaxTraces: *maxTraces, MaxN: *maxN},
-	})
+	}
+	if *fleet != "" {
+		workers := strings.Split(*fleet, ",")
+		cfg.Distributor = func(corpus string) core.Distributor {
+			// One coordinator per campaign: breaker state and fleet counters
+			// are per-attack, and a campaign's sweeps are sequential.
+			return cluster.New(cluster.Options{
+				Workers: workers,
+				Corpus:  corpus,
+				Lease:   *lease,
+			})
+		}
+		log.Printf("campaignd: fleet of %d worker(s): %s", len(workers), *fleet)
+	}
+
+	srv, err := campaign.Open(*store, cfg)
 	if err != nil {
 		log.Fatalf("campaignd: %v", err)
 	}

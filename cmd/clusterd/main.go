@@ -1,0 +1,64 @@
+// Command clusterd is the attack-fleet worker daemon: a stateless node
+// that computes shard partials for a coordinator (campaignd -fleet, or
+// cmd/attack -cluster). It serves POST /task over the CRC-framed
+// HTTP/JSON protocol of internal/cluster, resolving corpus names under
+// its -root — typically a shared (or replicated) copy of the
+// coordinator's store.
+//
+// Workers hold no campaign state: killing one mid-sweep loses nothing
+// but the lease, which the coordinator re-issues to another node. The
+// differential suite (and the smoke script's chaos stage) prove the
+// final key is byte-identical regardless.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"falcondown/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
+	root := flag.String("root", "", "directory corpus names resolve under (required)")
+	flag.Parse()
+
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "clusterd: -root is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if _, err := os.Stat(*root); err != nil {
+		log.Fatalf("clusterd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("clusterd: %v", err)
+	}
+	log.Printf("clusterd: serving corpora under %s on %s", *root, ln.Addr())
+	httpSrv := &http.Server{Handler: cluster.NewWorker(*root).Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("clusterd: %v", err)
+		}
+	}()
+
+	// Graceful on SIGTERM/SIGINT; SIGKILL is the node-loss case the
+	// coordinator's leases exist for — nothing here needs to survive it.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	log.Printf("clusterd: stopped")
+}

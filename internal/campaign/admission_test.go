@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestBackpressureRetryAfterValues(t *testing.T) {
+	// The 429 (tenant quota) and 503 (queue full) responses both promise a
+	// Retry-After; pin the exact value so clients with fixed backoff
+	// schedules don't silently drift when the handler changes.
+	srv, err := Open(t.TempDir(), Config{TenantMax: 1, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	spec := func(tenant string) map[string]any {
+		return map[string]any{"tenant": tenant, "n": 8, "traces": 100, "seed": 1}
+	}
+	resp := postSpec(t, ts.URL, spec("alice"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first submit: %s", resp.Status)
+	}
+
+	resp = postSpec(t, ts.URL, spec("alice"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota submit: %s, want 429", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Fatalf("429 Retry-After = %q, want \"30\"", got)
+	}
+
+	resp = postSpec(t, ts.URL, spec("bob"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("backpressure submit: %s, want 503", resp.Status)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Fatalf("503 Retry-After = %q, want \"30\"", got)
+	}
+}
+
+func TestQueuePopOrderUnderMixedTenants(t *testing.T) {
+	// The pop order is priority descending, then admission sequence
+	// ascending — and ONLY that. Tenant identity must not perturb it:
+	// quotas gate admission, never scheduling.
+	q := newQueue(0)
+	mk := func(id, tenant string, priority, seq int) *Campaign {
+		return &Campaign{ID: id, Spec: Spec{Tenant: tenant, Priority: priority}, seq: seq}
+	}
+	// Push deliberately shuffled relative to the expected pop order.
+	for _, c := range []*Campaign{
+		mk("c000004", "bob", 0, 4),
+		mk("c000002", "alice", 5, 2),
+		mk("c000006", "alice", 0, 6),
+		mk("c000001", "bob", 5, 1),
+		mk("c000003", "carol", 2, 3),
+		mk("c000005", "carol", 2, 5),
+	} {
+		if err := q.push(c, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{
+		"c000001", // priority 5, seq 1
+		"c000002", // priority 5, seq 2
+		"c000003", // priority 2, seq 3
+		"c000005", // priority 2, seq 5
+		"c000004", // priority 0, seq 4
+		"c000006", // priority 0, seq 6
+	}
+	for i, id := range want {
+		c, err := q.pop(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.ID != id {
+			t.Fatalf("pop %d = %s, want %s (priority desc, then admission seq asc)", i, c.ID, id)
+		}
+	}
+	if q.depth() != 0 {
+		t.Fatalf("queue depth %d after draining", q.depth())
+	}
+}

@@ -15,11 +15,12 @@ const (
 	StatusAttacking = "attacking"
 	StatusDone      = "done"
 	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
 )
 
 // terminal reports whether a status is final.
 func terminal(status string) bool {
-	return status == StatusDone || status == StatusFailed
+	return status == StatusDone || status == StatusFailed || status == StatusCancelled
 }
 
 // Campaign is one submitted attack campaign: the immutable spec plus the
@@ -46,6 +47,35 @@ type Campaign struct {
 	phase    string // last completed attack phase
 	acquired int    // traces durable so far
 	errMsg   string
+	// cancel aborts the campaign's runner context once it is executing;
+	// cancelReq distinguishes a per-campaign cancellation from a
+	// whole-server shutdown (both surface as context.Canceled).
+	cancel    context.CancelFunc
+	cancelReq bool
+}
+
+// begin registers the runner's cancel function, or refuses when the
+// campaign reached a terminal state (e.g. cancelled while still queued)
+// between pop and start.
+func (c *Campaign) begin(cancel context.CancelFunc) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if terminal(c.status) {
+		return false
+	}
+	c.cancel = cancel
+	if c.cancelReq {
+		// Cancelled in the pop→begin window: start already aborted.
+		cancel()
+	}
+	return true
+}
+
+// cancelRequested reports whether a per-campaign cancel was asked for.
+func (c *Campaign) cancelRequested() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelReq
 }
 
 // Snapshot is a point-in-time view of a campaign's state, JSON-shaped for

@@ -15,6 +15,7 @@ const (
 	EventPhase     = "phase"     // attack phase completed (Phase, Beam)
 	EventDone      = "done"      // result + key available
 	EventFailed    = "failed"    // terminal failure (Msg)
+	EventCancelled = "cancelled" // terminal cancellation by request
 )
 
 // Event is one progress record of a campaign. Sequence numbers start at 1

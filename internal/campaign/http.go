@@ -22,6 +22,7 @@ const maxLongPoll = 60 * time.Second
 //	POST /campaigns                     submit a Spec        -> 201 {id}
 //	GET  /campaigns                     list snapshots
 //	GET  /campaigns/{id}                one snapshot
+//	DELETE /campaigns/{id}              cancel -> 200 snapshot (409 if terminal)
 //	GET  /campaigns/{id}/events?after=N&wait=S   long-poll progress
 //	GET  /campaigns/{id}/result         result.json when done (409 otherwise)
 //	GET  /campaigns/{id}/key            canonical key.json bytes when done
@@ -34,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /campaigns/{id}", s.handleCancel)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /campaigns/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /campaigns/{id}/key", s.handleKey)
@@ -99,6 +101,22 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, c.Snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaignFor(w, r)
+	if !ok {
+		return
+	}
+	snap, err := s.Cancel(c.ID)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, snap)
+	case errors.Is(err, ErrTerminal):
+		writeJSON(w, http.StatusConflict, snap)
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 // eventsBody is the long-poll response: the events past the requested

@@ -90,13 +90,35 @@ func (h *testHooks) set(acquire func(string, int), phase func(string, string)) {
 // runCampaign drives one campaign to a terminal state (or to the point
 // where the server was stopped/killed, leaving it re-adoptable).
 func (s *Server) runCampaign(c *Campaign) {
-	ctx := s.runCtx
-	if ctx.Err() != nil {
+	if s.runCtx.Err() != nil {
+		return
+	}
+	// Each campaign runs under its own child context so DELETE can abort
+	// just this one; begin refuses campaigns that went terminal while
+	// still queued (cancelled entries are popped and dropped here).
+	ctx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	if !c.begin(cancel) {
 		return
 	}
 	err := s.execute(ctx, c)
-	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		// Success, or an interrupted campaign left in a resumable state.
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if c.cancelRequested() && s.runCtx.Err() == nil {
+			// A per-campaign cancel, not a server shutdown: the campaign is
+			// terminal, its durable state says so, and its tenant slot frees.
+			c.setState(StatusCancelled, "", "")
+			if !s.killed.Load() {
+				if serr := s.store.SaveState(c.ID, c.currentState()); serr != nil {
+					c.log.append(Event{Type: EventCancelled, Msg: "state persist failed: " + serr.Error()})
+				}
+			}
+			c.log.append(Event{Type: EventCancelled, Msg: "cancelled by request"})
+			return
+		}
+		// Shutdown: the campaign stays in-flight and re-adoptable.
 		return
 	}
 	c.setState(StatusFailed, "", err.Error())
@@ -336,7 +358,19 @@ func (s *Server) attack(ctx context.Context, c *Campaign, pub *falcon.PublicKey)
 		ctx:   ctx,
 		beams: phaseBeams(cfg),
 	}
-	priv, report, err := core.RecoverKeyResumable(corpus, pub, cfg, ws)
+	var priv *falcon.PrivateKey
+	var report *core.RecoveryReport
+	if spec.Distributed && s.cfg.Distributor != nil {
+		// Fleet execution: corpus sweeps fan out to the worker fleet, named
+		// by the campaign's store-relative trace path. The checkpointed
+		// phases, the sidecar and every result byte are identical to a
+		// local run — the differential suite holds at fleet granularity.
+		dist := s.cfg.Distributor(filepath.Join(c.ID, traceFile))
+		c.log.append(Event{Type: EventAttacking, Msg: "distributed over the worker fleet"})
+		priv, report, err = core.RecoverKeyDistributed(corpus, pub, cfg, ws, dist)
+	} else {
+		priv, report, err = core.RecoverKeyResumable(corpus, pub, cfg, ws)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return err

@@ -2,9 +2,12 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"falcondown/internal/core"
 )
 
 // Config tunes a Server. Zero values take the stated defaults.
@@ -23,6 +26,12 @@ type Config struct {
 	TenantMax int
 	// Limits bounds what a single campaign may ask for.
 	Limits Limits
+	// Distributor, when set, builds a core.Distributor for a campaign
+	// whose spec asks for distributed execution; corpus is the campaign's
+	// trace path relative to the store root (workers resolve it against
+	// their own copy of the root). Nil runs every campaign locally even
+	// if its spec says distributed — degradation, not rejection.
+	Distributor func(corpus string) core.Distributor
 }
 
 func (c Config) withDefaults() Config {
@@ -255,6 +264,45 @@ func (s *Server) Stop(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// ErrTerminal reports a cancel request against a campaign that already
+// reached a terminal state (HTTP 409).
+var ErrTerminal = errors.New("campaign: already terminal")
+
+// Cancel stops one campaign: a queued campaign goes terminal on the
+// spot (its queue entry is skipped when popped); a running one has its
+// context cancelled and stops at the next durable boundary —
+// acquisition chunk or attack phase checkpoint — exactly like a
+// graceful shutdown, except the campaign lands in "cancelled" instead
+// of staying re-adoptable. Its tenant-quota slot frees either way.
+func (s *Server) Cancel(id string) (Snapshot, error) {
+	c, ok := s.Get(id)
+	if !ok {
+		return Snapshot{}, fmt.Errorf("campaign: no such campaign %q", id)
+	}
+	c.mu.Lock()
+	if terminal(c.status) {
+		c.mu.Unlock()
+		return c.Snapshot(), ErrTerminal
+	}
+	c.cancelReq = true
+	cancel := c.cancel
+	if cancel == nil {
+		// Still queued: never started, so go terminal directly. The slot
+		// worker that eventually pops this entry sees the terminal status
+		// and drops it.
+		c.status = StatusCancelled
+		c.mu.Unlock()
+		if err := s.store.SaveState(id, c.currentState()); err != nil {
+			return c.Snapshot(), err
+		}
+		c.log.append(Event{Type: EventCancelled, Msg: "cancelled while queued"})
+		return c.Snapshot(), nil
+	}
+	c.mu.Unlock()
+	cancel()
+	return c.Snapshot(), nil
 }
 
 // Kill hard-aborts the server without any cleanup: no shard

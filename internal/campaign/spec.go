@@ -81,6 +81,12 @@ type Spec struct {
 
 	// Message is signed with the recovered key to demonstrate the break.
 	Message string `json:"message,omitempty"`
+
+	// Distributed asks for the attack sweeps to run over the server's
+	// worker fleet (Config.Distributor). On a server without a fleet the
+	// campaign runs locally — the results are byte-identical either way,
+	// so the flag is a placement preference, never a semantic one.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // Limits bounds what a server accepts per campaign; zero fields are

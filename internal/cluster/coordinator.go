@@ -1,0 +1,315 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"falcondown/internal/core"
+	"falcondown/internal/supervise"
+)
+
+// Options configures a coordinator.
+type Options struct {
+	// Workers are the fleet's base URLs (e.g. http://10.0.0.2:9100). An
+	// empty fleet is legal: every task runs coordinator-local.
+	Workers []string
+	// Corpus is the corpus name workers resolve (relative to their root).
+	Corpus string
+	// Transport overrides the HTTP transport (tests inject
+	// faultinject.FlakyTransport here); nil means http.DefaultTransport.
+	Transport http.RoundTripper
+	// Lease is the per-attempt deadline. A worker that has not answered
+	// within its lease is presumed dead or partitioned; the lease expires
+	// and the task is re-issued exactly once per expiry, to the next node
+	// in the ring. Default 30s.
+	Lease time.Duration
+	// Retries is how many re-issues a task gets after its first attempt
+	// before degrading to coordinator-local execution. Default 2.
+	Retries int
+	// Backoff is the base of the exponential backoff between re-issues.
+	// Default 100ms.
+	Backoff time.Duration
+	// Hedge, when positive, launches a second copy of a task on the next
+	// ring node if the primary has not answered within this duration —
+	// straggler mitigation. Both copies may deposit; the fold's dedupe
+	// keeps exactly one. Zero disables hedging.
+	Hedge time.Duration
+	// Breaker configures the per-worker-node circuit breakers ("a
+	// straggler node is just a flaky device one level up").
+	Breaker supervise.BreakerConfig
+	// ShardsPerTask is the lease granularity: how many corpus shards one
+	// task covers. Default 4.
+	ShardsPerTask int
+}
+
+// Report counts what the fleet did; the differential suite asserts on it
+// (and only on it — never on result bytes, which must not depend on any
+// of this).
+type Report struct {
+	Passes     int // distributed passes coordinated
+	Tasks      int // task blocks issued
+	Remote     int // tasks completed by a worker
+	Local      int // tasks degraded to coordinator-local execution
+	Retries    int // task re-issues after a failed or expired lease
+	Hedges     int // hedged secondary launches
+	Rejected   int // partial blocks rejected (digest, decode, or shape)
+	Duplicates int // duplicate shard deposits dropped by the fold
+	Skips      int // attempts skipped by an open breaker
+}
+
+type workerNode struct {
+	url string
+	br  *supervise.Breaker
+}
+
+// Coordinator implements core.Distributor over a worker fleet. It owns
+// the fold: workers only ever see (view, jobs, shard range) and return
+// partials; the coordinator deposits them into the pass, which folds in
+// pinned shard order regardless of arrival order. One Coordinator serves
+// one campaign at a time (passes are sequential).
+type Coordinator struct {
+	opts   Options
+	client *http.Client
+	nodes  []*workerNode
+
+	mu  sync.Mutex
+	rep Report
+}
+
+// New builds a coordinator for the given fleet.
+func New(opts Options) *Coordinator {
+	if opts.Lease <= 0 {
+		opts.Lease = 30 * time.Second
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 100 * time.Millisecond
+	}
+	if opts.ShardsPerTask <= 0 {
+		opts.ShardsPerTask = 4
+	}
+	c := &Coordinator{
+		opts:   opts,
+		client: &http.Client{Transport: opts.Transport},
+	}
+	for _, u := range opts.Workers {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		c.nodes = append(c.nodes, &workerNode{url: u, br: supervise.NewBreaker(opts.Breaker)})
+	}
+	return c
+}
+
+// Report snapshots the fleet counters.
+func (c *Coordinator) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rep
+}
+
+// Breakers snapshots the per-node breaker states, indexed like
+// Options.Workers.
+func (c *Coordinator) Breakers() []supervise.BreakerStatus {
+	out := make([]supervise.BreakerStatus, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.br.Status(i)
+	}
+	return out
+}
+
+func (c *Coordinator) bump(f func(r *Report)) {
+	c.mu.Lock()
+	f(&c.rep)
+	c.mu.Unlock()
+}
+
+// errBreakerOpen marks an attempt skipped (not failed) because the
+// node's breaker refused it.
+var errBreakerOpen = errors.New("cluster: worker breaker open")
+
+// RunPass implements core.Distributor: cut the pass into task blocks,
+// fan them out over the fleet, and deposit every partial. Determinism
+// note: nothing here orders the result — DistPass folds deposits in
+// pinned shard order and drops duplicates, so retries, hedges, node
+// loss and arrival order cannot change a single output bit.
+func (c *Coordinator) RunPass(p *core.DistPass) error {
+	type task struct{ lo, hi int }
+	var tasks []task
+	for lo := 0; lo < p.NumShards(); lo += c.opts.ShardsPerTask {
+		tasks = append(tasks, task{lo, min(lo+c.opts.ShardsPerTask, p.NumShards())})
+	}
+	c.bump(func(r *Report) { r.Passes++; r.Tasks += len(tasks) })
+
+	limit := 1
+	if len(c.nodes) > 0 {
+		limit = 2 * len(c.nodes)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make([]error, len(tasks))
+	var wg, inflight sync.WaitGroup
+	for i, tk := range tasks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, tk task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = c.runTask(p, &inflight, i, tk.lo, tk.hi)
+		}(i, tk)
+	}
+	wg.Wait()
+	// Hedge losers may still be in flight; their deposits are legal only
+	// while the pass is live, so the pass does not end until they finish.
+	inflight.Wait()
+	c.bump(func(r *Report) { r.Duplicates += p.Duplicates() })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTask drives one task block to completion: ring attempts over the
+// fleet with lease deadlines, backoff and hedging, then coordinator-
+// local degradation once retries are exhausted.
+func (c *Coordinator) runTask(p *core.DistPass, inflight *sync.WaitGroup, taskIdx, shardLo, shardHi int) error {
+	req := taskRequest{
+		Corpus:  c.opts.Corpus,
+		View:    p.View(),
+		Jobs:    p.Jobs(),
+		JobLo:   0,
+		ShardLo: shardLo,
+		ShardHi: shardHi,
+	}
+	for a := 0; a <= c.opts.Retries && len(c.nodes) > 0; a++ {
+		if a > 0 {
+			c.bump(func(r *Report) { r.Retries++ })
+			time.Sleep(c.opts.Backoff << uint(a-1))
+		}
+		err := c.hedgedAttempt(p, inflight, req, taskIdx, a)
+		if err == nil {
+			c.bump(func(r *Report) { r.Remote++ })
+			return nil
+		}
+	}
+	// Graceful degradation: the fleet is gone (or was never there); the
+	// coordinator computes the block itself, through the same wire jobs.
+	parts, err := p.Compute(shardLo, shardHi, 0, p.NumJobs())
+	if err != nil {
+		return err
+	}
+	for _, sp := range parts {
+		if err := p.Deposit(0, sp); err != nil {
+			return err
+		}
+	}
+	c.bump(func(r *Report) { r.Local++ })
+	return nil
+}
+
+// hedgedAttempt issues attempt a of a task to its ring-primary node and,
+// if the primary dawdles past the hedge delay, races a secondary on the
+// next node. First success wins; a losing deposit is deduped by the
+// fold. The pass-level inflight group keeps stragglers inside the pass.
+func (c *Coordinator) hedgedAttempt(p *core.DistPass, inflight *sync.WaitGroup, req taskRequest, taskIdx, a int) error {
+	primary := c.nodes[(taskIdx+a)%len(c.nodes)]
+	res := make(chan error, 2)
+	inflight.Add(1)
+	go func() {
+		defer inflight.Done()
+		res <- c.attempt(p, primary, req)
+	}()
+	launched := 1
+	if c.opts.Hedge > 0 && len(c.nodes) > 1 {
+		timer := time.NewTimer(c.opts.Hedge)
+		select {
+		case err := <-res:
+			timer.Stop()
+			return err
+		case <-timer.C:
+			secondary := c.nodes[(taskIdx+a+1)%len(c.nodes)]
+			c.bump(func(r *Report) { r.Hedges++ })
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				res <- c.attempt(p, secondary, req)
+			}()
+			launched = 2
+		}
+	}
+	var firstErr error
+	for i := 0; i < launched; i++ {
+		if err := <-res; err == nil {
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// attempt runs one leased call against one node and deposits its
+// partials. Any failure — breaker refusal, transport error, lease
+// expiry, digest mismatch, shape rejection — leaves the fold untouched
+// for this block (valid earlier shards may land; a re-delivery of them
+// is deduped).
+func (c *Coordinator) attempt(p *core.DistPass, node *workerNode, req taskRequest) error {
+	if !node.br.Allow(time.Now()) {
+		c.bump(func(r *Report) { r.Skips++ })
+		return errBreakerOpen
+	}
+	parts, err := c.call(node, req)
+	if err == nil {
+		for _, sp := range parts {
+			if derr := p.Deposit(req.JobLo, sp); derr != nil {
+				err = derr
+				c.bump(func(r *Report) { r.Rejected++ })
+				break
+			}
+		}
+	} else if errors.As(err, &errCorrupt{}) {
+		c.bump(func(r *Report) { r.Rejected++ })
+	}
+	node.br.Record(err == nil, time.Now())
+	return err
+}
+
+// call performs one framed, leased HTTP round trip.
+func (c *Coordinator) call(node *workerNode, req taskRequest) ([]core.ShardPartial, error) {
+	body, err := seal(req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Lease)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node.url+"/task", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: worker %s: %s: %s", node.url, resp.Status, bytes.TrimSpace(msg))
+	}
+	var tr taskResponse
+	if err := open(resp.Body, maxFrameBytes, &tr); err != nil {
+		return nil, err
+	}
+	return tr.Partials, nil
+}

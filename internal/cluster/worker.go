@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"falcondown/internal/core"
+	"falcondown/internal/tracestore"
+)
+
+// maxFrameBytes bounds any single framed request or response body. Task
+// responses carry at most shardsPerTask × jobs-per-pass engine states;
+// even the widest pass (the 2047-hypothesis exponent scan) stays far
+// under this.
+const maxFrameBytes = 1 << 27 // 128 MiB
+
+// taskRequest describes one block of work: rebuild the corpus view from
+// the spec, rebuild the pass's jobs from shard shardLo, and sweep shards
+// [shardLo, shardHi).
+type taskRequest struct {
+	// Corpus names the trace corpus, resolved against the worker's root.
+	Corpus string `json:"corpus"`
+	// View reconstructs the coordinator's exact corpus view (mask layers
+	// plus the frozen robust plan).
+	View core.SourceSpec `json:"view"`
+	// Jobs are the pass's accumulation jobs in pass order.
+	Jobs []core.JobSpec `json:"jobs"`
+	// JobLo is the pass-level index of Jobs[0], echoed back so the
+	// coordinator deposits against the right fold lanes.
+	JobLo   int `json:"jobLo"`
+	ShardLo int `json:"shardLo"`
+	ShardHi int `json:"shardHi"`
+}
+
+// taskResponse carries one ShardPartial per swept shard, in shard order.
+type taskResponse struct {
+	Partials []core.ShardPartial `json:"partials"`
+}
+
+// Worker serves shard-partial computations for a coordinator. It is
+// stateless beyond a cache of open corpora: a worker that crashes and
+// restarts (or a fresh node joining mid-campaign) serves the same bytes,
+// because every task request carries the full view and job specs.
+type Worker struct {
+	// Root is the directory corpus names resolve under. Requests naming
+	// paths outside it are rejected.
+	Root string
+
+	mu      sync.Mutex
+	corpora map[string]*tracestore.Corpus
+}
+
+// NewWorker returns a worker serving corpora under root.
+func NewWorker(root string) *Worker {
+	return &Worker{Root: root, corpora: make(map[string]*tracestore.Corpus)}
+}
+
+// Handler returns the worker's HTTP surface:
+//
+//	POST /task     — compute shard partials for a task request
+//	GET  /healthz  — liveness probe
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/task", w.handleTask)
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusOK)
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}
+
+// source resolves and caches a corpus by its request name.
+func (w *Worker) source(name string) (*tracestore.Corpus, error) {
+	path, err := w.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.corpora == nil {
+		w.corpora = make(map[string]*tracestore.Corpus)
+	}
+	if c, ok := w.corpora[path]; ok {
+		return c, nil
+	}
+	c, err := tracestore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	w.corpora[path] = c
+	return c, nil
+}
+
+// resolve maps a request's corpus name to a filesystem path, confining
+// it to the worker's root.
+func (w *Worker) resolve(name string) (string, error) {
+	if w.Root == "" {
+		return name, nil
+	}
+	if filepath.IsAbs(name) {
+		return "", fmt.Errorf("cluster: absolute corpus path %q rejected", name)
+	}
+	clean := filepath.Clean(name)
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("cluster: corpus path %q escapes the worker root", name)
+	}
+	return filepath.Join(w.Root, clean), nil
+}
+
+func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req taskRequest
+	if err := open(r.Body, maxFrameBytes, &req); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	src, err := w.source(req.Corpus)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusNotFound)
+		return
+	}
+	parts, err := core.ComputeShardPartials(src, req.View, req.Jobs, req.ShardLo, req.ShardHi)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body, err := seal(taskResponse{Partials: parts})
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	rw.Write(body)
+}

@@ -280,6 +280,8 @@ func (s *extendState) beginRound() *extendRoundJob {
 	}
 	s.round = &extendRoundJob{
 		coeff:   s.coeff,
+		part:    s.part,
+		high:    s.high,
 		targets: targets,
 		next:    next,
 		mask:    mask,
@@ -307,9 +309,14 @@ func (s *extendState) endRound() {
 	s.round = nil
 }
 
-// extendRoundJob is the per-pass accumulator of one extend round.
+// extendRoundJob is the per-pass accumulator of one extend round. part
+// and high identify which half's targets the round attacks — redundant
+// with targets locally, but they let a worker rebuild the identical
+// target list from the job's wire description.
 type extendRoundJob struct {
 	coeff   int
+	part    Part
+	high    bool
 	targets []extendTarget
 	next    []uint64
 	mask    uint64
@@ -341,6 +348,8 @@ func (j *extendRoundJob) clone() mergeJob {
 	}
 	return &extendRoundJob{
 		coeff:   j.coeff,
+		part:    j.part,
+		high:    j.high,
 		targets: j.targets,
 		next:    j.next,
 		mask:    j.mask,
@@ -380,6 +389,12 @@ func newPruneJob(coeff int, part Part, dCands, cCands []candidate) *pruneJob {
 			pairs = append(pairs, mantPair{dc.value, cc.value})
 		}
 	}
+	return pruneJobFromPairs(coeff, part, pairs)
+}
+
+// pruneJobFromPairs builds the prune accumulator over an explicit pair
+// list — the constructor a worker uses when the pairs arrive by wire.
+func pruneJobFromPairs(coeff int, part Part, pairs []mantPair) *pruneJob {
 	ops := []fpr.Op{fpr.OpMulMid, fpr.OpMulSum1, fpr.OpMulSum2}
 	nEng := len(ops) * 2
 	j := &pruneJob{

@@ -164,6 +164,16 @@ func runPass(src Source, jobs []passJob, workers int) error {
 		}
 		mjobs[i] = mj
 	}
+	if ds, ok := src.(*distSource); ok {
+		if p, wired := newDistPass(ds, mjobs); wired {
+			if err := ds.dist.RunPass(p); err != nil {
+				return err
+			}
+			return p.incomplete()
+		}
+		// A job that cannot cross the wire runs against the local view.
+		src = ds.Source
+	}
 	workers = effectiveWorkers(workers)
 	if workers <= 1 {
 		return serialPass(src, mjobs)

@@ -47,6 +47,23 @@ func (r RobustConfig) Enabled() bool {
 // pass folds shard partials in the canonical order — so resumed attacks
 // rebuild the identical plan at any parallelism.
 func prepareRobust(src Source, rc RobustConfig, workers int) (Source, error) {
+	// A distributed attack derives the identical plan: the RMS pass runs
+	// coordinator-local (the coordinator owns the corpus anyway), the
+	// welford passes distribute as wire jobs against the masked view, and
+	// the finished plan is described to workers through the wire view so
+	// every later pass sees the same transformed bytes.
+	ds, distributed := src.(*distSource)
+	if distributed {
+		src = ds.Source
+	}
+	finish := func(rs *robustSource, masks [][]int) Source {
+		if !distributed {
+			return rs
+		}
+		view := SourceSpec{Masks: masks, Robust: rs.planSpec()}
+		return &distSource{Source: rs, dist: ds.dist, view: view}
+	}
+
 	// Pass 1: per-trace RMS energies, keyed by corpus index.
 	rms := make([]float64, src.Count())
 	if err := parallelMap(src, workers, func(idx int, o emleak.Observation) {
@@ -59,34 +76,40 @@ func prepareRobust(src Source, rc RobustConfig, workers int) (Source, error) {
 		skip = energyOutliers(rms, rc.TrimSigmas)
 	}
 	base := src
+	var masks [][]int
 	if len(skip) > 0 {
 		base = tracestore.NewMaskedSource(src, skip)
+		masks = [][]int{skip}
+	}
+	sweepSrc := base
+	if distributed {
+		sweepSrc = &distSource{Source: base, dist: ds.dist, view: SourceSpec{Masks: masks}}
 	}
 	rs := &robustSource{inner: base, cfg: rc, trimmed: len(skip)}
 	if rc.ResyncShift <= 0 && rc.Winsorize <= 0 {
-		return rs, nil
+		return finish(rs, masks), nil
 	}
 
 	// Pass 2 (kept traces): per-sample mean template and variance.
-	mean, m2, n, err := sampleStats(base, nil, false, workers)
+	mean, m2, n, err := sampleStats(sweepSrc, nil, false, workers)
 	if err != nil {
 		return nil, err
 	}
 	rs.template = mean
 	if rc.Winsorize <= 0 {
-		return rs, nil
+		return finish(rs, masks), nil
 	}
 	lo, hi := winsorBounds(mean, m2, n, rc.Winsorize)
 
 	// Pass 3: refine the bounds on resynced-and-clamped data, so the
 	// outliers being clamped do not inflate the σ that bounds them.
 	rs.lo, rs.hi = lo, hi
-	mean2, m22, n2, err := sampleStats(base, rs, true, workers)
+	mean2, m22, n2, err := sampleStats(sweepSrc, rs, true, workers)
 	if err != nil {
 		return nil, err
 	}
 	rs.lo, rs.hi = winsorBounds(mean2, m22, n2, rc.Winsorize)
-	return rs, nil
+	return finish(rs, masks), nil
 }
 
 // energyOutliers flags indices whose value sits more than k robust

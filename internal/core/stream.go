@@ -137,6 +137,12 @@ func AttackFFTfFrom(src Source, cfg Config) ([]fft.Cplx, []ValueResult, error) {
 	return AttackFFTfResumable(src, cfg, nil)
 }
 
+// AttackFFTfDistributed is AttackFFTfResumable with every campaign pass
+// executed through dist; see RecoverKeyDistributed for the contract.
+func AttackFFTfDistributed(src Source, cfg Config, store CheckpointStore, dist Distributor) ([]fft.Cplx, []ValueResult, error) {
+	return AttackFFTfResumable(WithDistributor(src, dist), cfg, store)
+}
+
 // AttackFFTfResumable is AttackFFTfFrom with checkpointed recovery: after
 // each completed phase the attack state is serialized through store, and
 // a rerun against the same campaign and configuration resumes from the

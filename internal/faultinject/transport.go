@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"falcondown/internal/rng"
+)
+
+// FlakyTransport is an http.RoundTripper that injects network-level
+// faults into a cluster's coordinator→worker RPCs: dropped requests,
+// dropped responses (the request WAS executed — the duplicate-delivery
+// shape), delays, truncated response bodies, and response bit flips. The
+// draw for the i-th request issued through the transport depends only on
+// (Seed, i), so a fault schedule replays exactly.
+//
+// The fault classes map onto the failure matrix the coordinator must
+// survive (see internal/cluster):
+//
+//	DropRequest  — the request never reaches the worker (partition before
+//	               delivery); the worker does no work.
+//	DropResponse — the worker executes the task but the response is lost
+//	               (partition after delivery); a retry makes the worker
+//	               compute the same cells twice, exercising the
+//	               coordinator's exactly-once fold.
+//	Truncate     — the response body is cut short (torn connection).
+//	FlipBit      — one byte of the response body is corrupted in flight;
+//	               the CRC frame must reject it before any decode.
+//	Delay        — the response is held for Delay (a straggler link).
+type FlakyTransport struct {
+	// Inner performs real round trips; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+	// Seed anchors the per-request fault draws.
+	Seed uint64
+
+	// Per-request fault probabilities, drawn in the order declared here.
+	DropRequest  float64
+	DropResponse float64
+	Truncate     float64
+	FlipBit      float64
+	DelayProb    float64
+	// Delay is how long a delayed response is held.
+	Delay time.Duration
+
+	calls atomic.Uint64
+}
+
+// Calls reports how many round trips were attempted through the
+// transport.
+func (t *FlakyTransport) Calls() int { return int(t.calls.Load()) }
+
+// RoundTrip applies the request's fault schedule around the inner round
+// trip.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	idx := t.calls.Add(1) - 1
+	r := rng.New(rng.DeriveSeed(t.Seed, idx))
+	dropReq := t.DropRequest > 0 && r.Float64() < t.DropRequest
+	dropResp := t.DropResponse > 0 && r.Float64() < t.DropResponse
+	trunc := t.Truncate > 0 && r.Float64() < t.Truncate
+	flip := t.FlipBit > 0 && r.Float64() < t.FlipBit
+	delay := t.DelayProb > 0 && r.Float64() < t.DelayProb
+
+	if dropReq {
+		return nil, fmt.Errorf("faultinject: request %d dropped before delivery", idx)
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if delay && t.Delay > 0 {
+		time.Sleep(t.Delay)
+	}
+	if dropResp {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("faultinject: response %d dropped after execution", idx)
+	}
+	if !trunc && !flip {
+		return resp, nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if trunc && len(body) > 1 {
+		body = body[:1+r.Intn(len(body)-1)]
+	}
+	if flip && len(body) > 0 {
+		// Corrupt one byte somewhere in the payload; the CRC frame, not
+		// JSON syntax, must be what catches it.
+		body[r.Intn(len(body))] ^= 1 << uint(r.Intn(8))
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}

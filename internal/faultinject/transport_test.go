@@ -1,0 +1,121 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// transportOutcome classifies one round trip through a FlakyTransport.
+func transportOutcome(t *testing.T, ft *FlakyTransport, url string) string {
+	t.Helper()
+	resp, err := (&http.Client{Transport: ft}).Get(url)
+	if err != nil {
+		return "err:" + errClass(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "readerr"
+	}
+	return "body:" + string(body)
+}
+
+func errClass(err error) string {
+	// Collapse transport errors to their fault class; net/http wraps them
+	// with scheme/host noise.
+	s := err.Error()
+	switch {
+	case contains(s, "dropped before delivery"):
+		return "dropreq"
+	case contains(s, "dropped after execution"):
+		return "dropresp"
+	default:
+		return "other"
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFlakyTransportDeterministicInSeed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "the quick brown fox jumps over the lazy dog")
+	}))
+	defer srv.Close()
+
+	schedule := func() []string {
+		ft := &FlakyTransport{Seed: 7, DropRequest: 0.2, DropResponse: 0.2, Truncate: 0.2, FlipBit: 0.2}
+		var out []string
+		for i := 0; i < 40; i++ {
+			out = append(out, transportOutcome(t, ft, srv.URL))
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d: schedule diverged across replays:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+
+	// The schedule must actually contain every fault class at these rates.
+	seen := map[string]bool{}
+	clean := "body:the quick brown fox jumps over the lazy dog"
+	for _, o := range a {
+		switch {
+		case o == clean:
+			seen["clean"] = true
+		case o == "err:dropreq":
+			seen["dropreq"] = true
+		case o == "err:dropresp":
+			seen["dropresp"] = true
+		default:
+			seen["damaged"] = true // truncated or bit-flipped body
+		}
+	}
+	for _, class := range []string{"clean", "dropreq", "dropresp", "damaged"} {
+		if !seen[class] {
+			t.Fatalf("40 draws at 20%% rates never produced class %q (schedule: %v)", class, a)
+		}
+	}
+
+	// A different seed gives a different schedule.
+	ft := &FlakyTransport{Seed: 8, DropRequest: 0.2, DropResponse: 0.2, Truncate: 0.2, FlipBit: 0.2}
+	var diverged bool
+	for i := 0; i < 40; i++ {
+		if transportOutcome(t, ft, srv.URL) != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical 40-request schedules")
+	}
+	if ft.Calls() == 0 {
+		t.Fatal("Calls() never advanced")
+	}
+}
+
+func TestFlakyTransportCleanPassThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload")
+	}))
+	defer srv.Close()
+	ft := &FlakyTransport{Seed: 1} // all probabilities zero
+	for i := 0; i < 5; i++ {
+		if got := transportOutcome(t, ft, srv.URL); got != "body:payload" {
+			t.Fatalf("request %d through a fault-free transport: %s", i, got)
+		}
+	}
+	if ft.Calls() != 5 {
+		t.Fatalf("Calls() = %d, want 5", ft.Calls())
+	}
+}

@@ -1,0 +1,32 @@
+package supervise
+
+import "time"
+
+// Breaker is the exported face of the per-device circuit breaker, for
+// supervising failure domains other than capture devices — the cluster
+// coordinator runs one per worker node ("a straggler node is just a
+// flaky device one level up"). Semantics are identical to the pool's
+// internal breakers: Threshold consecutive failures open it, OpenFor
+// later it admits Probes trial attempts, and only a clean probe run
+// closes it again.
+type Breaker struct {
+	b *breaker
+}
+
+// NewBreaker builds a breaker with the given configuration (zero fields
+// take the documented defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{b: newBreaker(cfg)}
+}
+
+// Allow reports whether an attempt may proceed now; a false return means
+// the caller should skip this target. Time is injected so callers on a
+// virtual clock stay deterministic.
+func (b *Breaker) Allow(now time.Time) bool { return b.b.allow(now) }
+
+// Record folds in the outcome of one attempt.
+func (b *Breaker) Record(ok bool, now time.Time) { b.b.record(ok, now) }
+
+// Status returns the breaker's reported state, with the given identity
+// stamped into the Device field.
+func (b *Breaker) Status(id int) BreakerStatus { return b.b.snapshot(id) }

@@ -8,6 +8,11 @@
 # runs across hosts. Results are bit-identical across worker counts, so
 # ns/op ratios are pure scheduling speedups.
 #
+# An existing BENCH_attack.json is merged, not clobbered: records from
+# other host classes (different host_cores) are kept, so the multi-core
+# CI runner's W>1 points accumulate next to the 1-vCPU baseline
+# (scripts/benchmerge.go).
+#
 # Usage: scripts/bench.sh [benchtime]     (default 3x)
 set -eu
 
@@ -17,6 +22,9 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT="$ROOT/BENCH_attack.json"
 
 cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+new="$(mktemp)"
+trap 'rm -f "$new"' EXIT
 
 raw="$("$GO" test -run xxx -bench '^BenchmarkAttack$' -benchtime "$BENCHTIME" "$ROOT" | tee /dev/stderr)"
 
@@ -40,7 +48,14 @@ printf '%s\n' "$raw" | awk -v cores="$cores" '
     printf "\n]\n"
     if (count == 0) exit 1
   }
-' > "$OUT"
+' > "$new"
+
+if [ -f "$OUT" ]; then
+	"$GO" run "$ROOT/scripts/benchmerge.go" "$OUT" "$new" > "$OUT.tmp"
+	mv "$OUT.tmp" "$OUT"
+else
+	cp "$new" "$OUT"
+fi
 
 echo "wrote $OUT:"
 cat "$OUT"

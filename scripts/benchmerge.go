@@ -1,0 +1,83 @@
+//go:build ignore
+
+// Command benchmerge merges a freshly measured BENCH_attack.json record
+// set into an existing one. Records are keyed by (name, host_cores):
+// re-running the benchmark on the same host class replaces its own
+// records, while records measured on other hosts (the multi-core CI
+// runner vs the 1-vCPU dev container) are preserved — the file
+// accumulates one speedup curve per host class instead of each run
+// clobbering the last.
+//
+// Usage: go run scripts/benchmerge.go old.json new.json > merged.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Name      string `json:"name"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Workers   int    `json:"workers"`
+	HostCores int    `json:"host_cores"`
+}
+
+func load(path string) []record {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+		os.Exit(1)
+	}
+	var rs []record
+	if err := json.Unmarshal(b, &rs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rs
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchmerge old.json new.json")
+		os.Exit(2)
+	}
+	old, fresh := load(os.Args[1]), load(os.Args[2])
+	type key struct {
+		name  string
+		cores int
+	}
+	replaced := make(map[key]bool, len(fresh))
+	for _, r := range fresh {
+		replaced[key{r.Name, r.HostCores}] = true
+	}
+	merged := make([]record, 0, len(old)+len(fresh))
+	for _, r := range old {
+		if !replaced[key{r.Name, r.HostCores}] {
+			merged = append(merged, r)
+		}
+	}
+	merged = append(merged, fresh...)
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.HostCores != b.HostCores {
+			return a.HostCores < b.HostCores
+		}
+		if a.Workers != b.Workers {
+			return a.Workers < b.Workers
+		}
+		return a.Name < b.Name
+	})
+	fmt.Println("[")
+	for i, r := range merged {
+		comma := ","
+		if i == len(merged)-1 {
+			comma = ""
+		}
+		fmt.Printf("  {\"name\": %q, \"ns_per_op\": %d, \"workers\": %d, \"host_cores\": %d}%s\n",
+			r.Name, r.NsPerOp, r.Workers, r.HostCores, comma)
+	}
+	fmt.Println("]")
+}

@@ -20,7 +20,13 @@
 #   9. campaign server: submit the same campaign to campaignd, SIGKILL the
 #      daemon mid-run, restart it over the same store, and require it to
 #      re-adopt the campaign, finish it, and serve the same key the direct
-#      CLI recovers — with a corpus byte-identical to the reference.
+#      CLI recovers — with a corpus byte-identical to the reference;
+#  10. attack fleet chaos: two clusterd workers serve the corpus, the
+#      fleet attack starts sweeping, one worker takes a real kill -9
+#      mid-sweep; the coordinator re-leases its tasks and the recovered
+#      key must be cmp-identical to the fleetless CLI key. A second pass
+#      keeps the corpse in the fleet list, so ring routing provably
+#      re-leases (retries > 0 in the fleet report) — same key bytes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -99,8 +105,12 @@ echo "== campaign server: SIGKILL mid-run, restart, re-adopt, key matches the CL
 
 store="$tmp/campaigns"
 daemon_pid=""
+w1_pid=""
+w2_pid=""
 cleanup() {
 	[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+	[ -n "$w1_pid" ] && kill -9 "$w1_pid" 2>/dev/null
+	[ -n "$w2_pid" ] && kill -9 "$w2_pid" 2>/dev/null
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -160,5 +170,56 @@ cmp "$tmp/cli.key.json" "$tmp/campaign.key.json" \
 	|| { echo "FAIL: campaign kept no checkpoint sidecar as its attack record"; exit 1; }
 kill "$daemon_pid" && wait "$daemon_pid" 2>/dev/null || true
 daemon_pid=""
+
+echo "== attack fleet chaos: kill -9 a clusterd worker mid-sweep, key identical"
+"$GO" build -o "$tmp/clusterd" ./cmd/clusterd
+
+# start_worker N: launch a clusterd over the smoke corpus dir and capture
+# its URL into wN_url (workers resolve -cluster-corpus names under -root).
+start_worker() {
+	: >"$tmp/clusterd.$1.log"
+	"$tmp/clusterd" -addr 127.0.0.1:0 -root "$tmp" >>"$tmp/clusterd.$1.log" 2>&1 &
+	eval "w$1_pid=$!"
+	for _ in $(seq 100); do
+		wurl=$(sed -n 's/.*serving corpora under .* on \(.*\)$/http:\/\/\1/p' "$tmp/clusterd.$1.log" | head -1)
+		[ -n "$wurl" ] && { eval "w$1_url=\$wurl"; return 0; }
+		sleep 0.1
+	done
+	echo "FAIL: clusterd worker $1 never started"; cat "$tmp/clusterd.$1.log"; exit 1
+}
+start_worker 1
+start_worker 2
+
+# Mid-sweep node loss: the fleet attack runs against both workers while
+# worker 1 is SIGKILLed under it. The coordinator must re-lease the torn
+# tasks and finish with the fleetless CLI key, byte for byte.
+"$tmp/attack" -traces "$tmp/ref.fdt2" -pub "$tmp/victim.pub" \
+	-cluster "$w1_url,$w2_url" -cluster-corpus ref.fdt2 \
+	-sig "$tmp/fleet.sig" -key "$tmp/fleet.key.json" >"$tmp/fleet.log" 2>&1 &
+attack_pid=$!
+sleep 0.1
+kill -9 "$w1_pid" 2>/dev/null || true
+wait "$attack_pid" \
+	|| { echo "FAIL: fleet attack failed after the worker kill"; cat "$tmp/fleet.log"; exit 1; }
+grep -q "fleet report:" "$tmp/fleet.log" \
+	|| { echo "FAIL: fleet attack printed no fleet report"; cat "$tmp/fleet.log"; exit 1; }
+cmp "$tmp/cli.key.json" "$tmp/fleet.key.json" \
+	|| { echo "FAIL: fleet-recovered key differs from the CLI-recovered key"; exit 1; }
+echo "   $(grep 'fleet report:' "$tmp/fleet.log")"
+
+# Deterministic re-lease: the corpse stays in the fleet list, so ring
+# routing sends alternate tasks to it first — the report must show
+# re-leases (retries > 0) and the key must still match.
+out=$("$tmp/attack" -traces "$tmp/ref.fdt2" -pub "$tmp/victim.pub" \
+	-cluster "$w1_url,$w2_url" -cluster-corpus ref.fdt2 \
+	-sig "$tmp/fleet2.sig" -key "$tmp/fleet2.key.json")
+echo "$out" | grep "fleet report:" | grep -Eq "retries=[1-9]" \
+	|| { echo "FAIL: dead fleet node caused no re-leases"; echo "$out"; exit 1; }
+cmp "$tmp/cli.key.json" "$tmp/fleet2.key.json" \
+	|| { echo "FAIL: dead-node fleet key differs from the CLI-recovered key"; exit 1; }
+echo "   $(echo "$out" | grep 'fleet report:')"
+kill "$w2_pid" 2>/dev/null && wait "$w2_pid" 2>/dev/null || true
+w1_pid=""
+w2_pid=""
 
 echo "smoke: all stages passed"
