@@ -40,6 +40,8 @@ import (
 	"flag"
 	"fmt"
 	"math/bits"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
@@ -72,6 +74,8 @@ func main() {
 	keyOut := flag.String("key", "", "also dump the recovered (f, g) pair as canonical JSON to this path (byte-comparable with the campaign server's key endpoint)")
 	clusterURLs := flag.String("cluster", "", "comma-separated clusterd worker URLs; corpus sweeps fan out to the fleet, falling back to local compute if it dies (result is byte-identical either way)")
 	clusterCorpus := flag.String("cluster-corpus", "", "corpus name as the workers resolve it under their -root (default: the -traces path)")
+	blobAddr := flag.String("blob-addr", "", "serve this corpus's shards by content digest on this address (enables fleet shard push: a worker with a divergent replica repairs itself, a diskless worker joins cold)")
+	crossCheck := flag.Float64("crosscheck", 0, "fraction of fleet tasks double-issued to two workers and compared bit-for-bit; a node contradicting the recomputed truth is quarantined (0 = off, 1 = every task)")
 	flag.Parse()
 
 	w, err := core.ValidateWorkers(*workers)
@@ -90,10 +94,21 @@ func main() {
 		if corpus == "" {
 			corpus = *tracePath
 		}
-		coord = cluster.New(cluster.Options{
-			Workers: strings.Split(*clusterURLs, ","),
-			Corpus:  corpus,
-		})
+		opts := cluster.Options{
+			Workers:    strings.Split(*clusterURLs, ","),
+			Corpus:     corpus,
+			CrossCheck: *crossCheck,
+		}
+		if *blobAddr != "" {
+			url, err := serveBlobs(*blobAddr, *tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "attack: blob service:", err)
+				os.Exit(exitGeneric)
+			}
+			fmt.Printf("serving authoritative shards at %s/blob/\n", url)
+			opts.BlobURL = url
+		}
+		coord = cluster.New(opts)
 		dist = coord
 	}
 	if err := run(*tracePath, *pubPath, *msg, *sigOut, *keyOut, *lenient, *resume, cfg, dist); err != nil {
@@ -107,10 +122,31 @@ func main() {
 		os.Exit(exitGeneric)
 	}
 	if coord != nil {
-		rep := coord.Report()
-		fmt.Printf("fleet report: tasks=%d remote=%d local=%d retries=%d hedges=%d rejected=%d skips=%d\n",
-			rep.Tasks, rep.Remote, rep.Local, rep.Retries, rep.Hedges, rep.Rejected, rep.Skips)
+		fmt.Printf("fleet report: %s\n", coord.Report())
+		if q := coord.Quarantined(); len(q) > 0 {
+			fmt.Printf("quarantined node(s): %s\n", strings.Join(q, ", "))
+		}
 	}
+}
+
+// serveBlobs opens the corpus a second read-only time, registers its
+// shards with a blob service and serves it in the background for the
+// fleet; the returned base URL goes into the coordinator's task requests.
+func serveBlobs(addr, tracePath string) (string, error) {
+	corpus, err := tracestore.Open(tracePath)
+	if err != nil {
+		return "", err
+	}
+	blobs := cluster.NewBlobServer()
+	if err := blobs.Register(corpus); err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, blobs.Handler())
+	return "http://" + ln.Addr().String(), nil
 }
 
 func run(tracePath, pubPath, msg, sigOut, keyOut string, lenient, resume bool, cfg core.Config, dist core.Distributor) error {

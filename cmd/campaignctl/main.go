@@ -3,7 +3,7 @@
 //	campaignctl -server URL submit -n 64 -traces 1200 -noise 1.5 -seed 1
 //	campaignctl -server URL list
 //	campaignctl -server URL status c000001
-//	campaignctl -server URL watch  c000001     # stream progress events
+//	campaignctl -server URL watch [-sse] c000001   # stream progress events
 //	campaignctl -server URL wait   c000001     # block until terminal
 //	campaignctl -server URL result c000001
 //	campaignctl -server URL key    c000001 [-o key.json]
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -42,7 +43,7 @@ func main() {
 			return cl.getJSON("/campaigns/"+id, os.Stdout)
 		})
 	case "watch":
-		err = cl.withID(rest, cl.watch)
+		err = cl.watchCmd(rest)
 	case "wait":
 		err = cl.withID(rest, cl.wait)
 	case "result":
@@ -216,6 +217,70 @@ func (e eventView) String() string {
 
 func terminal(status string) bool {
 	return status == "done" || status == "failed" || status == "cancelled"
+}
+
+// watchCmd parses the watch flags and dispatches to the long-poll or SSE
+// transport; both print the same lines and exit on the same conditions.
+func (cl *client) watchCmd(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	sse := fs.Bool("sse", false, "stream over Server-Sent Events instead of long-polling")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one campaign ID")
+	}
+	if *sse {
+		return cl.watchSSE(fs.Arg(0))
+	}
+	return cl.watch(fs.Arg(0))
+}
+
+// watchSSE streams progress as Server-Sent Events: one GET held open by
+// the server until the campaign is terminal, each event a frame, the
+// final "end" frame carrying the terminal status.
+func (cl *client) watchSSE(id string) error {
+	req, err := http.NewRequest(http.MethodGet, cl.base+"/campaigns/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "": // frame boundary
+			if event == "end" {
+				status := strings.Trim(data, `"`)
+				if status == "failed" {
+					return fmt.Errorf("campaign %s failed", id)
+				}
+				return nil
+			}
+			if data != "" {
+				var e eventView
+				if json.Unmarshal([]byte(data), &e) == nil {
+					fmt.Printf("%s  #%d %s\n", id, e.Seq, e)
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("campaign %s: event stream ended before a terminal status", id)
 }
 
 // watch streams progress events until the campaign reaches a terminal

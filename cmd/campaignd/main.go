@@ -22,6 +22,7 @@ import (
 	"falcondown/internal/campaign"
 	"falcondown/internal/cluster"
 	"falcondown/internal/core"
+	"falcondown/internal/tracestore"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 	maxN := flag.Int("max-n", 0, "max FALCON degree one campaign may request (0 = unlimited)")
 	fleet := flag.String("fleet", "", "comma-separated clusterd worker URLs; campaigns submitted with distributed=true fan their attack sweeps out to them")
 	lease := flag.Duration("fleet-lease", 30*time.Second, "per-task worker lease; an unanswered lease is re-issued to the next node")
+	blobURL := flag.String("blob-url", "", "base URL workers use to pull authoritative shards from this server (default http://<addr>); shard push repairs divergent replicas and feeds diskless workers")
+	crossCheck := flag.Float64("crosscheck", 0, "fraction of fleet tasks double-issued to distinct workers and compared bit-for-bit; a disagreeing node is quarantined (0 disables, 1 checks everything)")
+	diskQuota := flag.Int64("tenant-disk", 0, "max store-directory bytes per tenant (0 = unlimited; beyond it: 429)")
 	flag.Parse()
 
 	if *store == "" {
@@ -43,23 +47,38 @@ func main() {
 	}
 
 	cfg := campaign.Config{
-		Slots:     *slots,
-		QueueCap:  *queueCap,
-		TenantMax: *tenantMax,
-		Limits:    campaign.Limits{MaxTraces: *maxTraces, MaxN: *maxN},
+		Slots:           *slots,
+		QueueCap:        *queueCap,
+		TenantMax:       *tenantMax,
+		TenantDiskBytes: *diskQuota,
+		Limits:          campaign.Limits{MaxTraces: *maxTraces, MaxN: *maxN},
 	}
+	blobs := cluster.NewBlobServer()
 	if *fleet != "" {
 		workers := strings.Split(*fleet, ",")
-		cfg.Distributor = func(corpus string) core.Distributor {
+		push := *blobURL
+		if push == "" {
+			push = "http://" + *addr
+		}
+		cfg.Distributor = func(corpus string, src *tracestore.Corpus) core.Distributor {
 			// One coordinator per campaign: breaker state and fleet counters
-			// are per-attack, and a campaign's sweeps are sequential.
+			// are per-attack, and a campaign's sweeps are sequential. The
+			// campaign corpus is registered with the blob service so a
+			// worker with a divergent or missing replica pulls the
+			// authoritative shards by content digest instead of failing.
+			if err := blobs.Register(src); err != nil {
+				log.Printf("campaignd: blob registration for %s failed: %v (workers must hold their own replicas)", corpus, err)
+			}
 			return cluster.New(cluster.Options{
-				Workers: workers,
-				Corpus:  corpus,
-				Lease:   *lease,
+				Workers:    workers,
+				Corpus:     corpus,
+				Lease:      *lease,
+				BlobURL:    push,
+				CrossCheck: *crossCheck,
 			})
 		}
-		log.Printf("campaignd: fleet of %d worker(s): %s", len(workers), *fleet)
+		log.Printf("campaignd: fleet of %d worker(s): %s (shard push at %s/blob/, crosscheck %g)",
+			len(workers), *fleet, push, *crossCheck)
 	}
 
 	srv, err := campaign.Open(*store, cfg)
@@ -78,7 +97,10 @@ func main() {
 		log.Fatalf("campaignd: %v", err)
 	}
 	log.Printf("campaignd: listening on %s", ln.Addr())
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/blob/", blobs.Handler())
+	mux.Handle("/", srv.Handler())
+	httpSrv := &http.Server{Handler: mux}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("campaignd: %v", err)

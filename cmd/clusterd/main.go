@@ -28,7 +28,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
-	root := flag.String("root", "", "directory corpus names resolve under (required)")
+	root := flag.String("root", "", "directory corpus names resolve under (required; created if missing — a diskless worker starts empty and pulls shards from the coordinator's blob service)")
 	flag.Parse()
 
 	if *root == "" {
@@ -36,7 +36,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if _, err := os.Stat(*root); err != nil {
+	// A missing root is not an error: a diskless worker owns no replica
+	// and fills its root from coordinator shard push, so all it needs is
+	// a writable directory.
+	if err := os.MkdirAll(*root, 0o755); err != nil {
 		log.Fatalf("clusterd: %v", err)
 	}
 

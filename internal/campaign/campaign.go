@@ -39,6 +39,10 @@ type Campaign struct {
 	// adopted marks a campaign re-admitted from disk by a restarted
 	// server rather than submitted over the API.
 	adopted bool
+	// diskCharge is the tenant disk-quota bytes currently accounted to
+	// this campaign (estimate while in flight, measured footprint once
+	// settled). Guarded by Server.mu, not c.mu.
+	diskCharge int64
 
 	log *eventLog
 

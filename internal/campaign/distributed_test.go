@@ -8,6 +8,7 @@ import (
 
 	"falcondown/internal/cluster"
 	"falcondown/internal/core"
+	"falcondown/internal/tracestore"
 )
 
 func TestDistributedCampaignBytesIdenticalToLocal(t *testing.T) {
@@ -21,7 +22,7 @@ func TestDistributedCampaignBytesIdenticalToLocal(t *testing.T) {
 		if distributed {
 			fleet := httptest.NewServer(cluster.NewWorker(root).Handler())
 			defer fleet.Close()
-			cfg.Distributor = func(corpus string) core.Distributor {
+			cfg.Distributor = func(corpus string, src *tracestore.Corpus) core.Distributor {
 				return cluster.New(cluster.Options{Workers: []string{fleet.URL}, Corpus: corpus})
 			}
 		}
@@ -39,6 +40,17 @@ func TestDistributedCampaignBytesIdenticalToLocal(t *testing.T) {
 		}
 		if st := waitStatus(t, c); st != StatusDone {
 			t.Fatalf("distributed=%v campaign ended %q: %+v", distributed, st, c.Snapshot())
+		}
+		// A fleet-backed campaign logs the coordinator's report as a fleet
+		// event; a local one never does.
+		sawFleet := false
+		for _, e := range c.Events(0) {
+			if e.Type == EventFleet {
+				sawFleet = true
+			}
+		}
+		if sawFleet != distributed {
+			t.Fatalf("distributed=%v but fleet event present=%v", distributed, sawFleet)
 		}
 		result, err = srv.Store().LoadResult(c.ID)
 		if err != nil {

@@ -13,6 +13,7 @@ const (
 	EventAcquired  = "acquired"  // corpus complete (Suspects/Breakers set when supervised)
 	EventAttacking = "attacking" // extraction started (or resumed)
 	EventPhase     = "phase"     // attack phase completed (Phase, Beam)
+	EventFleet     = "fleet"     // distributed-attack fleet report (Msg)
 	EventDone      = "done"      // result + key available
 	EventFailed    = "failed"    // terminal failure (Msg)
 	EventCancelled = "cancelled" // terminal cancellation by request
@@ -40,6 +41,14 @@ type Event struct {
 	// acquisition only).
 	Breakers string `json:"breakers,omitempty"`
 	Msg      string `json:"msg,omitempty"`
+}
+
+// fleetReporter is the loose coupling to internal/cluster: a Distributor
+// that can summarize its fleet counters (retries, repairs, cross-check
+// verdicts, quarantines) gets its line recorded as an EventFleet after a
+// distributed attack, without this package importing the cluster layer.
+type fleetReporter interface {
+	Summary() string
 }
 
 // eventLog is an append-only in-memory progress log with broadcast

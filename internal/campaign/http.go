@@ -4,9 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -24,6 +26,7 @@ const maxLongPoll = 60 * time.Second
 //	GET  /campaigns/{id}                one snapshot
 //	DELETE /campaigns/{id}              cancel -> 200 snapshot (409 if terminal)
 //	GET  /campaigns/{id}/events?after=N&wait=S   long-poll progress
+//	  (with Accept: text/event-stream: SSE push until terminal)
 //	GET  /campaigns/{id}/result         result.json when done (409 otherwise)
 //	GET  /campaigns/{id}/key            canonical key.json bytes when done
 //	GET  /healthz                       liveness + queue depth
@@ -71,7 +74,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusCreated, c.Snapshot())
-	case errors.Is(err, ErrTenantQuota):
+	case errors.Is(err, ErrTenantQuota), errors.Is(err, ErrDiskQuota):
 		w.Header().Set("Retry-After", "30")
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, ErrQueueFull):
@@ -142,6 +145,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		after = n
 	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamEvents(w, r, c, after)
+		return
+	}
 	// A terminal campaign appends no further events, so blocking would
 	// only run the poll timeout down — answer immediately instead. The
 	// status is re-read after any wait so a poller that was woken by the
@@ -165,6 +172,62 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		next = events[n-1].Seq
 	}
 	writeJSON(w, http.StatusOK, eventsBody{Events: events, Next: next, Status: c.Status()})
+}
+
+// streamEvents serves the campaign's progress as Server-Sent Events, the
+// push alternative to the long-poll: each Event is one SSE frame
+// (id = Seq, event = Type, data = the Event JSON), and the stream closes
+// with an "end" frame carrying the terminal status once the campaign
+// finishes. A reconnecting client resumes with ?after=<last id>.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, c *Campaign, after int) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	emit := func(evs []Event) {
+		for _, e := range evs {
+			data, _ := json.Marshal(e)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+			after = e.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+	}
+	for {
+		emit(c.Events(after))
+		if terminal(c.Status()) {
+			// The status flips terminal just before the terminal event is
+			// appended; one bounded wait closes the stream complete
+			// instead of torn.
+			ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+			emit(c.WaitEvents(ctx, after))
+			cancel()
+			fmt.Fprintf(w, "event: end\ndata: %q\n\n", c.Status())
+			fl.Flush()
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), maxLongPoll)
+		evs := c.WaitEvents(ctx, after)
+		cancel()
+		if len(evs) == 0 {
+			if r.Context().Err() != nil {
+				return // client went away
+			}
+			// Idle keep-alive comment so proxies do not cut the stream.
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+			continue
+		}
+		emit(evs)
+	}
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {

@@ -16,6 +16,11 @@ var ErrQueueFull = errors.New("campaign: queue full")
 // its own campaigns to finish, the server itself has capacity).
 var ErrTenantQuota = errors.New("campaign: tenant quota exceeded")
 
+// ErrDiskQuota reports that admitting the campaign would push the
+// tenant's store-directory footprint past Config.TenantDiskBytes
+// (HTTP 429: the tenant must cancel or wait out its own campaigns).
+var ErrDiskQuota = errors.New("campaign: tenant disk quota exceeded")
+
 // queue is a bounded priority queue of campaigns. Higher Spec.Priority
 // pops first; within a priority, admission order (Campaign.seq) wins —
 // deterministic, starvation-free for equal priorities.

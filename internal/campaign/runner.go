@@ -115,6 +115,7 @@ func (s *Server) runCampaign(c *Campaign) {
 					c.log.append(Event{Type: EventCancelled, Msg: "state persist failed: " + serr.Error()})
 				}
 			}
+			s.settleDisk(c)
 			c.log.append(Event{Type: EventCancelled, Msg: "cancelled by request"})
 			return
 		}
@@ -127,6 +128,7 @@ func (s *Server) runCampaign(c *Campaign) {
 			c.log.append(Event{Type: EventFailed, Msg: "state persist failed: " + serr.Error()})
 		}
 	}
+	s.settleDisk(c)
 	c.log.append(Event{Type: EventFailed, Msg: err.Error()})
 }
 
@@ -362,12 +364,17 @@ func (s *Server) attack(ctx context.Context, c *Campaign, pub *falcon.PublicKey)
 	var report *core.RecoveryReport
 	if spec.Distributed && s.cfg.Distributor != nil {
 		// Fleet execution: corpus sweeps fan out to the worker fleet, named
-		// by the campaign's store-relative trace path. The checkpointed
+		// by the campaign's store-relative trace path; the opened corpus is
+		// handed along so the fleet's blob service can push authoritative
+		// shards to divergent or diskless workers. The checkpointed
 		// phases, the sidecar and every result byte are identical to a
 		// local run — the differential suite holds at fleet granularity.
-		dist := s.cfg.Distributor(filepath.Join(c.ID, traceFile))
+		dist := s.cfg.Distributor(filepath.Join(c.ID, traceFile), corpus)
 		c.log.append(Event{Type: EventAttacking, Msg: "distributed over the worker fleet"})
 		priv, report, err = core.RecoverKeyDistributed(corpus, pub, cfg, ws, dist)
+		if fr, ok := dist.(fleetReporter); ok {
+			c.log.append(Event{Type: EventFleet, Msg: fr.Summary()})
+		}
 	} else {
 		priv, report, err = core.RecoverKeyResumable(corpus, pub, cfg, ws)
 	}
@@ -418,6 +425,9 @@ func (s *Server) attack(ctx context.Context, c *Campaign, pub *falcon.PublicKey)
 	if err := s.store.SaveState(c.ID, c.currentState()); err != nil {
 		return err
 	}
+	// Settle after the final state write so the trued-up charge matches
+	// the bytes actually left in the campaign directory.
+	s.settleDisk(c)
 	c.log.append(Event{Type: EventDone, Msg: fmt.Sprintf("key recovered (min prune %.3f), forgery verified", report.MinPrune)})
 	return nil
 }

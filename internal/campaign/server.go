@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
 	"falcondown/internal/core"
+	"falcondown/internal/tracestore"
 )
 
 // Config tunes a Server. Zero values take the stated defaults.
@@ -24,14 +27,24 @@ type Config struct {
 	// (default 4; 0 < TenantMax; submissions beyond it get
 	// ErrTenantQuota / HTTP 429). Set negative for unlimited.
 	TenantMax int
+	// TenantDiskBytes bounds one tenant's store-directory footprint
+	// (0 = unlimited). A submission is charged an upper-bound estimate of
+	// its corpus size up front; the charge is trued-up against the real
+	// directory when the campaign settles and released entirely on
+	// cancellation. Submissions that would exceed the cap get
+	// ErrDiskQuota / HTTP 429.
+	TenantDiskBytes int64
 	// Limits bounds what a single campaign may ask for.
 	Limits Limits
 	// Distributor, when set, builds a core.Distributor for a campaign
 	// whose spec asks for distributed execution; corpus is the campaign's
 	// trace path relative to the store root (workers resolve it against
-	// their own copy of the root). Nil runs every campaign locally even
-	// if its spec says distributed — degradation, not rejection.
-	Distributor func(corpus string) core.Distributor
+	// their own copy of the root), and src is the opened authoritative
+	// corpus — a fleet-backed server registers it with its blob service so
+	// divergent or diskless workers can pull the true shards by content
+	// digest. Nil runs every campaign locally even if its spec says
+	// distributed — degradation, not rejection.
+	Distributor func(corpus string, src *tracestore.Corpus) core.Distributor
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +75,10 @@ type Server struct {
 	nextID    int
 	nextSeq   int
 	adopted   []string
+	// usage tracks per-tenant store-directory bytes (reservations for
+	// in-flight campaigns, measured footprints for settled ones); guarded
+	// by mu along with every Campaign.diskCharge.
+	usage map[string]int64
 
 	queue     *queue
 	runCtx    context.Context
@@ -87,6 +104,7 @@ func Open(root string, cfg Config) (*Server, error) {
 		cfg:       cfg,
 		store:     store,
 		campaigns: make(map[string]*Campaign),
+		usage:     make(map[string]int64),
 		queue:     newQueue(cfg.QueueCap),
 		runCtx:    ctx,
 		runCancel: cancel,
@@ -120,6 +138,13 @@ func Open(root string, cfg Config) (*Server, error) {
 				Count: p.State.Acquired,
 				Msg:   fmt.Sprintf("re-adopted after restart (was %q)", p.State.Status),
 			})
+		}
+		// Disk accounting restarts from what is actually on disk;
+		// cancelled campaigns were released when they went terminal and
+		// stay released.
+		if p.State.Status != StatusCancelled {
+			c.diskCharge = dirBytes(c.dir)
+			s.usage[c.Spec.Tenant] += c.diskCharge
 		}
 		s.campaigns[c.ID] = c
 		s.order = append(s.order, c.ID)
@@ -183,6 +208,11 @@ func (s *Server) Submit(spec Spec) (*Campaign, error) {
 		return nil, fmt.Errorf("%w: tenant %q already has %d active campaign(s)",
 			ErrTenantQuota, spec.Tenant, s.cfg.TenantMax)
 	}
+	charge := estimateSpecBytes(spec)
+	if s.cfg.TenantDiskBytes > 0 && s.usage[spec.Tenant]+charge > s.cfg.TenantDiskBytes {
+		return nil, fmt.Errorf("%w: tenant %q holds %d byte(s), campaign needs ~%d more, cap is %d",
+			ErrDiskQuota, spec.Tenant, s.usage[spec.Tenant], charge, s.cfg.TenantDiskBytes)
+	}
 	if s.queue.depth() >= s.cfg.QueueCap {
 		return nil, fmt.Errorf("%w: %d campaign(s) queued", ErrQueueFull, s.cfg.QueueCap)
 	}
@@ -201,6 +231,8 @@ func (s *Server) Submit(spec Spec) (*Campaign, error) {
 	if err := s.store.SaveState(id, c.currentState()); err != nil {
 		return nil, err
 	}
+	c.diskCharge = charge
+	s.usage[spec.Tenant] += charge
 	s.nextID++
 	s.nextSeq++
 	s.campaigns[id] = c
@@ -220,6 +252,56 @@ func (s *Server) activeLocked(tenant string) int {
 		}
 	}
 	return n
+}
+
+// estimateSpecBytes upper-bounds a campaign's store-directory footprint:
+// the corpus estimate plus a flat allowance for the spec, state, sidecar,
+// result and public-key files.
+func estimateSpecBytes(spec Spec) int64 {
+	return tracestore.EstimateCorpusBytes(spec.N, spec.Traces) + 1<<16
+}
+
+// dirBytes sums the file sizes under dir (0 if it does not exist).
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, ierr := d.Info(); ierr == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+// settleDisk reconciles a terminal campaign's tenant disk charge: a
+// cancelled campaign releases its reservation entirely (the operator
+// reclaims any bytes out of band), any other terminal campaign is
+// trued-up from the submission-time estimate to the bytes actually on
+// disk.
+func (s *Server) settleDisk(c *Campaign) {
+	actual := int64(0)
+	if c.Status() != StatusCancelled {
+		actual = dirBytes(c.dir)
+	}
+	s.mu.Lock()
+	s.usage[c.Spec.Tenant] += actual - c.diskCharge
+	if s.usage[c.Spec.Tenant] < 0 {
+		s.usage[c.Spec.Tenant] = 0
+	}
+	c.diskCharge = actual
+	s.mu.Unlock()
+}
+
+// TenantDiskUsage reports the bytes currently accounted to a tenant
+// (reservations for in-flight campaigns plus measured footprints of
+// settled ones).
+func (s *Server) TenantDiskUsage(tenant string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[tenant]
 }
 
 // Get returns a campaign by ID.
@@ -294,6 +376,7 @@ func (s *Server) Cancel(id string) (Snapshot, error) {
 		// and drops it.
 		c.status = StatusCancelled
 		c.mu.Unlock()
+		s.settleDisk(c)
 		if err := s.store.SaveState(id, c.currentState()); err != nil {
 			return c.Snapshot(), err
 		}

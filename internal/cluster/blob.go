@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+
+	"falcondown/internal/tracestore"
+)
+
+// Shard push. A worker whose replica is missing or divergent does not
+// have to be fixed out of band: the coordinator exposes its own shard
+// files by content digest, and the worker pulls the authoritative bytes.
+// The transfer is belt-and-braces: a binary CRC-32C frame catches damage
+// in flight cheaply, and the receiver re-derives the SHA-256 before
+// trusting the bytes — the digest *is* the name, so a blob that hashes
+// wrong is a protocol failure, not a corpus. This one mechanism repairs
+// divergent replicas and lets a diskless worker (empty -root) join a
+// fleet cold.
+
+// maxBlobBytes bounds one shard transfer. Shard files are sized by the
+// writer's ShardObs and stay far below this even at FALCON-1024 scale.
+const maxBlobBytes = 1 << 30 // 1 GiB
+
+// blobMagic heads every blob frame: magic | payloadLen u64 | crc32c u32.
+const (
+	blobMagic   = "FDB1"
+	blobHdrSize = 16
+)
+
+// sealBlob frames raw shard bytes for the wire.
+func sealBlob(payload []byte) []byte {
+	hdr := make([]byte, blobHdrSize)
+	copy(hdr, blobMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:], crc32.Checksum(payload, crcTable))
+	return append(hdr, payload...)
+}
+
+// openBlob reads a framed blob of at most limit payload bytes, verifying
+// the CRC before returning the payload.
+func openBlob(r io.Reader, limit int64) ([]byte, error) {
+	var hdr [blobHdrSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, errCorrupt{fmt.Errorf("blob header: %w", err)}
+	}
+	if string(hdr[:4]) != blobMagic {
+		return nil, errCorrupt{fmt.Errorf("blob magic %q", hdr[:4])}
+	}
+	size := binary.LittleEndian.Uint64(hdr[4:])
+	crc := binary.LittleEndian.Uint32(hdr[12:])
+	if size > uint64(limit) {
+		return nil, fmt.Errorf("cluster: blob of %d bytes exceeds the %d-byte limit", size, limit)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errCorrupt{fmt.Errorf("blob truncated: %w", err)}
+	}
+	if got := crc32.Checksum(payload, crcTable); got != crc {
+		return nil, errCorrupt{fmt.Errorf("blob digest %08x, frame claims %08x", got, crc)}
+	}
+	return payload, nil
+}
+
+// BlobServer exposes corpus shard files by SHA-256 content digest —
+// the coordinator side of shard push. Register is additive; one server
+// can front every corpus a campaign server owns.
+type BlobServer struct {
+	mu    sync.Mutex
+	paths map[string]string // lowercase hex sha256 -> shard file path
+}
+
+// NewBlobServer returns an empty blob registry.
+func NewBlobServer() *BlobServer {
+	return &BlobServer{paths: make(map[string]string)}
+}
+
+// Register hashes the corpus's shards (cached on the corpus) and makes
+// each available by digest.
+func (b *BlobServer) Register(c *tracestore.Corpus) error {
+	man, err := c.Manifest()
+	if err != nil {
+		return err
+	}
+	paths := c.Paths()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, s := range man.Shards {
+		b.paths[s.SHA256] = paths[i]
+	}
+	return nil
+}
+
+// Handler returns the blob HTTP surface: GET /blob/{digest}.
+func (b *BlobServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/blob/", b.handleBlob)
+	return mux
+}
+
+func (b *BlobServer) handleBlob(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(rw, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	digest := strings.ToLower(strings.TrimPrefix(r.URL.Path, "/blob/"))
+	if len(digest) != 2*sha256.Size || strings.ContainsAny(digest, "/.") {
+		http.Error(rw, "malformed digest", http.StatusBadRequest)
+		return
+	}
+	b.mu.Lock()
+	path, ok := b.paths[digest]
+	b.mu.Unlock()
+	if !ok {
+		http.Error(rw, "unknown blob "+digest, http.StatusNotFound)
+		return
+	}
+	payload, err := os.ReadFile(path)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// The registry maps digest -> path, but the file may have been
+	// rewritten since registration; never serve bytes that no longer
+	// match their name.
+	if got := hex.EncodeToString(sum256(payload)); got != digest {
+		http.Error(rw, fmt.Sprintf("blob %s now hashes to %s on disk", digest, got), http.StatusConflict)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Write(sealBlob(payload))
+}
+
+func sum256(b []byte) []byte {
+	h := sha256.Sum256(b)
+	return h[:]
+}
+
+// fetchBlob pulls one shard by digest from a coordinator's blob service
+// and verifies it end to end: CRC frame first (cheap, catches transit
+// damage), then the SHA-256 that names it.
+func fetchBlob(client *http.Client, baseURL, digest string) ([]byte, error) {
+	resp, err := client.Get(strings.TrimRight(baseURL, "/") + "/blob/" + digest)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: blob %s: %s: %s", digest, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	payload, err := openBlob(resp.Body, maxBlobBytes)
+	if err != nil {
+		return nil, err
+	}
+	if got := hex.EncodeToString(sum256(payload)); got != digest {
+		return nil, errCorrupt{fmt.Errorf("blob %s hashed to %s on receipt", digest, got)}
+	}
+	return payload, nil
+}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"falcondown/internal/core"
@@ -22,6 +24,11 @@ type Options struct {
 	Workers []string
 	// Corpus is the corpus name workers resolve (relative to their root).
 	Corpus string
+	// BlobURL, when set, is advertised to workers as the shard-push
+	// endpoint (see BlobServer): a worker with a missing or divergent
+	// replica repairs itself from it instead of rejecting tasks, and a
+	// diskless worker joins the fleet cold.
+	BlobURL string
 	// Transport overrides the HTTP transport (tests inject
 	// faultinject.FlakyTransport here); nil means http.DefaultTransport.
 	Transport http.RoundTripper
@@ -39,7 +46,8 @@ type Options struct {
 	// Hedge, when positive, launches a second copy of a task on the next
 	// ring node if the primary has not answered within this duration —
 	// straggler mitigation. Both copies may deposit; the fold's dedupe
-	// keeps exactly one. Zero disables hedging.
+	// keeps exactly one. Zero disables hedging. Cross-checked tasks
+	// never hedge (their witness is already a second copy).
 	Hedge time.Duration
 	// Breaker configures the per-worker-node circuit breakers ("a
 	// straggler node is just a flaky device one level up").
@@ -47,26 +55,51 @@ type Options struct {
 	// ShardsPerTask is the lease granularity: how many corpus shards one
 	// task covers. Default 4.
 	ShardsPerTask int
+	// CrossCheck double-issues this deterministic fraction of task
+	// blocks to two distinct ring nodes and compares their partials
+	// bit for bit before anything is deposited; disagreement is
+	// adjudicated against a coordinator-local compute and the lying
+	// node is quarantined. 0 disables; 1 checks every block (values
+	// between are probabilistic protection only — an unchecked block
+	// from a liar still folds). Needs at least two nodes to engage.
+	CrossCheck float64
 }
 
 // Report counts what the fleet did; the differential suite asserts on it
 // (and only on it — never on result bytes, which must not depend on any
 // of this).
 type Report struct {
-	Passes     int // distributed passes coordinated
-	Tasks      int // task blocks issued
-	Remote     int // tasks completed by a worker
-	Local      int // tasks degraded to coordinator-local execution
-	Retries    int // task re-issues after a failed or expired lease
-	Hedges     int // hedged secondary launches
-	Rejected   int // partial blocks rejected (digest, decode, or shape)
-	Duplicates int // duplicate shard deposits dropped by the fold
-	Skips      int // attempts skipped by an open breaker
+	Passes      int // distributed passes coordinated
+	Tasks       int // task blocks issued
+	Remote      int // tasks completed by a worker
+	Local       int // tasks degraded to coordinator-local execution
+	Retries     int // task re-issues after a failed or expired lease
+	Hedges      int // hedged secondary launches
+	Rejected    int // partial blocks rejected (digest, decode, or shape)
+	Duplicates  int // duplicate shard deposits dropped by the fold
+	Skips       int // attempts skipped by an open breaker or quarantine
+	Divergent   int // tasks a worker rejected over a divergent replica
+	Repairs     int // shard files workers fetched from the blob service
+	CrossChecks int // task blocks double-issued for comparison
+	Mismatches  int // cross-checked blocks whose replicas disagreed
+	Quarantined int // nodes quarantined after losing a cross-check
+}
+
+// String renders the report as the one-line fleet summary the CLI and
+// campaign events print.
+func (r Report) String() string {
+	return fmt.Sprintf("tasks=%d remote=%d local=%d retries=%d hedges=%d rejected=%d divergent=%d repairs=%d crosschecks=%d mismatches=%d quarantined=%d skips=%d",
+		r.Tasks, r.Remote, r.Local, r.Retries, r.Hedges, r.Rejected,
+		r.Divergent, r.Repairs, r.CrossChecks, r.Mismatches, r.Quarantined, r.Skips)
 }
 
 type workerNode struct {
 	url string
 	br  *supervise.Breaker
+	// quarantined flags a node caught returning wrong partials. Unlike
+	// a breaker trip it never half-opens: wrong bytes are a trust
+	// failure, not a liveness blip.
+	quarantined atomic.Bool
 }
 
 // Coordinator implements core.Distributor over a worker fleet. It owns
@@ -118,12 +151,30 @@ func (c *Coordinator) Report() Report {
 	return c.rep
 }
 
+// Summary renders the current fleet report in its one-line form — the
+// loosely-coupled surface a campaign server logs into its event stream
+// without importing this package (it asserts for a Summary() string
+// method on its Distributor).
+func (c *Coordinator) Summary() string { return c.Report().String() }
+
 // Breakers snapshots the per-node breaker states, indexed like
 // Options.Workers.
 func (c *Coordinator) Breakers() []supervise.BreakerStatus {
 	out := make([]supervise.BreakerStatus, len(c.nodes))
 	for i, n := range c.nodes {
 		out[i] = n.br.Status(i)
+	}
+	return out
+}
+
+// Quarantined lists the URLs of nodes quarantined for returning wrong
+// partials.
+func (c *Coordinator) Quarantined() []string {
+	var out []string
+	for _, n := range c.nodes {
+		if n.quarantined.Load() {
+			out = append(out, n.url)
+		}
 	}
 	return out
 }
@@ -138,11 +189,15 @@ func (c *Coordinator) bump(f func(r *Report)) {
 // node's breaker refused it.
 var errBreakerOpen = errors.New("cluster: worker breaker open")
 
+// errQuarantined marks an attempt skipped because the node was caught
+// lying in a cross-check; it never serves this campaign again.
+var errQuarantined = errors.New("cluster: worker quarantined")
+
 // RunPass implements core.Distributor: cut the pass into task blocks,
 // fan them out over the fleet, and deposit every partial. Determinism
 // note: nothing here orders the result — DistPass folds deposits in
 // pinned shard order and drops duplicates, so retries, hedges, node
-// loss and arrival order cannot change a single output bit.
+// loss, repairs and arrival order cannot change a single output bit.
 func (c *Coordinator) RunPass(p *core.DistPass) error {
 	type task struct{ lo, hi int }
 	var tasks []task
@@ -180,31 +235,54 @@ func (c *Coordinator) RunPass(p *core.DistPass) error {
 	return nil
 }
 
+// crossSelected picks the deterministic fraction of task blocks to
+// double-issue: pure in the task index (blocks cycle a fixed 0..99
+// grid), so a re-run or resume cross-checks the same blocks.
+func (c *Coordinator) crossSelected(taskIdx int) bool {
+	f := c.opts.CrossCheck
+	if f <= 0 {
+		return false
+	}
+	if f >= 1 {
+		return true
+	}
+	return float64(taskIdx%100) < f*100
+}
+
 // runTask drives one task block to completion: ring attempts over the
-// fleet with lease deadlines, backoff and hedging, then coordinator-
-// local degradation once retries are exhausted.
+// fleet with lease deadlines, backoff and hedging (or cross-checked
+// double-issue), then coordinator-local degradation once retries are
+// exhausted.
 func (c *Coordinator) runTask(p *core.DistPass, inflight *sync.WaitGroup, taskIdx, shardLo, shardHi int) error {
 	req := taskRequest{
 		Corpus:  c.opts.Corpus,
 		View:    p.View(),
+		BlobURL: c.opts.BlobURL,
 		Jobs:    p.Jobs(),
 		JobLo:   0,
 		ShardLo: shardLo,
 		ShardHi: shardHi,
 	}
+	crosscheck := c.crossSelected(taskIdx) && len(c.nodes) >= 2
 	for a := 0; a <= c.opts.Retries && len(c.nodes) > 0; a++ {
 		if a > 0 {
 			c.bump(func(r *Report) { r.Retries++ })
 			time.Sleep(c.opts.Backoff << uint(a-1))
 		}
-		err := c.hedgedAttempt(p, inflight, req, taskIdx, a)
+		var err error
+		if crosscheck {
+			err = c.crossCheckedAttempt(p, req, taskIdx, a)
+		} else {
+			err = c.hedgedAttempt(p, inflight, req, taskIdx, a)
+		}
 		if err == nil {
 			c.bump(func(r *Report) { r.Remote++ })
 			return nil
 		}
 	}
-	// Graceful degradation: the fleet is gone (or was never there); the
-	// coordinator computes the block itself, through the same wire jobs.
+	// Graceful degradation: the fleet is gone (or was never there, or is
+	// quarantined); the coordinator computes the block itself, through
+	// the same wire jobs.
 	parts, err := p.Compute(shardLo, shardHi, 0, p.NumJobs())
 	if err != nil {
 		return err
@@ -259,57 +337,149 @@ func (c *Coordinator) hedgedAttempt(p *core.DistPass, inflight *sync.WaitGroup, 
 	return firstErr
 }
 
-// attempt runs one leased call against one node and deposits its
-// partials. Any failure — breaker refusal, transport error, lease
-// expiry, digest mismatch, shape rejection — leaves the fold untouched
-// for this block (valid earlier shards may land; a re-delivery of them
-// is deduped).
-func (c *Coordinator) attempt(p *core.DistPass, node *workerNode, req taskRequest) error {
-	if !node.br.Allow(time.Now()) {
-		c.bump(func(r *Report) { r.Skips++ })
-		return errBreakerOpen
+// crossCheckedAttempt double-issues a task to two distinct ring nodes
+// and compares their partials bit for bit — nothing is deposited until
+// the copies agree, so a lying node's bytes never touch the fold. A
+// disagreement is adjudicated against the coordinator's own compute
+// (the corpus owner is the quorum of last resort): whichever node
+// differs from the local truth is quarantined, and the attempt fails so
+// the task re-issues through the normal retry ring.
+func (c *Coordinator) crossCheckedAttempt(p *core.DistPass, req taskRequest, taskIdx, a int) error {
+	n := len(c.nodes)
+	primary := c.nodes[(taskIdx+a)%n]
+	witness := c.nodes[(taskIdx+a+1)%n]
+	c.bump(func(r *Report) { r.CrossChecks++ })
+	var wres taskResponse
+	var werr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wres, werr = c.guardedCall(witness, req)
+	}()
+	pres, perr := c.guardedCall(primary, req)
+	wg.Wait()
+	if perr != nil {
+		return perr
 	}
-	parts, err := c.call(node, req)
-	if err == nil {
-		for _, sp := range parts {
+	if werr != nil {
+		return werr
+	}
+	if reflect.DeepEqual(pres.Partials, wres.Partials) {
+		for _, sp := range pres.Partials {
 			if derr := p.Deposit(req.JobLo, sp); derr != nil {
-				err = derr
 				c.bump(func(r *Report) { r.Rejected++ })
-				break
+				return derr
 			}
 		}
-	} else if errors.As(err, &errCorrupt{}) {
+		return nil
+	}
+	c.bump(func(r *Report) { r.Mismatches++ })
+	truth, err := p.Compute(req.ShardLo, req.ShardHi, 0, p.NumJobs())
+	if err != nil {
+		return err
+	}
+	liars := 0
+	for _, cand := range []struct {
+		node *workerNode
+		resp taskResponse
+	}{{primary, pres}, {witness, wres}} {
+		if !reflect.DeepEqual(cand.resp.Partials, truth) {
+			c.quarantine(cand.node)
+			liars++
+		}
+	}
+	return fmt.Errorf("cluster: cross-check mismatch on task %d: %d node(s) quarantined", taskIdx, liars)
+}
+
+// quarantine permanently bars a node from this campaign and trips its
+// breaker, so the quarantine is visible in the same vocabulary as every
+// other node failure (Breakers() reports it open).
+func (c *Coordinator) quarantine(node *workerNode) {
+	if node.quarantined.Swap(true) {
+		return
+	}
+	c.bump(func(r *Report) { r.Quarantined++ })
+	now := time.Now()
+	for i := 0; i < 64 && node.br.Allow(now); i++ {
+		node.br.Record(false, now)
+	}
+}
+
+// attempt runs one leased call against one node and deposits its
+// partials. Any failure — breaker refusal, transport error, lease
+// expiry, digest mismatch, divergent replica, shape rejection — leaves
+// the fold untouched for this block (valid earlier shards may land; a
+// re-delivery of them is deduped).
+func (c *Coordinator) attempt(p *core.DistPass, node *workerNode, req taskRequest) error {
+	resp, err := c.guardedCall(node, req)
+	if err != nil {
+		return err
+	}
+	for _, sp := range resp.Partials {
+		if derr := p.Deposit(req.JobLo, sp); derr != nil {
+			c.bump(func(r *Report) { r.Rejected++ })
+			return derr
+		}
+	}
+	return nil
+}
+
+// guardedCall wraps call with the node's quarantine flag and breaker,
+// classifies the failure for the report, and records the outcome on the
+// breaker.
+func (c *Coordinator) guardedCall(node *workerNode, req taskRequest) (taskResponse, error) {
+	if node.quarantined.Load() {
+		c.bump(func(r *Report) { r.Skips++ })
+		return taskResponse{}, errQuarantined
+	}
+	if !node.br.Allow(time.Now()) {
+		c.bump(func(r *Report) { r.Skips++ })
+		return taskResponse{}, errBreakerOpen
+	}
+	resp, err := c.call(node, req)
+	switch {
+	case err == nil:
+		if resp.Repaired > 0 {
+			c.bump(func(r *Report) { r.Repairs += resp.Repaired })
+		}
+	case errors.As(err, &errDivergent{}):
+		c.bump(func(r *Report) { r.Divergent++ })
+	case errors.As(err, &errCorrupt{}):
 		c.bump(func(r *Report) { r.Rejected++ })
 	}
 	node.br.Record(err == nil, time.Now())
-	return err
+	return resp, err
 }
 
 // call performs one framed, leased HTTP round trip.
-func (c *Coordinator) call(node *workerNode, req taskRequest) ([]core.ShardPartial, error) {
+func (c *Coordinator) call(node *workerNode, req taskRequest) (taskResponse, error) {
 	body, err := seal(req)
 	if err != nil {
-		return nil, err
+		return taskResponse{}, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Lease)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node.url+"/task", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return taskResponse{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(hreq)
 	if err != nil {
-		return nil, err
+		return taskResponse{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("cluster: worker %s: %s: %s", node.url, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode == statusDivergent {
+			return taskResponse{}, errDivergent{fmt.Sprintf("worker %s: %s", node.url, bytes.TrimSpace(msg))}
+		}
+		return taskResponse{}, fmt.Errorf("cluster: worker %s: %s: %s", node.url, resp.Status, bytes.TrimSpace(msg))
 	}
 	var tr taskResponse
 	if err := open(resp.Body, maxFrameBytes, &tr); err != nil {
-		return nil, err
+		return taskResponse{}, err
 	}
-	return tr.Partials, nil
+	return tr, nil
 }

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Edge cases of the two wire framings: the JSON envelope (task
+// request/response) and the binary blob frame (shard push). The envelope
+// tests complement TestFrameRejectsDamage's bit-flip sweep with the
+// boundary conditions: oversize, empty payload, and truncation at every
+// byte of the blob header.
+
+func TestFrameOversizeRejectedBeforeDecode(t *testing.T) {
+	// A frame one byte over the limit must be refused on size alone —
+	// as a plain (non-retryable) error, not errCorrupt: nothing was
+	// damaged, the peer sent something the protocol does not allow, and
+	// retrying the same bytes cannot help.
+	body, err := seal(map[string]string{"k": strings.Repeat("x", 1024)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	err = open(bytesReader(body), int64(len(body))-1, &out)
+	if err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+	var corrupt errCorrupt
+	if errors.As(err, &corrupt) {
+		t.Fatalf("oversize classified as corrupt (retryable): %v", err)
+	}
+	if out != nil {
+		t.Fatalf("oversize frame was decoded anyway: %v", out)
+	}
+	// Exactly at the limit is fine.
+	if err := open(bytesReader(body), int64(len(body)), &out); err != nil {
+		t.Fatalf("frame exactly at the limit rejected: %v", err)
+	}
+}
+
+func TestFrameZeroLengthAndEmptyPayload(t *testing.T) {
+	// A zero-byte body and an envelope with an empty payload are both
+	// corrupt, never a zero value delivered as if the peer had sent one.
+	var out struct{ A int }
+	var corrupt errCorrupt
+	if err := open(bytesReader(nil), maxFrameBytes, &out); err == nil || !errors.As(err, &corrupt) {
+		t.Fatalf("zero-length body: got %v, want errCorrupt", err)
+	}
+	if err := open(bytesReader([]byte(`{"crc":0,"payload":null}`)), maxFrameBytes, &out); err == nil || !errors.As(err, &corrupt) {
+		t.Fatalf("null payload: got %v, want errCorrupt", err)
+	}
+}
+
+func TestBlobFrameRoundTripAndZeroPayload(t *testing.T) {
+	payload := []byte("shard bytes")
+	back, err := openBlob(bytes.NewReader(sealBlob(payload)), maxBlobBytes)
+	if err != nil || !bytes.Equal(back, payload) {
+		t.Fatalf("round trip: %v (%q)", err, back)
+	}
+	// A zero-length payload is legal and round-trips empty.
+	back, err = openBlob(bytes.NewReader(sealBlob(nil)), maxBlobBytes)
+	if err != nil || len(back) != 0 {
+		t.Fatalf("zero payload: %v (%d bytes)", err, len(back))
+	}
+}
+
+func TestBlobFrameTruncatedAtEveryHeaderByte(t *testing.T) {
+	// Cut the stream at every boundary inside the 16-byte header (and at
+	// every payload byte after it): each truncation must surface as
+	// errCorrupt, never a short read folded into a smaller blob.
+	framed := sealBlob([]byte("0123456789"))
+	for cut := 0; cut < len(framed); cut++ {
+		_, err := openBlob(bytes.NewReader(framed[:cut]), maxBlobBytes)
+		var corrupt errCorrupt
+		if err == nil || !errors.As(err, &corrupt) {
+			t.Fatalf("truncation at byte %d: got %v, want errCorrupt", cut, err)
+		}
+	}
+}
+
+func TestBlobFrameRejectsBadMagicSizeAndCRC(t *testing.T) {
+	framed := sealBlob([]byte("0123456789"))
+	var corrupt errCorrupt
+
+	bad := append([]byte(nil), framed...)
+	bad[0] ^= 0xFF // magic
+	if _, err := openBlob(bytes.NewReader(bad), maxBlobBytes); err == nil || !errors.As(err, &corrupt) {
+		t.Fatalf("bad magic: got %v, want errCorrupt", err)
+	}
+
+	bad = append([]byte(nil), framed...)
+	bad[len(bad)-1] ^= 0x01 // payload bit flip → CRC mismatch
+	if _, err := openBlob(bytes.NewReader(bad), maxBlobBytes); err == nil || !errors.As(err, &corrupt) {
+		t.Fatalf("payload flip: got %v, want errCorrupt", err)
+	}
+
+	// A claimed size beyond the limit is refused before any allocation —
+	// a plain protocol error, not corruption.
+	if _, err := openBlob(bytes.NewReader(framed), 4); err == nil || errors.As(err, &corrupt) {
+		t.Fatalf("oversize blob: got %v, want a plain size error", err)
+	}
+}

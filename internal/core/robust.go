@@ -61,7 +61,7 @@ func prepareRobust(src Source, rc RobustConfig, workers int) (Source, error) {
 			return rs
 		}
 		view := SourceSpec{Masks: masks, Robust: rs.planSpec()}
-		return &distSource{Source: rs, dist: ds.dist, view: view}
+		return &distSource{Source: rs, dist: ds.dist, view: view, pin: ds.pin}
 	}
 
 	// Pass 1: per-trace RMS energies, keyed by corpus index.
@@ -83,7 +83,7 @@ func prepareRobust(src Source, rc RobustConfig, workers int) (Source, error) {
 	}
 	sweepSrc := base
 	if distributed {
-		sweepSrc = &distSource{Source: base, dist: ds.dist, view: SourceSpec{Masks: masks}}
+		sweepSrc = &distSource{Source: base, dist: ds.dist, view: SourceSpec{Masks: masks}, pin: ds.pin}
 	}
 	rs := &robustSource{inner: base, cfg: rc, trimmed: len(skip)}
 	if rc.ResyncShift <= 0 && rc.Winsorize <= 0 {

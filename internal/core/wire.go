@@ -37,6 +37,47 @@ import (
 type SourceSpec struct {
 	Masks  [][]int         `json:"masks,omitempty"`
 	Robust *RobustPlanSpec `json:"robust,omitempty"`
+	// Pin, when set, names the exact corpus content the view was built
+	// over. A worker must refuse to sweep a replica whose shard digests
+	// disagree — a divergent replica is well-formed and passes every CRC
+	// check, so content addressing is the only defense.
+	Pin *CorpusPin `json:"pin,omitempty"`
+}
+
+// CorpusPin is the content identity of the coordinator's corpus: the
+// ordered per-shard-file SHA-256 digests and the corpus-level manifest
+// digest binding them (see tracestore.Manifest). Note these address
+// shard *files*, not the 64-observation logical shards of the pinned
+// reduction.
+type CorpusPin struct {
+	Manifest string   `json:"manifest"`
+	Shards   []string `json:"shards"`
+}
+
+// manifested is satisfied by sources whose content can be addressed —
+// notably *tracestore.Corpus.
+type manifested interface {
+	Manifest() (*tracestore.Manifest, error)
+}
+
+// pinOf derives the content pin of a raw corpus, or nil when the source
+// is not content-addressable (in-memory slices, test doubles) or cannot
+// be hashed; distribution then proceeds unpinned, exactly as before
+// pins existed.
+func pinOf(raw Source) *CorpusPin {
+	m, ok := raw.(manifested)
+	if !ok {
+		return nil
+	}
+	man, err := m.Manifest()
+	if err != nil {
+		return nil
+	}
+	pin := &CorpusPin{Manifest: man.Digest}
+	for _, s := range man.Shards {
+		pin.Shards = append(pin.Shards, s.SHA256)
+	}
+	return pin
 }
 
 // RobustPlanSpec is the frozen robust-preprocessing plan (see robust.go):
@@ -416,14 +457,21 @@ type distSource struct {
 	Source
 	dist Distributor
 	view SourceSpec
+	// pin is the raw corpus's content identity, derived once at
+	// WithDistributor and carried through every view rewrap (masking,
+	// robust transforms) so each pass shipped to workers stays pinned to
+	// the same bytes.
+	pin *CorpusPin
 }
 
 // WithDistributor wraps a raw corpus so that every campaign pass over it
 // is executed through dist. The source must be the untransformed corpus a
 // worker can open by itself (masking and robust preprocessing derived
-// later are described to workers through the wire view).
+// later are described to workers through the wire view). When the corpus
+// is content-addressable its shard digests are pinned into every shipped
+// view, so workers reject divergent replicas.
 func WithDistributor(raw Source, dist Distributor) Source {
-	return &distSource{Source: raw, dist: dist}
+	return &distSource{Source: raw, dist: dist, pin: pinOf(raw)}
 }
 
 // DistPass is one campaign pass prepared for distribution: the corpus
@@ -439,7 +487,7 @@ type DistPass struct {
 
 	mu      sync.Mutex
 	jobs    []mergeJob
-	next    []int             // per job: next shard index to fold
+	next    []int              // per job: next shard index to fold
 	pending []map[int]mergeJob // per job: decoded partials awaiting their turn
 	nShards int
 	dups    int
@@ -456,8 +504,10 @@ func newDistPass(ds *distSource, jobs []mergeJob) (*DistPass, bool) {
 		}
 		specs[i] = wj.spec()
 	}
+	view := ds.view
+	view.Pin = ds.pin
 	p := &DistPass{
-		view:    ds.view,
+		view:    view,
 		specs:   specs,
 		local:   ds.Source,
 		jobs:    jobs,
@@ -594,4 +644,3 @@ func (p *DistPass) incomplete() error {
 	}
 	return nil
 }
-

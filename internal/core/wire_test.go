@@ -24,13 +24,13 @@ import (
 // "worker side" rebuilds everything from the JSON wire forms against its
 // own raw corpus handle, exactly as a remote node would.
 type fakeDistributor struct {
-	raw       Source // worker-side raw corpus
-	shardsPer int    // shards per task
-	duplicate bool   // deposit every remote partial twice
-	localEvery int   // every k-th task degrades to coordinator-local compute
-	dups      int    // duplicates dropped, accumulated across passes
-	remote    int    // tasks served by the "fleet"
-	local     int    // tasks served by local fallback
+	raw        Source // worker-side raw corpus
+	shardsPer  int    // shards per task
+	duplicate  bool   // deposit every remote partial twice
+	localEvery int    // every k-th task degrades to coordinator-local compute
+	dups       int    // duplicates dropped, accumulated across passes
+	remote     int    // tasks served by the "fleet"
+	local      int    // tasks served by local fallback
 }
 
 func (d *fakeDistributor) RunPass(p *DistPass) error {

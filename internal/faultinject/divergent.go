@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"falcondown/internal/emleak"
+	"falcondown/internal/fft"
+	"falcondown/internal/rng"
+	"falcondown/internal/tracestore"
+)
+
+// DivergentStore wraps a trace source, silently rewriting a deterministic
+// subset of its observations. The output is *well-formed wrong bytes*:
+// written back to disk it re-checksums cleanly, opens cleanly, and has the
+// right shape — exactly the replica a wrong acquisition seed, a stale
+// resume, or a silent rewrite produces. Nothing short of content
+// addressing (shard digests) or cross-checked computation catches it,
+// which is what the cluster integrity suite uses it to prove: CRC framing
+// alone would fold these bytes into the recovered key without a whisper.
+//
+// The perturbation for observation idx depends only on (Seed, idx), so a
+// divergent replica is itself reproducible.
+type DivergentStore struct {
+	inner tracestore.Source
+	// Seed drives the perturbation schedule.
+	Seed uint64
+	// Fraction is the per-observation probability of perturbation.
+	Fraction float64
+}
+
+// NewDivergentStore wraps src so that about fraction of its observations
+// come back subtly wrong, deterministically in (seed, index).
+func NewDivergentStore(src tracestore.Source, seed uint64, fraction float64) *DivergentStore {
+	return &DivergentStore{inner: src, Seed: seed, Fraction: fraction}
+}
+
+// N returns the wrapped campaign's ring degree.
+func (d *DivergentStore) N() int { return d.inner.N() }
+
+// Count returns the wrapped campaign's observation count.
+func (d *DivergentStore) Count() int { return d.inner.Count() }
+
+// Iterate starts a pass whose perturbations land on the same indices as
+// every other pass of this store.
+func (d *DivergentStore) Iterate() (tracestore.Iterator, error) {
+	it, err := d.inner.Iterate()
+	if err != nil {
+		return nil, err
+	}
+	return &divergentIterator{inner: it, seed: d.Seed, fraction: d.Fraction}, nil
+}
+
+type divergentIterator struct {
+	inner    tracestore.Iterator
+	seed     uint64
+	fraction float64
+	idx      uint64
+}
+
+func (it *divergentIterator) Next() (emleak.Observation, error) {
+	o, err := it.inner.Next()
+	if err != nil {
+		return o, err
+	}
+	i := it.idx
+	it.idx++
+	r := rng.New(rng.DeriveSeed(it.seed, i))
+	if it.fraction > 0 && r.Float64() < it.fraction && len(o.Trace.Samples) > 0 {
+		// Copy before touching anything: the inner iterator may hand out
+		// views into its decode buffer, and a divergent replica must not
+		// corrupt the authentic source it was derived from.
+		samples := append([]float64(nil), o.Trace.Samples...)
+		o.CFFT = append([]fft.Cplx(nil), o.CFFT...)
+		o.Trace = emleak.Trace{Samples: samples}
+		// A small additive offset on one sample — no saturation, no NaN,
+		// nothing a sanity gate would flag; just quietly wrong.
+		s := r.Intn(len(o.Trace.Samples))
+		o.Trace.Samples[s] += 0.25 + r.Float64()
+	}
+	return o, nil
+}
+
+func (it *divergentIterator) Close() error { return it.inner.Close() }
+
+// WriteDivergentReplica materializes a divergent copy of corpus at path:
+// every observation streams through a DivergentStore and is rewritten
+// with the given writer options. The result opens cleanly and passes all
+// CRC checks — only its content digests betray it.
+func WriteDivergentReplica(src tracestore.Source, path string, seed uint64, fraction float64, opts tracestore.Options) error {
+	div := NewDivergentStore(src, seed, fraction)
+	w, err := tracestore.NewWriter(path, src.N(), opts)
+	if err != nil {
+		return err
+	}
+	it, err := div.Iterate()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for i := 0; i < div.Count(); i++ {
+		o, err := it.Next()
+		if err != nil {
+			return fmt.Errorf("faultinject: divergent replica: %w", err)
+		}
+		if err := w.Append(o); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}

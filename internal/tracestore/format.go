@@ -66,6 +66,18 @@ func observationSize(n int) int {
 	return half*16 + half*emleak.SamplesPerCoeff*8
 }
 
+// EstimateCorpusBytes upper-bounds the on-disk footprint of a corpus of
+// count observations at degree n, including shard/chunk framing. Quota
+// admission (internal/campaign) charges this bound at submission time and
+// trues it up against the real directory once the campaign settles.
+func EstimateCorpusBytes(n, count int) int64 {
+	payload := int64(count) * int64(observationSize(n))
+	// Framing overhead: a shard header/trailer, chunk headers and the
+	// footer index stay far below 1% + 4 KiB for every layout the writer
+	// produces.
+	return payload + payload/100 + 4096
+}
+
 // validDegree reports whether n is a plausible campaign degree.
 func validDegree(n int) bool { return n >= 2 && n <= maxDegree && n%2 == 0 }
 

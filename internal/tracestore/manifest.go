@@ -1,0 +1,140 @@
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Content addressing. A distributed fleet only stays byte-identical to a
+// serial run if every worker sweeps the same corpus bytes; CRC framing
+// catches bits flipped in flight, but a replica regenerated with the
+// wrong seed — or silently rewritten — is well-formed and only caught if
+// its shape happens to differ. The manifest names a corpus by content:
+// one SHA-256 per shard file plus a corpus-level digest over the ordered
+// shard digests. Digests are a pure function of the shard bytes — no
+// sidecar file, no paths — so a replica at a different root compares
+// equal, pre-existing v2 corpora need no migration (Open recomputes),
+// and a shard fetched over the wire can be verified before it is
+// trusted.
+
+// ShardDigest identifies one shard file by content.
+type ShardDigest struct {
+	Name   string `json:"name"`   // base file name (informational; not hashed)
+	Obs    int    `json:"obs"`    // readable observations
+	Bytes  int64  `json:"bytes"`  // file size
+	SHA256 string `json:"sha256"` // lowercase hex digest of the whole file
+}
+
+// Manifest is the content-addressed description of a corpus: the ordered
+// shard digests and a corpus-level digest binding them.
+type Manifest struct {
+	N      int           `json:"n"`
+	Count  int           `json:"count"`
+	Shards []ShardDigest `json:"shards"`
+	// Digest is SHA-256 over the ordered shard content digests (and only
+	// those — not names or sizes), so replicas under different roots or
+	// file names compare equal iff their bytes do.
+	Digest string `json:"digest"`
+}
+
+// manifestDomain separates the corpus-level hash from a plain shard hash.
+const manifestDomain = "falcondown/tracestore/manifest/v1\n"
+
+// HashShard digests one shard file by content. It does not validate the
+// shard format — pair it with openShard when structure matters.
+func HashShard(path string) (ShardDigest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ShardDigest{}, fmt.Errorf("tracestore: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	size, err := io.Copy(h, f)
+	if err != nil {
+		return ShardDigest{}, fmt.Errorf("tracestore: shard %s: %w", path, err)
+	}
+	return ShardDigest{
+		Name:   filepath.Base(path),
+		Bytes:  size,
+		SHA256: hex.EncodeToString(h.Sum(nil)),
+	}, nil
+}
+
+// manifestDigest folds the ordered shard digests into the corpus digest.
+func manifestDigest(shards []ShardDigest) (string, error) {
+	h := sha256.New()
+	h.Write([]byte(manifestDomain))
+	for _, s := range shards {
+		raw, err := hex.DecodeString(s.SHA256)
+		if err != nil || len(raw) != sha256.Size {
+			return "", fmt.Errorf("%w: malformed shard digest %q", ErrBadFormat, s.SHA256)
+		}
+		h.Write(raw)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// BuildManifest hashes the given shard files (in order) without opening
+// them as a corpus. Obs fields are left zero; callers that need them
+// should go through (*Corpus).Manifest.
+func BuildManifest(paths []string) (*Manifest, error) {
+	m := &Manifest{}
+	for _, p := range paths {
+		d, err := HashShard(p)
+		if err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, d)
+	}
+	var err error
+	m.Digest, err = manifestDigest(m.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Manifest returns the corpus's content manifest, hashing every shard
+// file on first call and caching the result (the corpus is read-only;
+// a replaced file on disk needs a fresh Open to be seen). Safe for
+// concurrent use.
+func (c *Corpus) Manifest() (*Manifest, error) {
+	c.manifestMu.Lock()
+	defer c.manifestMu.Unlock()
+	if c.manifest != nil || c.manifestErr != nil {
+		return c.manifest, c.manifestErr
+	}
+	m := &Manifest{N: c.n, Count: c.count}
+	for _, s := range c.shards {
+		d, err := HashShard(s.path)
+		if err != nil {
+			c.manifestErr = err
+			return nil, err
+		}
+		d.Obs = s.count
+		m.Shards = append(m.Shards, d)
+	}
+	var err error
+	if m.Digest, err = manifestDigest(m.Shards); err != nil {
+		c.manifestErr = err
+		return nil, err
+	}
+	c.manifest = m
+	return m, nil
+}
+
+// Manifest returns the content manifest of everything the writer has
+// finalized. It is complete only after Close (or Interrupt): the shard
+// still open for writing has no digest yet.
+func (w *Writer) Manifest() (*Manifest, error) {
+	m := &Manifest{N: w.n, Count: int(w.total), Shards: append([]ShardDigest(nil), w.digests...)}
+	var err error
+	if m.Digest, err = manifestDigest(m.Shards); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

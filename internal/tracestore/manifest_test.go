@@ -1,0 +1,228 @@
+package tracestore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// copyCorpus replicates every shard file of an opened corpus into dir,
+// byte for byte, and returns the path Open resolves the replica from.
+func copyCorpus(t *testing.T, c *Corpus, dir string) string {
+	t.Helper()
+	for _, p := range c.Paths() {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(p)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "traces.fdt2")
+}
+
+func TestManifestWriterMatchesOpen(t *testing.T) {
+	obs := testCampaign(t, 10)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	w := writeCorpus(t, path, obs, Options{ShardObs: 3, ChunkObs: 2})
+	wm, err := w.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := c.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The writer computed digests as shards closed; Open recomputed them
+	// from disk (the backfill path for pre-manifest corpora). They must
+	// agree digest for digest.
+	if wm.Digest != cm.Digest {
+		t.Fatalf("writer digest %s, open digest %s", wm.Digest, cm.Digest)
+	}
+	if len(wm.Shards) != len(cm.Shards) || len(cm.Shards) != 4 {
+		t.Fatalf("writer %d shards, open %d shards, want 4", len(wm.Shards), len(cm.Shards))
+	}
+	for i := range wm.Shards {
+		if wm.Shards[i].SHA256 != cm.Shards[i].SHA256 {
+			t.Fatalf("shard %d: writer %s, open %s", i, wm.Shards[i].SHA256, cm.Shards[i].SHA256)
+		}
+		if wm.Shards[i].Obs != cm.Shards[i].Obs {
+			t.Fatalf("shard %d: writer obs %d, open obs %d", i, wm.Shards[i].Obs, cm.Shards[i].Obs)
+		}
+	}
+	if cm.N != 8 || cm.Count != 10 {
+		t.Fatalf("open manifest n=%d count=%d", cm.N, cm.Count)
+	}
+}
+
+func TestManifestContentOnlyAcrossRoots(t *testing.T) {
+	obs := testCampaign(t, 10)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, path, obs, Options{ShardObs: 4, ChunkObs: 2})
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := c.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A byte-identical replica under a different root must carry the same
+	// digest: content addressing ignores paths, so a worker's replica can
+	// be compared against the coordinator's pin.
+	replica, err := Open(copyCorpus(t, c, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rman, err := replica.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rman.Digest != man.Digest {
+		t.Fatalf("replica digest %s, original %s", rman.Digest, man.Digest)
+	}
+
+	// BuildManifest over the raw paths (no corpus open) agrees too.
+	bm, err := BuildManifest(c.Paths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Digest != man.Digest {
+		t.Fatalf("BuildManifest digest %s, corpus %s", bm.Digest, man.Digest)
+	}
+}
+
+func TestManifestDetectsContentDivergence(t *testing.T) {
+	obs := testCampaign(t, 10)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	writeCorpus(t, filepath.Join(dirA, "traces.fdt2"), obs, Options{ShardObs: 4, ChunkObs: 2})
+
+	// The divergent replica: same campaign, one observation's sample
+	// nudged (the first corpus is already on disk, so mutating in place
+	// is safe). Well-formed, right shape, every CRC valid — only the
+	// content digest can tell it apart.
+	obs[7].Trace.Samples[0] += 0.5
+	writeCorpus(t, filepath.Join(dirB, "traces.fdt2"), obs, Options{ShardObs: 4, ChunkObs: 2})
+
+	a, err := Open(filepath.Join(dirA, "traces.fdt2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(filepath.Join(dirB, "traces.fdt2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := a.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Digest == mb.Digest {
+		t.Fatal("divergent replica produced the same corpus digest")
+	}
+	// Only the shard holding observation 7 may differ.
+	diff := 0
+	for i := range ma.Shards {
+		if ma.Shards[i].SHA256 != mb.Shards[i].SHA256 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d shard digests differ, want exactly 1", diff)
+	}
+}
+
+func TestManifestResumeMatchesUninterrupted(t *testing.T) {
+	obs := testCampaign(t, 12)
+	opts := Options{ShardObs: 5, ChunkObs: 2}
+
+	ref := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, ref, obs, opts)
+	refCorpus, err := Open(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMan, err := refCorpus.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: 7 observations, Interrupt, resume the rest. The
+	// resumed writer re-hashes completed prior shards, so its manifest
+	// must equal the uninterrupted one exactly.
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	w, err := NewWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs[:7] {
+		if err := w.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done, err := w.Interrupt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, resumed, err := ResumeWriter(path, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(resumed) != done {
+		t.Fatalf("resumed %d, interrupted at %d", resumed, done)
+	}
+	for _, o := range obs[resumed:] {
+		if err := w2.Append(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, err := w2.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Digest != refMan.Digest {
+		t.Fatalf("resumed manifest digest %s, uninterrupted %s", man.Digest, refMan.Digest)
+	}
+}
+
+func TestSalvageReportsShardDigest(t *testing.T) {
+	obs := testCampaign(t, 9)
+	path := filepath.Join(t.TempDir(), "traces.fdt2")
+	writeCorpus(t, path, obs, Options{ChunkObs: 3})
+
+	// Tear the tail so Salvage rewrites the shard, then check the digest
+	// it reports names the bytes actually left on disk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-11], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Salvage(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SHA256 == "" {
+		t.Fatal("salvage report carries no shard digest")
+	}
+	d, err := HashShard(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SHA256 != rep.SHA256 {
+		t.Fatalf("salvage reported %s, file hashes to %s", rep.SHA256, d.SHA256)
+	}
+}

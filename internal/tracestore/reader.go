@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"falcondown/internal/emleak"
 )
@@ -42,6 +43,12 @@ type Corpus struct {
 	// transiently failing chunks with bounded backoff; the quarantine
 	// list is pinned at open, so every pass sees the same subset.
 	lenient bool
+
+	// Content manifest, hashed lazily on first Manifest() call and pinned
+	// for the corpus lifetime (see manifest.go).
+	manifestMu  sync.Mutex
+	manifest    *Manifest
+	manifestErr error
 }
 
 // N implements Source.

@@ -20,10 +20,11 @@ import (
 // SalvageReport describes what Salvage found and did to one shard file.
 type SalvageReport struct {
 	Path         string
-	Salvaged     bool  // the file was rewritten (false: it was already valid)
-	Chunks       int   // CRC-valid chunks retained
-	Observations int   // observations retained
-	DroppedBytes int64 // trailing bytes discarded (partial chunk, torn index)
+	Salvaged     bool   // the file was rewritten (false: it was already valid)
+	Chunks       int    // CRC-valid chunks retained
+	Observations int    // observations retained
+	DroppedBytes int64  // trailing bytes discarded (partial chunk, torn index)
+	SHA256       string // content digest of the (possibly rewritten) shard
 }
 
 // Salvage repairs a crash-truncated v2 shard in place: it scans forward
@@ -37,7 +38,11 @@ func Salvage(path string) (*SalvageReport, error) {
 		if s.version != version2 {
 			return nil, fmt.Errorf("tracestore: shard %s: %w: only v2 shards are salvageable", path, ErrBadFormat)
 		}
-		return &SalvageReport{Path: path, Chunks: len(s.chunks), Observations: s.count}, nil
+		d, err := HashShard(path)
+		if err != nil {
+			return nil, err
+		}
+		return &SalvageReport{Path: path, Chunks: len(s.chunks), Observations: s.count, SHA256: d.SHA256}, nil
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -78,7 +83,13 @@ func Salvage(path string) (*SalvageReport, error) {
 		return nil, fmt.Errorf("tracestore: shard %s: %w", path, err)
 	}
 	_ = n
+	d, err := HashShard(path)
+	if err != nil {
+		return nil, err
+	}
+	rep.SHA256 = d.SHA256
 	return rep, nil
+
 }
 
 // scanChunks walks a v2 shard forward from its header, returning every
@@ -202,6 +213,7 @@ func ResumeWriter(path string, n int, opts Options) (*Writer, int, error) {
 	// salvage. Deeper damage is corruption, not interruption — refuse it.
 	var done int
 	var bytes int64
+	var priorDigests []ShardDigest
 	for i, p := range paths[:len(paths)-1] {
 		s, err := openShard(p)
 		if err != nil {
@@ -214,6 +226,14 @@ func ResumeWriter(path string, n int, opts Options) (*Writer, int, error) {
 		if st, err := os.Stat(p); err == nil {
 			bytes += st.Size()
 		}
+		// Carry the completed shards' content digests forward so the
+		// resumed writer's Manifest covers the whole campaign.
+		d, err := HashShard(p)
+		if err != nil {
+			return nil, 0, fmt.Errorf("tracestore: resume: %w", err)
+		}
+		d.Obs = s.count
+		priorDigests = append(priorDigests, d)
 	}
 	last := paths[len(paths)-1]
 	s, err := openShard(last)
@@ -258,6 +278,7 @@ func ResumeWriter(path string, n int, opts Options) (*Writer, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	w.digests = priorDigests
 	w.total = int64(done)
 	w.bytes = bytes + indexOffset
 	return w, done, nil

@@ -85,10 +85,11 @@ type Writer struct {
 	chunks   []chunkMeta
 	shardCnt int
 
-	paths []string
-	total int64
-	bytes int64
-	start time.Time
+	paths   []string
+	digests []ShardDigest // one per finalized shard, in order
+	total   int64
+	bytes   int64
+	start   time.Time
 }
 
 // NewWriter creates a writer for a degree-n campaign rooted at path. With
@@ -247,6 +248,16 @@ func (w *Writer) finishShard() error {
 	w.bytes += int64(len(idx) + trailerSize)
 	w.f = nil
 	w.bw = nil
+	// Digest the finalized file so the campaign's content manifest is
+	// known at write time. Re-reading (rather than hashing inline) keeps
+	// resumed shards — whose prefix predates this writer — on the same
+	// code path as fresh ones.
+	d, err := HashShard(path)
+	if err != nil {
+		return err
+	}
+	d.Obs = int(obs)
+	w.digests = append(w.digests, d)
 	if w.opts.OnShard != nil {
 		w.opts.OnShard(path, int(obs), w.offset+int64(len(idx)+trailerSize))
 	}

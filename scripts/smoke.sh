@@ -26,7 +26,13 @@
 #      mid-sweep; the coordinator re-leases its tasks and the recovered
 #      key must be cmp-identical to the fleetless CLI key. A second pass
 #      keeps the corpse in the fleet list, so ring routing provably
-#      re-leases (retries > 0 in the fleet report) — same key bytes.
+#      re-leases (retries > 0 in the fleet report) — same key bytes;
+#  11. fleet integrity: one worker holds a well-formed but divergent
+#      replica (same campaign name, different bytes, every CRC valid) and
+#      one worker is diskless; the attack serves authoritative shards by
+#      content digest (-blob-addr), both workers repair/bootstrap from
+#      the push, cross-checking is on, no node is quarantined, and the
+#      key is cmp-identical to the fleetless CLI key.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -107,10 +113,14 @@ store="$tmp/campaigns"
 daemon_pid=""
 w1_pid=""
 w2_pid=""
+w3_pid=""
+w4_pid=""
 cleanup() {
 	[ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
 	[ -n "$w1_pid" ] && kill -9 "$w1_pid" 2>/dev/null
 	[ -n "$w2_pid" ] && kill -9 "$w2_pid" 2>/dev/null
+	[ -n "$w3_pid" ] && kill -9 "$w3_pid" 2>/dev/null
+	[ -n "$w4_pid" ] && kill -9 "$w4_pid" 2>/dev/null
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -174,11 +184,12 @@ daemon_pid=""
 echo "== attack fleet chaos: kill -9 a clusterd worker mid-sweep, key identical"
 "$GO" build -o "$tmp/clusterd" ./cmd/clusterd
 
-# start_worker N: launch a clusterd over the smoke corpus dir and capture
-# its URL into wN_url (workers resolve -cluster-corpus names under -root).
+# start_worker N [root]: launch a clusterd over a corpus dir (default: the
+# smoke dir) and capture its URL into wN_url (workers resolve
+# -cluster-corpus names under -root).
 start_worker() {
 	: >"$tmp/clusterd.$1.log"
-	"$tmp/clusterd" -addr 127.0.0.1:0 -root "$tmp" >>"$tmp/clusterd.$1.log" 2>&1 &
+	"$tmp/clusterd" -addr 127.0.0.1:0 -root "${2:-$tmp}" >>"$tmp/clusterd.$1.log" 2>&1 &
 	eval "w$1_pid=$!"
 	for _ in $(seq 100); do
 		wurl=$(sed -n 's/.*serving corpora under .* on \(.*\)$/http:\/\/\1/p' "$tmp/clusterd.$1.log" | head -1)
@@ -221,5 +232,37 @@ echo "   $(echo "$out" | grep 'fleet report:')"
 kill "$w2_pid" 2>/dev/null && wait "$w2_pid" 2>/dev/null || true
 w1_pid=""
 w2_pid=""
+
+echo "== fleet integrity: divergent replica + diskless worker, shard push + crosscheck"
+# Worker 3 holds a well-formed replica of a DIFFERENT campaign under the
+# same corpus name: every checksum passes, only the content digest can
+# tell it apart from the coordinator's pin. Worker 4 starts with an empty
+# root — no replica at all.
+mkdir -p "$tmp/divroot"
+"$tmp/tracegen" -n "$N" -traces "$TRACES" -noise "$NOISE" -seed 2 \
+	-out "$tmp/divroot/ref.fdt2" -pub "$tmp/divroot/victim.pub" >/dev/null
+start_worker 3 "$tmp/divroot"
+start_worker 4 "$tmp/diskless"
+
+out=$("$tmp/attack" -traces "$tmp/ref.fdt2" -pub "$tmp/victim.pub" \
+	-cluster "$w3_url,$w4_url" -cluster-corpus ref.fdt2 \
+	-blob-addr 127.0.0.1:0 -crosscheck 1 \
+	-sig "$tmp/integrity.sig" -key "$tmp/integrity.key.json")
+report=$(echo "$out" | grep "fleet report:")
+echo "$report" | grep -Eq "repairs=[1-9]" \
+	|| { echo "FAIL: no shard was pushed to the divergent/diskless workers"; echo "$out"; exit 1; }
+echo "$report" | grep -Eq "crosschecks=[1-9]" \
+	|| { echo "FAIL: crosscheck=1 ran no cross-checks"; echo "$out"; exit 1; }
+echo "$report" | grep -q "local=0 " \
+	|| { echo "FAIL: coordinator degraded to local compute despite shard push"; echo "$out"; exit 1; }
+echo "$report" | grep -q "quarantined=0" \
+	|| { echo "FAIL: an honest (repaired) fleet was quarantined"; echo "$out"; exit 1; }
+cmp "$tmp/cli.key.json" "$tmp/integrity.key.json" \
+	|| { echo "FAIL: repaired-fleet key differs from the CLI-recovered key"; exit 1; }
+echo "   $report"
+kill "$w3_pid" "$w4_pid" 2>/dev/null || true
+wait "$w3_pid" "$w4_pid" 2>/dev/null || true
+w3_pid=""
+w4_pid=""
 
 echo "smoke: all stages passed"
