@@ -20,6 +20,7 @@ import (
 	"falcondown/internal/emleak"
 	"falcondown/internal/experiments"
 	"falcondown/internal/falcon"
+	obsreg "falcondown/internal/obs"
 	"falcondown/internal/rng"
 	"falcondown/internal/supervise"
 	"falcondown/internal/tracestore"
@@ -359,4 +360,37 @@ func BenchmarkAttack(b *testing.B) {
 			}
 		})
 	}
+}
+
+func BenchmarkAttackObs(b *testing.B) {
+	// Instrumentation overhead A/B: the identical FALCON-64 workload with
+	// the obs registry live (counters, pass/shard histograms) and with it
+	// globally disabled. The taps fire at shard/pass granularity, never
+	// per sample, so the on/off delta is the flight recorder's whole cost;
+	// EXPERIMENTS.md's OBSERVE entry records the ratio (<2% target).
+	priv, _, err := falcon.GenerateKey(64, rng.New(51))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := emleak.NewDevice(priv.FFTOfF(), emleak.HammingWeight{},
+		emleak.Probe{Gain: 1, NoiseSigma: 2}, 52)
+	obs, err := emleak.NewCampaign(dev, 53).Collect(400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := tracestore.NewSliceSource(64, obs)
+	run := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.AttackFFTfFrom(src, core.Config{Workers: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("obs=on", run)
+	b.Run("obs=off", func(b *testing.B) {
+		obsreg.SetEnabled(false)
+		defer obsreg.SetEnabled(true)
+		b.ResetTimer()
+		run(b)
+	})
 }

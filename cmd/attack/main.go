@@ -49,6 +49,7 @@ import (
 	"falcondown/internal/codec"
 	"falcondown/internal/core"
 	"falcondown/internal/falcon"
+	"falcondown/internal/obs"
 	"falcondown/internal/rng"
 	"falcondown/internal/tracestore"
 )
@@ -76,12 +77,46 @@ func main() {
 	clusterCorpus := flag.String("cluster-corpus", "", "corpus name as the workers resolve it under their -root (default: the -traces path)")
 	blobAddr := flag.String("blob-addr", "", "serve this corpus's shards by content digest on this address (enables fleet shard push: a worker with a divergent replica repairs itself, a diskless worker joins cold)")
 	crossCheck := flag.Float64("crosscheck", 0, "fraction of fleet tasks double-issued to two workers and compared bit-for-bit; a node contradicting the recomputed truth is quarantined (0 = off, 1 = every task)")
+	metricsAddr := flag.String("metrics-addr", "", "serve GET /metrics (Prometheus text) and /metricsz (JSON) on this address for the duration of the run")
+	obsJSON := flag.String("obs-json", "", "write an end-of-run flight record (metric snapshot + build identity) to this path, on success or failure")
+	pprofOn := flag.Bool("pprof", false, "with -metrics-addr: also mount net/http/pprof under /debug/pprof/")
+	verbose := flag.Bool("v", false, "verbose logging (debug level)")
+	quiet := flag.Bool("q", false, "quiet logging (warnings and errors only)")
 	flag.Parse()
+
+	logger := obs.NewLogger("attack")
+	logger.SetLevel(obs.LevelFromFlags(*verbose, *quiet))
+
+	// exit writes the flight record (if asked for) before terminating —
+	// os.Exit skips defers, and a failed recovery's metrics are exactly
+	// the ones worth keeping.
+	exit := func(code int) {
+		if *obsJSON != "" {
+			if err := obs.Default().WriteFlightRecord("attack", *obsJSON); err != nil {
+				logger.Warnf("flight record: %v", err)
+			} else {
+				logger.Infof("flight record -> %s", *obsJSON)
+			}
+		}
+		os.Exit(code)
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "attack: -metrics-addr:", err)
+			exit(exitGeneric)
+		}
+		mux := http.NewServeMux()
+		obs.Default().Mount(mux, "attack", *pprofOn)
+		go http.Serve(ln, mux)
+		logger.Infof("metrics on http://%s/metrics", ln.Addr())
+	}
 
 	w, err := core.ValidateWorkers(*workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "attack: bad -workers:", err)
-		os.Exit(exitGeneric)
+		exit(exitGeneric)
 	}
 	cfg := core.Config{
 		Robust:  core.RobustConfig{TrimSigmas: *trim, ResyncShift: *resync, Winsorize: *winsorize},
@@ -103,7 +138,7 @@ func main() {
 			url, err := serveBlobs(*blobAddr, *tracePath)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "attack: blob service:", err)
-				os.Exit(exitGeneric)
+				exit(exitGeneric)
 			}
 			fmt.Printf("serving authoritative shards at %s/blob/\n", url)
 			opts.BlobURL = url
@@ -115,11 +150,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		switch {
 		case errors.Is(err, tracestore.ErrBadFormat) || errors.Is(err, tracestore.ErrChecksum):
-			os.Exit(exitMalformedInput)
+			exit(exitMalformedInput)
 		case errors.Is(err, core.ErrImplausibleKey) || errors.Is(err, core.ErrCheckpointMismatch):
-			os.Exit(exitRecoveryFailed)
+			exit(exitRecoveryFailed)
 		}
-		os.Exit(exitGeneric)
+		exit(exitGeneric)
 	}
 	if coord != nil {
 		fmt.Printf("fleet report: %s\n", coord.Report())
@@ -127,6 +162,7 @@ func main() {
 			fmt.Printf("quarantined node(s): %s\n", strings.Join(q, ", "))
 		}
 	}
+	exit(0)
 }
 
 // serveBlobs opens the corpus a second read-only time, registers its

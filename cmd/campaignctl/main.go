@@ -8,6 +8,7 @@
 //	campaignctl -server URL result c000001
 //	campaignctl -server URL key    c000001 [-o key.json]
 //	campaignctl -server URL cancel c000001
+//	campaignctl -server URL top [-raw]         # live server metrics
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 	"net/http"
 	"os"
 	"strings"
+
+	"falcondown/internal/obs"
 )
 
 func main() {
@@ -54,6 +57,8 @@ func main() {
 		err = cl.key(rest)
 	case "cancel":
 		err = cl.withID(rest, cl.cancel)
+	case "top":
+		err = cl.top(rest)
 	default:
 		fmt.Fprintf(os.Stderr, "campaignctl: unknown command %q\n", cmd)
 		usage()
@@ -66,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: campaignctl [-server URL] <submit|list|status|watch|wait|result|key|cancel> [args]\n")
+	fmt.Fprintf(os.Stderr, "usage: campaignctl [-server URL] <submit|list|status|watch|wait|result|key|cancel|top> [args]\n")
 	flag.PrintDefaults()
 }
 
@@ -340,6 +345,114 @@ func (cl *client) cancel(id string) error {
 	}
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
+}
+
+// top renders the server's /metricsz snapshot as a one-screen summary:
+// build identity, queue/campaign gauges, sweep throughput with a derived
+// traces/sec rate, and the fleet/store/reject tallies. -raw dumps the
+// snapshot JSON unformatted instead.
+func (cl *client) top(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	raw := fs.Bool("raw", false, "dump the /metricsz JSON snapshot instead of the summary")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("top takes no arguments")
+	}
+	if *raw {
+		return cl.getJSON("/metricsz", os.Stdout)
+	}
+	var buf bytes.Buffer
+	if err := cl.getJSON("/metricsz", &buf); err != nil {
+		return err
+	}
+	var fr obs.FlightRecord
+	if err := json.Unmarshal(buf.Bytes(), &fr); err != nil {
+		return fmt.Errorf("unparseable /metricsz snapshot: %w", err)
+	}
+
+	// Counters and gauges sum across label variants; histograms fold to
+	// (count, sum). Metric families absent from the snapshot read as zero.
+	val := make(map[string]float64)
+	hcount := make(map[string]int64)
+	hsum := make(map[string]float64)
+	for _, m := range fr.Metrics {
+		if m.Type == obs.TypeHistogram {
+			hcount[m.Name] += m.Count
+			hsum[m.Name] += m.Sum
+			continue
+		}
+		val[m.Name] += m.Value
+	}
+
+	rev := fr.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "dev"
+	}
+	fmt.Printf("%s  up %.1fs  %s  rev %s\n", fr.Command, fr.UptimeSec, fr.GoVersion, rev)
+	fmt.Printf("campaigns: active %.0f  queued %.0f  done %.0f  failed %.0f  cancelled %.0f\n",
+		val["falcon_campaign_active"], val["falcon_campaign_queue_depth"],
+		counterLabeled(fr.Metrics, "falcon_campaign_terminal_total", "status", "done"),
+		counterLabeled(fr.Metrics, "falcon_campaign_terminal_total", "status", "failed"),
+		counterLabeled(fr.Metrics, "falcon_campaign_terminal_total", "status", "cancelled"))
+	traces := val["falcon_sweep_traces_total"]
+	rate := 0.0
+	if s := hsum["falcon_sweep_pass_seconds"]; s > 0 {
+		rate = traces / s
+	}
+	fmt.Printf("sweep: passes %.0f  traces %.0f  (%.1f traces/s in-pass)\n",
+		val["falcon_sweep_passes_total"], traces, rate)
+	fmt.Printf("fleet: tasks %.0f  retries %.0f  hedges %.0f  repairs %.0f  quarantines %.0f  rtt-samples %d\n",
+		val["falcon_fleet_tasks_total"], val["falcon_fleet_retries_total"],
+		val["falcon_fleet_hedges_total"], val["falcon_fleet_repairs_total"],
+		val["falcon_fleet_quarantines_total"], hcount["falcon_fleet_task_rtt_seconds"])
+	fmt.Printf("store: shards %.0f  salvaged %.0f  bytes-written %.0f  crc-rejects %.0f\n",
+		val["falcon_store_shards_written_total"], val["falcon_store_shards_salvaged_total"],
+		val["falcon_store_bytes_written_total"], val["falcon_store_crc_rejects_total"])
+	fmt.Printf("rejects: 429 %.0f  503 %.0f\n",
+		counterLabeled(fr.Metrics, "falcon_campaign_rejects_total", "code", "429"),
+		counterLabeled(fr.Metrics, "falcon_campaign_rejects_total", "code", "503"))
+	for _, phase := range []string{"acquire", "attack", "forge", "verify"} {
+		name := "falcon_campaign_phase_seconds"
+		c, s := histLabeled(fr.Metrics, name, "phase", phase)
+		if c > 0 {
+			fmt.Printf("phase %-8s %4d run(s)  %.3fs total\n", phase, c, s)
+		}
+	}
+	return nil
+}
+
+// counterLabeled returns the value of the family member carrying the
+// given label, 0 when absent.
+func counterLabeled(ms []obs.MetricSnapshot, name, label, value string) float64 {
+	for _, m := range ms {
+		if m.Name != name {
+			continue
+		}
+		for _, l := range m.Labels {
+			if l.Name == label && l.Value == value {
+				return m.Value
+			}
+		}
+	}
+	return 0
+}
+
+// histLabeled folds the labeled histogram member to (count, sum).
+func histLabeled(ms []obs.MetricSnapshot, name, label, value string) (int64, float64) {
+	for _, m := range ms {
+		if m.Name != name {
+			continue
+		}
+		for _, l := range m.Labels {
+			if l.Name == label && l.Value == value {
+				return m.Count, m.Sum
+			}
+		}
+	}
+	return 0, 0
 }
 
 func (cl *client) key(args []string) error {

@@ -4,13 +4,18 @@
 // All campaign state lives under the store directory, so a killed daemon
 // restarted over the same store re-adopts every in-flight campaign and
 // finishes it with byte-identical artifacts.
+//
+// Observability: GET /metrics serves the process's obs registry in
+// Prometheus text format, GET /metricsz the same snapshot as JSON (what
+// campaignctl top renders), and GET /healthz a JSON health summary with
+// build identity. -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ — opt-in, since profiling endpoints expose heap contents.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -22,6 +27,7 @@ import (
 	"falcondown/internal/campaign"
 	"falcondown/internal/cluster"
 	"falcondown/internal/core"
+	"falcondown/internal/obs"
 	"falcondown/internal/tracestore"
 )
 
@@ -38,7 +44,13 @@ func main() {
 	blobURL := flag.String("blob-url", "", "base URL workers use to pull authoritative shards from this server (default http://<addr>); shard push repairs divergent replicas and feeds diskless workers")
 	crossCheck := flag.Float64("crosscheck", 0, "fraction of fleet tasks double-issued to distinct workers and compared bit-for-bit; a disagreeing node is quarantined (0 disables, 1 checks everything)")
 	diskQuota := flag.Int64("tenant-disk", 0, "max store-directory bytes per tenant (0 = unlimited; beyond it: 429)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose process internals)")
+	verbose := flag.Bool("v", false, "verbose logging (debug level)")
+	quiet := flag.Bool("q", false, "quiet logging (warnings and errors only)")
 	flag.Parse()
+
+	logger := obs.NewLogger("campaignd")
+	logger.SetLevel(obs.LevelFromFlags(*verbose, *quiet))
 
 	if *store == "" {
 		fmt.Fprintln(os.Stderr, "campaignd: -store is required")
@@ -67,7 +79,7 @@ func main() {
 			// worker with a divergent or missing replica pulls the
 			// authoritative shards by content digest instead of failing.
 			if err := blobs.Register(src); err != nil {
-				log.Printf("campaignd: blob registration for %s failed: %v (workers must hold their own replicas)", corpus, err)
+				logger.With("corpus", corpus).Warnf("blob registration failed: %v (workers must hold their own replicas)", err)
 			}
 			return cluster.New(cluster.Options{
 				Workers:    workers,
@@ -77,33 +89,41 @@ func main() {
 				CrossCheck: *crossCheck,
 			})
 		}
-		log.Printf("campaignd: fleet of %d worker(s): %s (shard push at %s/blob/, crosscheck %g)",
+		cfg.HealthExtra = cluster.FleetHealth
+		logger.Infof("fleet of %d worker(s): %s (shard push at %s/blob/, crosscheck %g)",
 			len(workers), *fleet, push, *crossCheck)
 	}
 
 	srv, err := campaign.Open(*store, cfg)
 	if err != nil {
-		log.Fatalf("campaignd: %v", err)
+		logger.Errorf("%v", err)
+		os.Exit(1)
 	}
 	adopted := srv.Adopted()
-	log.Printf("campaignd: store %s: adopted %d in-flight campaign(s)", *store, len(adopted))
+	logger.With("store", *store).Infof("adopted %d in-flight campaign(s)", len(adopted))
 	for _, id := range adopted {
-		log.Printf("campaignd: re-adopted %s", id)
+		logger.With("campaign", id).Infof("re-adopted %s", id)
 	}
 	srv.Start()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("campaignd: %v", err)
+		logger.Errorf("%v", err)
+		os.Exit(1)
 	}
-	log.Printf("campaignd: listening on %s", ln.Addr())
+	logger.Infof("listening on %s", ln.Addr())
 	mux := http.NewServeMux()
 	mux.Handle("/blob/", blobs.Handler())
+	obs.Default().Mount(mux, "campaignd", *pprofOn)
 	mux.Handle("/", srv.Handler())
+	if *pprofOn {
+		logger.Infof("pprof mounted at /debug/pprof/")
+	}
 	httpSrv := &http.Server{Handler: mux}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("campaignd: %v", err)
+			logger.Errorf("%v", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -113,13 +133,13 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
 	<-sig
-	log.Printf("campaignd: shutting down")
+	logger.Infof("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
 	if err := srv.Stop(ctx); err != nil {
-		log.Printf("campaignd: shutdown timed out: %v", err)
+		logger.Warnf("shutdown timed out: %v", err)
 		os.Exit(1)
 	}
-	log.Printf("campaignd: stopped; campaigns are re-adoptable from %s", *store)
+	logger.Infof("stopped; campaigns are re-adoptable from %s", *store)
 }

@@ -9,13 +9,16 @@
 // but the lease, which the coordinator re-issues to another node. The
 // differential suite (and the smoke script's chaos stage) prove the
 // final key is byte-identical regardless.
+//
+// Observability: GET /metrics (Prometheus text), GET /metricsz (JSON
+// snapshot), GET /healthz (build identity plus serving tallies), and —
+// only with -pprof — net/http/pprof under /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -24,12 +27,19 @@ import (
 	"time"
 
 	"falcondown/internal/cluster"
+	"falcondown/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9100", "listen address")
 	root := flag.String("root", "", "directory corpus names resolve under (required; created if missing — a diskless worker starts empty and pulls shards from the coordinator's blob service)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose process internals)")
+	verbose := flag.Bool("v", false, "verbose logging (debug level)")
+	quiet := flag.Bool("q", false, "quiet logging (warnings and errors only)")
 	flag.Parse()
+
+	logger := obs.NewLogger("clusterd")
+	logger.SetLevel(obs.LevelFromFlags(*verbose, *quiet))
 
 	if *root == "" {
 		fmt.Fprintln(os.Stderr, "clusterd: -root is required")
@@ -40,18 +50,27 @@ func main() {
 	// and fills its root from coordinator shard push, so all it needs is
 	// a writable directory.
 	if err := os.MkdirAll(*root, 0o755); err != nil {
-		log.Fatalf("clusterd: %v", err)
+		logger.Errorf("%v", err)
+		os.Exit(1)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("clusterd: %v", err)
+		logger.Errorf("%v", err)
+		os.Exit(1)
 	}
-	log.Printf("clusterd: serving corpora under %s on %s", *root, ln.Addr())
-	httpSrv := &http.Server{Handler: cluster.NewWorker(*root).Handler()}
+	logger.Infof("serving corpora under %s on %s", *root, ln.Addr())
+	mux := http.NewServeMux()
+	obs.Default().Mount(mux, "clusterd", *pprofOn)
+	mux.Handle("/", cluster.NewWorker(*root).Handler())
+	if *pprofOn {
+		logger.Infof("pprof mounted at /debug/pprof/")
+	}
+	httpSrv := &http.Server{Handler: mux}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("clusterd: %v", err)
+			logger.Errorf("%v", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -63,5 +82,5 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
-	log.Printf("clusterd: stopped")
+	logger.Infof("stopped")
 }

@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"falcondown/internal/obs"
 )
 
 // maxSpecBytes bounds a submission body; a Spec is a flat scalar struct,
@@ -275,15 +278,29 @@ func (s *Server) handleKey(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthBody struct {
-	Status    string `json:"status"`
-	Queued    int    `json:"queued"`
-	Campaigns int    `json:"campaigns"`
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	Queued        int     `json:"queued"`
+	Campaigns     int     `json:"campaigns"`
+	// Fleet carries process-wide fleet counters (tasks, retries, repairs,
+	// quarantines) when the daemon runs with a worker fleet attached.
+	Fleet map[string]int64 `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	var fleet map[string]int64
+	if s.cfg.HealthExtra != nil {
+		fleet = s.cfg.HealthExtra()
+	}
 	writeJSON(w, http.StatusOK, healthBody{
-		Status:    "ok",
-		Queued:    s.QueueDepth(),
-		Campaigns: len(s.List()),
+		Status:        "ok",
+		UptimeSeconds: obs.Uptime(),
+		GoVersion:     runtime.Version(),
+		Revision:      obs.BuildRevision(),
+		Queued:        s.QueueDepth(),
+		Campaigns:     len(s.List()),
+		Fleet:         fleet,
 	})
 }

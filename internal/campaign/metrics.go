@@ -1,0 +1,66 @@
+package campaign
+
+import "falcondown/internal/obs"
+
+// Passive observability taps over the campaign service: admission
+// outcomes, queue pressure, per-tenant disk, and wall-clock by phase.
+// None of this enters a Spec, a state file, a result or a key — the
+// restart suite's byte-for-byte artifact comparisons hold with obs on
+// or off (the obs.json flight record is deliberately outside them).
+var (
+	mSubmitted = obs.NewCounter("falcon_campaign_submitted_total",
+		"campaigns admitted to the queue")
+	mReject429 = obs.NewCounter("falcon_campaign_rejects_total",
+		"campaign submissions rejected", obs.Label{Name: "code", Value: "429"})
+	mReject503 = obs.NewCounter("falcon_campaign_rejects_total",
+		"campaign submissions rejected", obs.Label{Name: "code", Value: "503"})
+	mActive = obs.NewGauge("falcon_campaign_active",
+		"campaigns currently holding a slot")
+	mTerminal = map[string]*obs.Counter{}
+	mPhase    = map[string]*obs.Histogram{}
+	mWall     = obs.NewHistogram("falcon_campaign_wall_seconds",
+		"end-to-end wall-clock of one campaign run (adopted resumes count the rerun only)",
+		obs.DurationBuckets)
+)
+
+func init() {
+	for _, st := range []string{StatusDone, StatusFailed, StatusCancelled} {
+		mTerminal[st] = obs.NewCounter("falcon_campaign_terminal_total",
+			"campaigns reaching a terminal state",
+			obs.Label{Name: "status", Value: st})
+	}
+	// Phases as campaignctl reports them: acquire streams the corpus,
+	// attack is the five-stage recovery, forge+verify close the loop.
+	for _, ph := range []string{"acquire", "attack", "forge", "verify"} {
+		mPhase[ph] = obs.NewHistogram("falcon_campaign_phase_seconds",
+			"wall-clock of one campaign phase", obs.DurationBuckets,
+			obs.Label{Name: "phase", Value: ph})
+	}
+}
+
+// observeTerminal bumps the terminal counter for status (unknown
+// statuses are ignored — the set is closed).
+func observeTerminal(status string) {
+	if c := mTerminal[status]; c != nil {
+		c.Inc()
+	}
+}
+
+// phaseSpan times one campaign phase; unknown names get an inert span.
+func phaseSpan(name string) *obs.Span { return obs.StartSpan(mPhase[name]) }
+
+// tenantDiskGauge tracks one tenant's accounted bytes. Tenants are a
+// small administrative set, so per-tenant gauges stay bounded.
+func tenantDiskGauge(tenant string) *obs.Gauge {
+	return obs.NewGauge("falcon_campaign_tenant_disk_bytes",
+		"bytes accounted to a tenant (reservations plus settled footprints)",
+		obs.Label{Name: "tenant", Value: tenant})
+}
+
+// registerQueueDepth points the queue-depth gauge at this server
+// (latest server wins, matching GaugeFunc replacement semantics).
+func registerQueueDepth(s *Server) {
+	obs.NewGaugeFunc("falcon_campaign_queue_depth",
+		"campaigns queued and not yet running",
+		func() float64 { return float64(s.QueueDepth()) })
+}

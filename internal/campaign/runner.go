@@ -14,6 +14,7 @@ import (
 	"falcondown/internal/core"
 	"falcondown/internal/emleak"
 	"falcondown/internal/falcon"
+	"falcondown/internal/obs"
 	"falcondown/internal/rng"
 	"falcondown/internal/supervise"
 	"falcondown/internal/tracestore"
@@ -101,6 +102,26 @@ func (s *Server) runCampaign(c *Campaign) {
 	if !c.begin(cancel) {
 		return
 	}
+	mActive.Add(1)
+	wall := obs.StartSpan(mWall)
+	defer func() {
+		mActive.Add(-1)
+		wall.End()
+		// A campaign interrupted by shutdown is not terminal; the counter
+		// map ignores its status.
+		observeTerminal(c.Status())
+		// The flight record lands in the campaign directory however the
+		// run ended — a failed recovery's metrics are exactly the ones
+		// worth keeping. It carries timings, so it is deliberately outside
+		// the byte-identity comparisons the restart suite runs, and a
+		// write failure must not change the campaign's outcome. It adds
+		// bytes after the terminal paths trued up the tenant ledger, so a
+		// terminal campaign settles once more to charge for it.
+		_ = obs.Default().WriteFlightRecord("campaignd", filepath.Join(c.dir, obsFile))
+		if terminal(c.Status()) {
+			s.settleDisk(c)
+		}
+	}()
 	err := s.execute(ctx, c)
 	if err == nil {
 		return
@@ -146,9 +167,11 @@ func (s *Server) execute(ctx context.Context, c *Campaign) error {
 			return err
 		}
 	}
+	asp := phaseSpan("acquire")
 	if err := s.acquire(ctx, c, dev); err != nil {
 		return err
 	}
+	asp.End()
 	return s.attack(ctx, c, pub)
 }
 
@@ -362,6 +385,7 @@ func (s *Server) attack(ctx context.Context, c *Campaign, pub *falcon.PublicKey)
 	}
 	var priv *falcon.PrivateKey
 	var report *core.RecoveryReport
+	ksp := phaseSpan("attack")
 	if spec.Distributed && s.cfg.Distributor != nil {
 		// Fleet execution: corpus sweeps fan out to the worker fleet, named
 		// by the campaign's store-relative trace path; the opened corpus is
@@ -389,14 +413,19 @@ func (s *Server) attack(ctx context.Context, c *Campaign, pub *falcon.PublicKey)
 		}
 		return errors.New("attack: " + msg)
 	}
+	ksp.End()
 
+	fsp := phaseSpan("forge")
 	sig, err := priv.Sign([]byte(spec.Message), rng.New(rng.DeriveSeed(spec.Seed, forgeSalt)))
 	if err != nil {
 		return fmt.Errorf("forge: %w", err)
 	}
+	fsp.End()
+	vsp := phaseSpan("verify")
 	if err := pub.Verify([]byte(spec.Message), sig); err != nil {
 		return fmt.Errorf("forge: signature did not verify: %w", err)
 	}
+	vsp.End()
 	logn := bits.Len(uint(spec.N)) - 1
 	enc, err := sig.Encode(logn, pub.Params.SigByteLen)
 	if err != nil {

@@ -45,6 +45,9 @@ type Config struct {
 	// digest. Nil runs every campaign locally even if its spec says
 	// distributed — degradation, not rejection.
 	Distributor func(corpus string, src *tracestore.Corpus) core.Distributor
+	// HealthExtra, when set, contributes extra counters to the healthz
+	// snapshot (campaignd -fleet reports fleet tallies through it).
+	HealthExtra func() map[string]int64
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +118,7 @@ func Open(root string, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.nextID = NextID(scanned)
+	registerQueueDepth(s)
 	for _, p := range scanned {
 		c := &Campaign{
 			ID:     p.ID,
@@ -205,15 +209,18 @@ func (s *Server) Submit(spec Spec) (*Campaign, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cfg.TenantMax > 0 && s.activeLocked(spec.Tenant) >= s.cfg.TenantMax {
+		mReject429.Inc()
 		return nil, fmt.Errorf("%w: tenant %q already has %d active campaign(s)",
 			ErrTenantQuota, spec.Tenant, s.cfg.TenantMax)
 	}
 	charge := estimateSpecBytes(spec)
 	if s.cfg.TenantDiskBytes > 0 && s.usage[spec.Tenant]+charge > s.cfg.TenantDiskBytes {
+		mReject429.Inc()
 		return nil, fmt.Errorf("%w: tenant %q holds %d byte(s), campaign needs ~%d more, cap is %d",
 			ErrDiskQuota, spec.Tenant, s.usage[spec.Tenant], charge, s.cfg.TenantDiskBytes)
 	}
 	if s.queue.depth() >= s.cfg.QueueCap {
+		mReject503.Inc()
 		return nil, fmt.Errorf("%w: %d campaign(s) queued", ErrQueueFull, s.cfg.QueueCap)
 	}
 	id := FormatID(s.nextID)
@@ -233,6 +240,8 @@ func (s *Server) Submit(spec Spec) (*Campaign, error) {
 	}
 	c.diskCharge = charge
 	s.usage[spec.Tenant] += charge
+	mSubmitted.Inc()
+	tenantDiskGauge(spec.Tenant).Set(float64(s.usage[spec.Tenant]))
 	s.nextID++
 	s.nextSeq++
 	s.campaigns[id] = c
@@ -292,6 +301,7 @@ func (s *Server) settleDisk(c *Campaign) {
 		s.usage[c.Spec.Tenant] = 0
 	}
 	c.diskCharge = actual
+	tenantDiskGauge(c.Spec.Tenant).Set(float64(s.usage[c.Spec.Tenant]))
 	s.mu.Unlock()
 }
 

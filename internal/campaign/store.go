@@ -30,6 +30,10 @@ const (
 	traceFile  = "traces.fdt2"
 	resultFile = "result.json"
 	keyFile    = "key.json"
+	// obsFile is the flight-record snapshot written beside result.json on
+	// success. Diagnostic only: timings differ run to run, so it is NOT
+	// part of the byte-identity artifact set the restart suite compares.
+	obsFile = "obs.json"
 )
 
 // Store is the durable root directory of a server: one subdirectory per

@@ -205,6 +205,8 @@ func (c *Coordinator) RunPass(p *core.DistPass) error {
 		tasks = append(tasks, task{lo, min(lo+c.opts.ShardsPerTask, p.NumShards())})
 	}
 	c.bump(func(r *Report) { r.Passes++; r.Tasks += len(tasks) })
+	mFleetPasses.Inc()
+	mFleetTasks.Add(int64(len(tasks)))
 
 	limit := 1
 	if len(c.nodes) > 0 {
@@ -267,6 +269,7 @@ func (c *Coordinator) runTask(p *core.DistPass, inflight *sync.WaitGroup, taskId
 	for a := 0; a <= c.opts.Retries && len(c.nodes) > 0; a++ {
 		if a > 0 {
 			c.bump(func(r *Report) { r.Retries++ })
+			mFleetRetries.Inc()
 			time.Sleep(c.opts.Backoff << uint(a-1))
 		}
 		var err error
@@ -277,6 +280,7 @@ func (c *Coordinator) runTask(p *core.DistPass, inflight *sync.WaitGroup, taskId
 		}
 		if err == nil {
 			c.bump(func(r *Report) { r.Remote++ })
+			mFleetRemote.Inc()
 			return nil
 		}
 	}
@@ -293,6 +297,7 @@ func (c *Coordinator) runTask(p *core.DistPass, inflight *sync.WaitGroup, taskId
 		}
 	}
 	c.bump(func(r *Report) { r.Local++ })
+	mFleetLocal.Inc()
 	return nil
 }
 
@@ -318,6 +323,7 @@ func (c *Coordinator) hedgedAttempt(p *core.DistPass, inflight *sync.WaitGroup, 
 		case <-timer.C:
 			secondary := c.nodes[(taskIdx+a+1)%len(c.nodes)]
 			c.bump(func(r *Report) { r.Hedges++ })
+			mFleetHedges.Inc()
 			inflight.Add(1)
 			go func() {
 				defer inflight.Done()
@@ -349,6 +355,7 @@ func (c *Coordinator) crossCheckedAttempt(p *core.DistPass, req taskRequest, tas
 	primary := c.nodes[(taskIdx+a)%n]
 	witness := c.nodes[(taskIdx+a+1)%n]
 	c.bump(func(r *Report) { r.CrossChecks++ })
+	mFleetCrossChecks.Inc()
 	var wres taskResponse
 	var werr error
 	var wg sync.WaitGroup
@@ -369,12 +376,14 @@ func (c *Coordinator) crossCheckedAttempt(p *core.DistPass, req taskRequest, tas
 		for _, sp := range pres.Partials {
 			if derr := p.Deposit(req.JobLo, sp); derr != nil {
 				c.bump(func(r *Report) { r.Rejected++ })
+				mFleetRejected.Inc()
 				return derr
 			}
 		}
 		return nil
 	}
 	c.bump(func(r *Report) { r.Mismatches++ })
+	mFleetMismatches.Inc()
 	truth, err := p.Compute(req.ShardLo, req.ShardHi, 0, p.NumJobs())
 	if err != nil {
 		return err
@@ -400,6 +409,7 @@ func (c *Coordinator) quarantine(node *workerNode) {
 		return
 	}
 	c.bump(func(r *Report) { r.Quarantined++ })
+	mFleetQuarantines.Inc()
 	now := time.Now()
 	for i := 0; i < 64 && node.br.Allow(now); i++ {
 		node.br.Record(false, now)
@@ -419,6 +429,7 @@ func (c *Coordinator) attempt(p *core.DistPass, node *workerNode, req taskReques
 	for _, sp := range resp.Partials {
 		if derr := p.Deposit(req.JobLo, sp); derr != nil {
 			c.bump(func(r *Report) { r.Rejected++ })
+			mFleetRejected.Inc()
 			return derr
 		}
 	}
@@ -431,10 +442,12 @@ func (c *Coordinator) attempt(p *core.DistPass, node *workerNode, req taskReques
 func (c *Coordinator) guardedCall(node *workerNode, req taskRequest) (taskResponse, error) {
 	if node.quarantined.Load() {
 		c.bump(func(r *Report) { r.Skips++ })
+		mFleetSkips.Inc()
 		return taskResponse{}, errQuarantined
 	}
 	if !node.br.Allow(time.Now()) {
 		c.bump(func(r *Report) { r.Skips++ })
+		mFleetSkips.Inc()
 		return taskResponse{}, errBreakerOpen
 	}
 	resp, err := c.call(node, req)
@@ -442,11 +455,14 @@ func (c *Coordinator) guardedCall(node *workerNode, req taskRequest) (taskRespon
 	case err == nil:
 		if resp.Repaired > 0 {
 			c.bump(func(r *Report) { r.Repairs += resp.Repaired })
+			mFleetRepairs.Add(int64(resp.Repaired))
 		}
 	case errors.As(err, &errDivergent{}):
 		c.bump(func(r *Report) { r.Divergent++ })
+		mFleetDivergent.Inc()
 	case errors.As(err, &errCorrupt{}):
 		c.bump(func(r *Report) { r.Rejected++ })
+		mFleetRejected.Inc()
 	}
 	node.br.Record(err == nil, time.Now())
 	return resp, err
@@ -460,6 +476,8 @@ func (c *Coordinator) call(node *workerNode, req taskRequest) (taskResponse, err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Lease)
 	defer cancel()
+	start := time.Now()
+	defer func() { taskRTT(node.url).Observe(time.Since(start).Seconds()) }()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, node.url+"/task", bytes.NewReader(body))
 	if err != nil {
 		return taskResponse{}, err
@@ -467,6 +485,9 @@ func (c *Coordinator) call(node *workerNode, req taskRequest) (taskResponse, err
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(hreq)
 	if err != nil {
+		if ctx.Err() != nil {
+			mFleetLeaseExpiries.Inc()
+		}
 		return taskResponse{}, err
 	}
 	defer resp.Body.Close()

@@ -50,6 +50,7 @@ func seal(v any) ([]byte, error) {
 func open(r io.Reader, limit int64, v any) error {
 	data, err := io.ReadAll(io.LimitReader(r, limit+1))
 	if err != nil {
+		mFrameRejects.Inc()
 		return errCorrupt{err}
 	}
 	if int64(len(data)) > limit {
@@ -57,12 +58,15 @@ func open(r io.Reader, limit int64, v any) error {
 	}
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
+		mFrameRejects.Inc()
 		return errCorrupt{err}
 	}
 	if got := crc32.Checksum(env.Payload, crcTable); got != env.CRC {
+		mFrameRejects.Inc()
 		return errCorrupt{fmt.Errorf("digest %08x, frame claims %08x", got, env.CRC)}
 	}
 	if err := json.Unmarshal(env.Payload, v); err != nil {
+		mFrameRejects.Inc()
 		return errCorrupt{err}
 	}
 	return nil

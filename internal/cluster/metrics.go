@@ -1,0 +1,68 @@
+package cluster
+
+import "falcondown/internal/obs"
+
+// Passive observability taps over the fleet. Coordinator counters
+// mirror the deterministic Report (which remains the source of truth
+// for tests and the fleet-report line); worker counters expose the
+// serving side. The RTT histogram is labeled per node so a slow or
+// flaky worker stands out in one scrape.
+var (
+	mFleetPasses = obs.NewCounter("falcon_fleet_passes_total",
+		"distributed sweep passes coordinated")
+	mFleetTasks = obs.NewCounter("falcon_fleet_tasks_total",
+		"shard-range tasks issued to the fleet (before retries)")
+	mFleetRemote = obs.NewCounter("falcon_fleet_remote_total",
+		"task blocks completed by remote workers")
+	mFleetLocal = obs.NewCounter("falcon_fleet_local_total",
+		"task blocks the coordinator computed locally after the ring failed")
+	mFleetRetries = obs.NewCounter("falcon_fleet_retries_total",
+		"task re-issues to the next ring node")
+	mFleetHedges = obs.NewCounter("falcon_fleet_hedges_total",
+		"hedged duplicate tasks launched against a slow node")
+	mFleetLeaseExpiries = obs.NewCounter("falcon_fleet_lease_expiries_total",
+		"task calls abandoned because the lease deadline passed")
+	mFleetRejected = obs.NewCounter("falcon_fleet_rejected_partials_total",
+		"partials rejected on digest, shape or cross-check grounds")
+	mFleetDivergent = obs.NewCounter("falcon_fleet_divergent_total",
+		"tasks refused by workers holding a divergent corpus replica")
+	mFleetRepairs = obs.NewCounter("falcon_fleet_repairs_total",
+		"shards pushed to workers by digest to repair divergent or missing replicas")
+	mFleetCrossChecks = obs.NewCounter("falcon_fleet_crosschecks_total",
+		"tasks double-issued to two ring nodes for cross-checking")
+	mFleetMismatches = obs.NewCounter("falcon_fleet_crosscheck_mismatches_total",
+		"cross-checked tasks whose duplicate partials disagreed")
+	mFleetQuarantines = obs.NewCounter("falcon_fleet_quarantines_total",
+		"nodes quarantined after contradicting the recomputed truth")
+	mFleetSkips = obs.NewCounter("falcon_fleet_skips_total",
+		"attempts skipped by an open breaker or a quarantined node")
+	mFrameRejects = obs.NewCounter("falcon_fleet_frame_rejects_total",
+		"protocol frames rejected on CRC or decode failure (either side)")
+	mWorkerTasks = obs.NewCounter("falcon_worker_tasks_total",
+		"tasks served by this clusterd process")
+	mWorkerTaskSeconds = obs.NewHistogram("falcon_worker_task_seconds",
+		"wall-clock of one served task (sweep included)", obs.DurationBuckets)
+	mWorkerRepairs = obs.NewCounter("falcon_worker_repairs_total",
+		"shards this worker fetched from the blob service by digest")
+	mWorkerDivergent = obs.NewCounter("falcon_worker_divergent_rejects_total",
+		"tasks this worker refused over a manifest mismatch")
+)
+
+// FleetHealth summarizes process-wide fleet counters for a daemon's
+// healthz snapshot (campaignd -fleet reports quarantines through this).
+func FleetHealth() map[string]int64 {
+	return map[string]int64{
+		"fleet_tasks":       mFleetTasks.Value(),
+		"fleet_retries":     mFleetRetries.Value(),
+		"fleet_repairs":     mFleetRepairs.Value(),
+		"fleet_quarantines": mFleetQuarantines.Value(),
+	}
+}
+
+// taskRTT returns the per-node round-trip histogram, creating it on
+// first use. Node URLs are a small bounded set per campaign.
+func taskRTT(node string) *obs.Histogram {
+	return obs.NewHistogram("falcon_fleet_task_rtt_seconds",
+		"coordinator-observed round-trip of one task call",
+		obs.DurationBuckets, obs.Label{Name: "node", Value: node})
+}

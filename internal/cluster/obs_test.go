@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"falcondown/internal/core"
+	"falcondown/internal/obs"
+	"falcondown/internal/tracestore"
+)
+
+// Observability differential suite: the flight recorder is a passive tap,
+// so turning it off — or running with every tap firing at once — must not
+// move a single byte of key, report, or checkpoint sidecar. The fixture
+// reference is computed with obs enabled (the process default), which
+// makes both directions of the comparison meaningful.
+
+// TestObsDisabledBitIdentical reruns the serial reference with the whole
+// registry disabled and demands byte-identity with the instrumented run.
+func TestObsDisabledBitIdentical(t *testing.T) {
+	f := campaign(t)
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+
+	src, err := tracestore.Open(filepath.Join(f.root, fixtureCorpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := &core.FileCheckpoint{Path: filepath.Join(t.TempDir(), "off.ckpt")}
+	priv, rep, err := core.RecoverKeyResumable(src, f.pub, refConfig(), store)
+	if err != nil {
+		t.Fatalf("obs-off recovery: %v", err)
+	}
+	side := mustRead(t, store.Path)
+	sameRecovery(t, f, "obs disabled (serial)", priv, rep, side)
+
+	// Same invariant at fleet granularity: a distributed run with the
+	// registry off matches the instrumented serial reference too.
+	urls, _ := startFleet(t, f.root, 2)
+	c := New(Options{Workers: urls, Corpus: fixtureCorpus, ShardsPerTask: 2})
+	fpriv, frep, fside := runFleet(t, f, c)
+	sameRecovery(t, f, "obs disabled (fleet)", fpriv, frep, fside)
+}
+
+// TestObsInstrumentedChaosFleetBitIdentical drives the most heavily
+// instrumented path the coordinator has — a divergent replica repaired by
+// shard push, every task cross-checked, hedging armed — and demands both
+// byte-identity with the serial reference and a registry that actually
+// recorded the chaos: tasks, repairs, cross-checks, sweep traffic.
+func TestObsInstrumentedChaosFleetBitIdentical(t *testing.T) {
+	f := campaign(t)
+	if !obs.Enabled() {
+		t.Fatal("registry is disabled; the instrumented half of the differential is vacuous")
+	}
+
+	wrong := httptest.NewServer(NewWorker(divergentRoot(t, f)).Handler())
+	t.Cleanup(wrong.Close)
+	honest, _ := startFleet(t, f.root, 1)
+
+	c := New(Options{
+		Workers:       []string{wrong.URL, honest[0]},
+		Corpus:        fixtureCorpus,
+		BlobURL:       blobService(t, f),
+		ShardsPerTask: 2,
+		CrossCheck:    1,
+		Hedge:         time.Millisecond,
+		Retries:       2,
+		Backoff:       time.Millisecond,
+	})
+	priv, rep, side := runFleet(t, f, c)
+	sameRecovery(t, f, "instrumented chaos fleet", priv, rep, side)
+	r := c.Report()
+	if r.Repairs == 0 || r.CrossChecks == 0 {
+		t.Fatalf("report %+v: the chaos stage did not exercise repair + crosscheck", r)
+	}
+
+	// The taps mirror the coordinator's own report, so the process-wide
+	// counters must have seen at least this run's traffic.
+	for _, name := range []string{
+		"falcon_fleet_tasks_total",
+		"falcon_fleet_repairs_total",
+		"falcon_fleet_crosschecks_total",
+		"falcon_sweep_traces_total",
+		"falcon_store_chunks_decoded_total",
+	} {
+		if v := counterValue(t, name); v <= 0 {
+			t.Errorf("%s = %v after an instrumented fleet run, want > 0", name, v)
+		}
+	}
+
+	// And the populated registry must still render valid Prometheus text:
+	// every line a comment or a sample, histograms with le labels intact.
+	var b strings.Builder
+	if err := obs.Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.e+Ini-]+$`)
+	comment := regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("Prometheus rendering suspiciously short: %d lines", len(lines))
+	}
+	for _, line := range lines {
+		if !sample.MatchString(line) && !comment.MatchString(line) {
+			t.Fatalf("invalid Prometheus exposition line: %q", line)
+		}
+	}
+}
+
+// counterValue reads a counter/gauge family's summed value out of the
+// default registry's snapshot.
+func counterValue(t *testing.T, name string) float64 {
+	t.Helper()
+	var total float64
+	for _, m := range obs.Default().Snapshot() {
+		if m.Name == name {
+			total += m.Value + m.Sum
+		}
+	}
+	return total
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,15 +1,19 @@
 package cluster
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"falcondown/internal/core"
+	"falcondown/internal/obs"
 	"falcondown/internal/tracestore"
 )
 
@@ -122,6 +126,12 @@ type Worker struct {
 
 	client *http.Client
 
+	// Served/divergent/repaired are per-instance tallies for the healthz
+	// snapshot; the obs counters aggregate the same events process-wide.
+	served    atomic.Int64
+	divergent atomic.Int64
+	repaired  atomic.Int64
+
 	mu      sync.Mutex
 	corpora map[string]*corpusEntry
 }
@@ -135,16 +145,43 @@ func NewWorker(root string) *Worker {
 	}
 }
 
+// workerHealth is the healthz snapshot: build identity plus the serving
+// tallies a fleet operator checks before pointing a coordinator here.
+type workerHealth struct {
+	Status           string  `json:"status"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	GoVersion        string  `json:"go_version"`
+	Revision         string  `json:"revision,omitempty"`
+	Corpora          int     `json:"corpora"`
+	TasksServed      int64   `json:"tasks_served"`
+	ShardsRepaired   int64   `json:"shards_repaired"`
+	DivergentRejects int64   `json:"divergent_rejects"`
+}
+
 // Handler returns the worker's HTTP surface:
 //
 //	POST /task     — compute shard partials for a task request
-//	GET  /healthz  — liveness probe
+//	GET  /healthz  — JSON health snapshot (build info, serving tallies)
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/task", w.handleTask)
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
-		rw.WriteHeader(http.StatusOK)
-		fmt.Fprintln(rw, "ok")
+		w.mu.Lock()
+		corpora := len(w.corpora)
+		w.mu.Unlock()
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(workerHealth{
+			Status:           "ok",
+			UptimeSeconds:    obs.Uptime(),
+			GoVersion:        runtime.Version(),
+			Revision:         obs.BuildRevision(),
+			Corpora:          corpora,
+			TasksServed:      w.served.Load(),
+			ShardsRepaired:   w.repaired.Load(),
+			DivergentRejects: w.divergent.Load(),
+		})
 	})
 	return mux
 }
@@ -337,21 +374,31 @@ func (w *Worker) handleTask(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	sp := obs.StartSpan(mWorkerTaskSeconds)
+	defer sp.End()
 	var req taskRequest
 	if err := open(r.Body, maxFrameBytes, &req); err != nil {
 		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
 	e, repaired, err := w.sweepEntry(req)
+	if repaired > 0 {
+		w.repaired.Add(int64(repaired))
+		mWorkerRepairs.Add(int64(repaired))
+	}
 	if err != nil {
 		var de errDivergent
 		if ok := asDivergent(err, &de); ok {
+			w.divergent.Add(1)
+			mWorkerDivergent.Inc()
 			http.Error(rw, de.Error(), statusDivergent)
 			return
 		}
 		http.Error(rw, err.Error(), http.StatusNotFound)
 		return
 	}
+	w.served.Add(1)
+	mWorkerTasks.Inc()
 	var src core.Source = e.corpus
 	if w.Tap != nil {
 		src = w.Tap(src)

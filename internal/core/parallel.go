@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"falcondown/internal/emleak"
+	"falcondown/internal/obs"
 	"falcondown/internal/tracestore"
 )
 
@@ -89,6 +90,7 @@ func effectiveWorkers(w int) int {
 // foldShard accumulates one shard into fresh clones and merges them into
 // the jobs — the canonical per-shard step shared by every path.
 func foldShard(jobs []mergeJob, shard []emleak.Observation) {
+	sp := obs.StartSpan(mSweepShardSeconds)
 	for _, j := range jobs {
 		c := j.clone()
 		for _, o := range shard {
@@ -96,6 +98,7 @@ func foldShard(jobs []mergeJob, shard []emleak.Observation) {
 		}
 		j.merge(c)
 	}
+	sp.End()
 }
 
 // forEachShard drives fn over the corpus in canonical shards using a
@@ -155,6 +158,10 @@ func serialPass(src Source, jobs []mergeJob) error {
 func runPass(src Source, jobs []passJob, workers int) error {
 	if len(jobs) == 0 {
 		return nil
+	}
+	if obs.Enabled() {
+		start := time.Now()
+		defer func() { observePass(src.Count(), len(jobs), time.Since(start)) }()
 	}
 	mjobs := make([]mergeJob, len(jobs))
 	for i, j := range jobs {
@@ -248,6 +255,7 @@ func parallelPass(src Source, jobs []mergeJob, workers int) error {
 		go func() {
 			defer wg.Done()
 			for t := range tiles {
+				sp := obs.StartSpan(mSweepShardSeconds)
 				f := folders[t.block]
 				partial := make([]mergeJob, len(f.jobs))
 				for i, j := range f.jobs {
@@ -258,6 +266,7 @@ func parallelPass(src Source, jobs []mergeJob, workers int) error {
 					partial[i] = c
 				}
 				f.deposit(t.shard, partial)
+				sp.End()
 			}
 		}()
 	}

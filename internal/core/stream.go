@@ -208,9 +208,11 @@ func AttackFFTfResumable(src Source, cfg Config, store CheckpointStore) ([]fft.C
 		{StageStragglers, a.stageStragglers},
 	}
 	for _, st := range steps[done:] {
+		sp := stageSpan(st.stage)
 		if err := st.run(); err != nil {
 			return nil, nil, err
 		}
+		sp.End()
 		if err := a.save(st.stage); err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry in Prometheus text format (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// SnapshotHandler serves the registry as a JSON flight record
+// (GET /metricsz) — the payload campaignctl top renders.
+func (r *Registry) SnapshotHandler(cmd string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.NewFlightRecord(cmd))
+	})
+}
+
+// Mount attaches /metrics and /metricsz for the registry onto mux, and
+// — only when withPprof is set — the net/http/pprof handlers under
+// /debug/pprof/. Profiling stays opt-in because the endpoints expose
+// heap contents and can be driven to consume CPU; the daemons gate it
+// behind an explicit -pprof flag.
+func (r *Registry) Mount(mux *http.ServeMux, cmd string, withPprof bool) {
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metricsz", r.SnapshotHandler(cmd))
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

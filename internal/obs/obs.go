@@ -1,0 +1,398 @@
+// Package obs is the dependency-free observability core: atomic
+// counters, gauges, fixed-bucket histograms and phase spans, collected
+// in a registry that renders Prometheus text format and snapshots to
+// JSON.
+//
+// Everything here is a passive tap. Instrumented packages bump metrics
+// at shard/pass/task granularity — never per sample — and nothing in
+// this package feeds back into attack configuration, the pinned shard
+// fold, or any serialized artifact. The differential suites prove the
+// invariant: keys, reports, corpora and checkpoint sidecars are
+// byte-identical with instrumentation on or off (see
+// internal/cluster's obs differential test).
+//
+// The package-level enabled flag exists only so that invariant can be
+// tested both ways; production runs leave it on. All mutation paths
+// (Add, Set, Observe, span End) early-return when disabled, so a
+// disabled registry is a handful of atomic loads per tap.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates every mutation in the package. Default on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns metric collection on or off globally. Off means taps
+// are atomic-load no-ops; already-recorded values are retained (reset
+// explicitly with Registry.Reset if a test needs a clean slate).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// MetricType discriminates rendered metric families.
+type MetricType string
+
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// metric is the common interface registry entries implement.
+type metric interface {
+	desc() *desc
+	snapshot() MetricSnapshot
+}
+
+// desc is the identity of a metric: name, help and a pinned label set.
+type desc struct {
+	name   string
+	help   string
+	typ    MetricType
+	labels []Label
+	key    string // name + canonical label encoding, registry key
+}
+
+// Label is one name=value pair attached to a metric.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// labelKey builds the canonical registry key for a name + label set.
+// Labels are sorted so registration order never matters.
+func labelKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte('\xff')
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// Registry holds metrics and renders them. The zero value is not
+// usable; construct with NewRegistry or use Default.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+	order   []string // registration order, for stable rendering
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every package-level tap
+// registers into.
+func Default() *Registry { return defaultRegistry }
+
+// Reset drops every registered metric. Test helper; taps that cached a
+// metric pointer keep mutating their (now unregistered) instance, so
+// only use this between full re-registrations.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = make(map[string]metric)
+	r.order = nil
+}
+
+// register returns the existing metric under the key, or installs m.
+// Get-or-create semantics make package-level taps idempotent: many
+// servers in one test process share Default() without collisions.
+func (r *Registry) register(m metric) metric {
+	d := m.desc()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old, ok := r.metrics[d.key]; ok {
+		// GaugeFunc re-registration replaces the callback: a new server
+		// instance must report its own queue depth, not a dead one's.
+		if nf, ok := m.(*GaugeFunc); ok {
+			if of, ok := old.(*GaugeFunc); ok {
+				of.fn.Store(&nf.rawFn)
+				return of
+			}
+		}
+		return old
+	}
+	r.metrics[d.key] = m
+	r.order = append(r.order, d.key)
+	return m
+}
+
+// sorted returns metrics in registration order under the read lock.
+func (r *Registry) sorted() []metric {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]metric, 0, len(r.order))
+	for _, k := range r.order {
+		out = append(out, r.metrics[k])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing atomic int64.
+type Counter struct {
+	d desc
+	v atomic.Int64
+}
+
+// NewCounter registers (or fetches) a counter on the registry.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{d: desc{name: name, help: help, typ: TypeCounter,
+		labels: labels, key: labelKey(name, labels)}}
+	return r.register(c).(*Counter)
+}
+
+// NewCounter registers a counter on the default registry.
+func NewCounter(name, help string, labels ...Label) *Counter {
+	return Default().NewCounter(name, help, labels...)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments by n (no-op when collection is disabled or n <= 0).
+func (c *Counter) Add(n int64) {
+	if n <= 0 || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) desc() *desc { return &c.d }
+
+func (c *Counter) snapshot() MetricSnapshot {
+	return MetricSnapshot{Name: c.d.name, Help: c.d.help, Type: c.d.typ,
+		Labels: c.d.labels, Value: float64(c.v.Load())}
+}
+
+// ---------------------------------------------------------------------
+// Gauge
+
+// Gauge is a settable float64 (stored as math.Float64bits).
+type Gauge struct {
+	d desc
+	v atomic.Uint64
+}
+
+// NewGauge registers (or fetches) a gauge on the registry.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{d: desc{name: name, help: help, typ: TypeGauge,
+		labels: labels, key: labelKey(name, labels)}}
+	return r.register(g).(*Gauge)
+}
+
+// NewGauge registers a gauge on the default registry.
+func NewGauge(name, help string, labels ...Label) *Gauge {
+	return Default().NewGauge(name, help, labels...)
+}
+
+// Set stores v (no-op when collection is disabled).
+func (g *Gauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta via CAS (no-op when disabled).
+func (g *Gauge) Add(delta float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := g.v.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+func (g *Gauge) desc() *desc { return &g.d }
+
+func (g *Gauge) snapshot() MetricSnapshot {
+	return MetricSnapshot{Name: g.d.name, Help: g.d.help, Type: g.d.typ,
+		Labels: g.d.labels, Value: g.Value()}
+}
+
+// ---------------------------------------------------------------------
+// GaugeFunc
+
+// GaugeFunc samples a callback at render time — for values the owner
+// already tracks (queue depth, live campaign count) where a mirrored
+// gauge would drift.
+type GaugeFunc struct {
+	d     desc
+	rawFn func() float64
+	fn    atomic.Pointer[func() float64]
+}
+
+// NewGaugeFunc registers a callback-backed gauge. Re-registering the
+// same name replaces the callback (latest owner wins).
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	g := &GaugeFunc{d: desc{name: name, help: help, typ: TypeGauge,
+		labels: labels, key: labelKey(name, labels)}, rawFn: fn}
+	g.fn.Store(&g.rawFn)
+	return r.register(g).(*GaugeFunc)
+}
+
+// NewGaugeFunc registers a callback-backed gauge on the default registry.
+func NewGaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	return Default().NewGaugeFunc(name, help, fn, labels...)
+}
+
+// Value samples the callback.
+func (g *GaugeFunc) Value() float64 {
+	if fp := g.fn.Load(); fp != nil && *fp != nil {
+		return (*fp)()
+	}
+	return 0
+}
+
+func (g *GaugeFunc) desc() *desc { return &g.d }
+
+func (g *GaugeFunc) snapshot() MetricSnapshot {
+	return MetricSnapshot{Name: g.d.name, Help: g.d.help, Type: g.d.typ,
+		Labels: g.d.labels, Value: g.Value()}
+}
+
+// ---------------------------------------------------------------------
+// Histogram
+
+// Histogram counts observations into fixed cumulative-le buckets, plus
+// a running sum. Buckets are pinned at construction; observation is a
+// binary search plus two atomic adds.
+type Histogram struct {
+	d       desc
+	bounds  []float64 // upper bounds, ascending, +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DurationBuckets covers 1ms..~2min in roughly ×4 steps — wide enough
+// for both a shard fold and a whole campaign phase.
+var DurationBuckets = []float64{
+	0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 30, 120,
+}
+
+// NewHistogram registers (or fetches) a histogram with the given
+// ascending bucket upper bounds (+Inf is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	h := &Histogram{d: desc{name: name, help: help, typ: TypeHistogram,
+		labels: labels, key: labelKey(name, labels)},
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1)}
+	return r.register(h).(*Histogram)
+}
+
+// NewHistogram registers a histogram on the default registry.
+func NewHistogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return Default().NewHistogram(name, help, bounds, labels...)
+}
+
+// Observe records one sample (no-op when collection is disabled).
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) desc() *desc { return &h.d }
+
+func (h *Histogram) snapshot() MetricSnapshot {
+	s := MetricSnapshot{Name: h.d.name, Help: h.d.help, Type: h.d.typ,
+		Labels: h.d.labels, Count: h.count.Load(), Sum: h.Sum()}
+	cum := int64(0)
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketSnapshot{LE: le, Count: cum})
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Span
+
+// Span times one phase and records its duration into a histogram on
+// End. Start when the phase begins; End is idempotent-safe to defer.
+type Span struct {
+	h     *Histogram
+	start time.Time
+	done  bool
+}
+
+// StartSpan begins timing against h. A nil histogram yields an inert
+// span, so call sites need no guards.
+func StartSpan(h *Histogram) *Span {
+	if h == nil || !enabled.Load() {
+		return &Span{done: true}
+	}
+	return &Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed seconds. Second and later calls are no-ops.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.h.Observe(time.Since(s.start).Seconds())
+}

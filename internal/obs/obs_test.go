@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A fresh registry per test keeps assertions independent of the
+// package-level taps registered on Default() by other packages.
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // counters are monotonic: negative adds are dropped
+	c.Add(0)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("test_gauge", "a gauge")
+	g.Set(7.5)
+	g.Add(-2.5)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+}
+
+func TestGaugeFuncReplacedOnReregister(t *testing.T) {
+	r := NewRegistry()
+	g1 := r.NewGaugeFunc("test_depth", "depth", func() float64 { return 1 })
+	g2 := r.NewGaugeFunc("test_depth", "depth", func() float64 { return 2 })
+	if g1 != g2 {
+		t.Fatal("re-registration should return the same instance")
+	}
+	// Latest owner wins: the dead server's callback must not survive.
+	if got := g1.Value(); got != 2 {
+		t.Fatalf("gauge func = %v, want 2 (replaced callback)", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "dup")
+	b := r.NewCounter("dup_total", "dup")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	// Distinct label sets are distinct metrics, in either order.
+	l1 := r.NewCounter("lbl_total", "l", Label{"a", "1"}, Label{"b", "2"})
+	l2 := r.NewCounter("lbl_total", "l", Label{"b", "2"}, Label{"a", "1"})
+	l3 := r.NewCounter("lbl_total", "l", Label{"a", "other"})
+	if l1 != l2 {
+		t.Fatal("label order must not matter for identity")
+	}
+	if l1 == l3 {
+		t.Fatal("different label values must be different metrics")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 1 + 5 + 100; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	// le semantics: a value equal to a bound lands in that bound's
+	// bucket; buckets render cumulatively.
+	wantCum := []int64{2, 4, 5, 6}
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4 (3 bounds + Inf)", len(s.Buckets))
+	}
+	for i, bk := range s.Buckets {
+		if bk.Count != wantCum[i] {
+			t.Fatalf("bucket[%d] cum = %d, want %d", i, bk.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[3].LE, 1) {
+		t.Fatal("last bucket must be +Inf")
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending bounds should panic at registration")
+		}
+	}()
+	NewRegistry().NewHistogram("bad_seconds", "bad", []float64{1, 1})
+}
+
+func TestPrometheusRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("falcon_test_total", "things done", Label{"kind", "a\"b\\c"})
+	c.Add(3)
+	g := r.NewGauge("falcon_depth", "queue depth")
+	g.Set(2)
+	h := r.NewHistogram("falcon_rtt_seconds", "round trips", []float64{0.5})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP falcon_test_total things done\n",
+		"# TYPE falcon_test_total counter\n",
+		`falcon_test_total{kind="a\"b\\c"} 3` + "\n",
+		"# TYPE falcon_depth gauge\nfalcon_depth 2\n",
+		"# TYPE falcon_rtt_seconds histogram\n",
+		`falcon_rtt_seconds_bucket{le="0.5"} 1` + "\n",
+		`falcon_rtt_seconds_bucket{le="+Inf"} 2` + "\n",
+		"falcon_rtt_seconds_sum 2.25\n",
+		"falcon_rtt_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with multiple label sets.
+	r.NewCounter("falcon_test_total", "things done", Label{"kind", "other"}).Inc()
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "# TYPE falcon_test_total counter"); got != 1 {
+		t.Fatalf("TYPE header rendered %d times, want once", got)
+	}
+}
+
+func TestSnapshotJSONRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("rt_seconds", "rt", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "Inf,") {
+		t.Fatalf("bare Inf leaked into JSON: %s", data)
+	}
+	var back []MetricSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || len(back[0].Buckets) != 2 {
+		t.Fatalf("roundtrip shape wrong: %+v", back)
+	}
+	if !math.IsInf(back[0].Buckets[1].LE, 1) {
+		t.Fatal("+Inf bucket lost in roundtrip")
+	}
+	if back[0].Buckets[1].Count != 2 {
+		t.Fatalf("cumulative inf bucket = %d, want 2", back[0].Buckets[1].Count)
+	}
+}
+
+func TestDisabledIsNoOp(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("off_total", "off")
+	g := r.NewGauge("off_gauge", "off")
+	h := r.NewHistogram("off_seconds", "off", []float64{1})
+	SetEnabled(false)
+	defer SetEnabled(true)
+	c.Inc()
+	g.Set(9)
+	h.Observe(0.5)
+	StartSpan(h).End()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled taps mutated state: c=%d g=%v h=%d",
+			c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("span_seconds", "span", DurationBuckets)
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp.End() // idempotent
+	if h.Count() != 1 {
+		t.Fatalf("span recorded %d observations, want 1", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("span sum = %v, want > 0", h.Sum())
+	}
+	StartSpan(nil).End() // nil histogram must be inert, not panic
+}
+
+func TestConcurrentTaps(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "c")
+	g := r.NewGauge("conc_gauge", "g")
+	h := r.NewHistogram("conc_seconds", "h", DurationBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) / 100)
+				if i%100 == 0 {
+					var b strings.Builder
+					_ = r.WritePrometheus(&b) // render under contention
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 4000 || h.Count() != 4000 {
+		t.Fatalf("lost updates: counter=%d hist=%d, want 4000", c.Value(), h.Count())
+	}
+	if g.Value() != 4000 {
+		t.Fatalf("gauge CAS lost updates: %v, want 4000", g.Value())
+	}
+}
+
+func TestFlightRecord(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("fr_total", "fr").Add(2)
+	dir := t.TempDir()
+	path := FlightRecordPath(dir+"/result.json", "obs.json")
+	if err := r.WriteFlightRecord("attack", path); err != nil {
+		t.Fatal(err)
+	}
+	var fr FlightRecord
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Command != "attack" || fr.GoVersion == "" || len(fr.Metrics) != 1 {
+		t.Fatalf("flight record incomplete: %+v", fr)
+	}
+	if fr.Metrics[0].Value != 2 {
+		t.Fatalf("metric value = %v, want 2", fr.Metrics[0].Value)
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var b strings.Builder
+	l := NewLoggerTo("campaignd", &b)
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	l.Debugf("hidden at info")
+	l.With("campaign", "c1").Infof("listening on %s", "127.0.0.1:9")
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line leaked at info level")
+	}
+	want := "2026/08/08 12:00:00 INFO campaignd[campaign=c1]: listening on 127.0.0.1:9\n"
+	if out != want {
+		t.Fatalf("log line = %q, want %q", out, want)
+	}
+	// Context precedes the message: scripts that sed-extract the tail of
+	// "listening on ..." must keep working with fields attached.
+	if !strings.HasSuffix(strings.TrimSuffix(out, "\n"), "listening on 127.0.0.1:9") {
+		t.Fatal("message must terminate the line")
+	}
+
+	b.Reset()
+	l.SetLevel(LevelWarn)
+	l.Infof("quiet drops info")
+	l.Warnf("kept")
+	if strings.Contains(b.String(), "quiet drops info") || !strings.Contains(b.String(), "WARN campaignd: kept") {
+		t.Fatalf("level filtering wrong: %q", b.String())
+	}
+
+	b.Reset()
+	l.SetLevel(LevelDebug)
+	l.Debugf("verbose shows debug")
+	if !strings.Contains(b.String(), "DEBUG campaignd: verbose shows debug") {
+		t.Fatalf("debug line missing: %q", b.String())
+	}
+}
+
+func TestLevelFromFlags(t *testing.T) {
+	cases := []struct {
+		v, q bool
+		want Level
+	}{{false, false, LevelInfo}, {true, false, LevelDebug},
+		{false, true, LevelWarn}, {true, true, LevelWarn}}
+	for _, c := range cases {
+		if got := LevelFromFlags(c.v, c.q); got != c.want {
+			t.Errorf("LevelFromFlags(%v,%v) = %v, want %v", c.v, c.q, got, c.want)
+		}
+	}
+}

@@ -99,6 +99,7 @@ func (b *breaker) allow(now time.Time) bool {
 		b.state = stHalfOpen
 		b.probing = 1
 		b.probeOK = 0
+		mBreakerToHalfOpen.Inc()
 		return true
 	default: // half-open
 		if b.probing < b.cfg.Probes {
@@ -129,6 +130,7 @@ func (b *breaker) record(ok bool, now time.Time) {
 		if b.failures >= b.cfg.Threshold {
 			b.state = stOpen
 			b.openedAt = now
+			mBreakerToOpen.Inc()
 		}
 	case stHalfOpen:
 		if b.probing > 0 {
@@ -139,12 +141,14 @@ func (b *breaker) record(ok bool, now time.Time) {
 			b.state = stOpen
 			b.openedAt = now
 			b.probeOK = 0
+			mBreakerToOpen.Inc()
 			return
 		}
 		b.probeOK++
 		if b.probeOK >= b.cfg.Probes {
 			b.state = stClosed
 			b.failures = 0
+			mBreakerToClosed.Inc()
 		}
 	case stOpen:
 		// A stale record from an attempt dispatched before the breaker

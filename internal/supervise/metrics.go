@@ -1,0 +1,20 @@
+package supervise
+
+import "falcondown/internal/obs"
+
+// Passive observability taps over the measurement pool and the
+// per-device circuit breakers. Counters mirror the pool's existing
+// report fields (which stay authoritative for the deterministic
+// report); transitions are labeled by the state entered.
+var (
+	mPoolRetries = obs.NewCounter("falcon_pool_retries_total",
+		"measurement attempts retried after a failure or deadline")
+	mPoolHedges = obs.NewCounter("falcon_pool_hedges_total",
+		"hedged duplicate measurements launched against a slow device")
+	mBreakerToOpen = obs.NewCounter("falcon_pool_breaker_transitions_total",
+		"circuit-breaker state entries", obs.Label{Name: "state", Value: StateOpen})
+	mBreakerToHalfOpen = obs.NewCounter("falcon_pool_breaker_transitions_total",
+		"circuit-breaker state entries", obs.Label{Name: "state", Value: StateHalfOpen})
+	mBreakerToClosed = obs.NewCounter("falcon_pool_breaker_transitions_total",
+		"circuit-breaker state entries", obs.Label{Name: "state", Value: StateClosed})
+)

@@ -338,6 +338,7 @@ func (p *pool) measure(ctx context.Context, idx uint64) (emleak.Observation, err
 		skipsInRow = 0
 		if attempt > 0 {
 			p.retried.Add(1)
+			mPoolRetries.Inc()
 		}
 		o, err := p.attempt(ctx, idx, dev)
 		if err == nil {
@@ -445,6 +446,7 @@ func (p *pool) attempt(ctx context.Context, idx uint64, primary int) (emleak.Obs
 			if !anySuccess && !timedOut {
 				if h := p.nextAllowed(primary); h >= 0 {
 					p.hedged.Add(1)
+					mPoolHedges.Inc()
 					launch(h)
 				}
 			}

@@ -279,6 +279,7 @@ func readChunkAt(f *os.File, buf []byte, meta chunkMeta) error {
 		return fmt.Errorf("%w: chunk payload unreadable at offset %d: %v", ErrBadFormat, meta.offset, err)
 	}
 	if got := crc32.Checksum(buf, castagnoli); got != crc {
+		mCRCRejects.Inc()
 		return fmt.Errorf("%w: chunk at offset %d (crc %08x, want %08x)", ErrChecksum, meta.offset, got, crc)
 	}
 	return nil
@@ -335,6 +336,7 @@ func scanChunksLenient(f *os.File, size int64, path string) (n int, chunks []chu
 		chunks = append(chunks, meta)
 		quarantined = append(quarantined, bad)
 		if bad {
+			mCRCRejects.Inc()
 			faults = append(faults, ChunkFault{
 				Shard:        path,
 				Chunk:        len(chunks) - 1,

@@ -1,0 +1,21 @@
+package tracestore
+
+import "falcondown/internal/obs"
+
+// Passive observability taps. Bumped at shard/chunk granularity only —
+// never per observation — and nothing here influences what is written
+// or decoded, so corpora are byte-identical with obs on or off.
+var (
+	mShardsWritten = obs.NewCounter("falcon_store_shards_written_total",
+		"corpus shards finalized by the writer (fresh or resumed)")
+	mShardsSalvaged = obs.NewCounter("falcon_store_shards_salvaged_total",
+		"torn shards repaired by salvage (index rebuilt, tail dropped)")
+	mBytesWritten = obs.NewCounter("falcon_store_bytes_written_total",
+		"corpus payload bytes flushed, including chunk headers")
+	mBytesDecoded = obs.NewCounter("falcon_store_bytes_decoded_total",
+		"chunk payload bytes read and checksum-verified during sweeps")
+	mChunksDecoded = obs.NewCounter("falcon_store_chunks_decoded_total",
+		"chunks decoded successfully during sweeps")
+	mCRCRejects = obs.NewCounter("falcon_store_crc_rejects_total",
+		"chunks rejected on checksum mismatch (strict reads and lenient quarantine)")
+)

@@ -393,9 +393,12 @@ func (it *corpusIterator) readChunk(s *shardInfo) error {
 			s.path, ErrBadFormat, it.chunkIdx, meta.offset)
 	}
 	if got := crc32.Checksum(it.buf, castagnoli); got != crc {
+		mCRCRejects.Inc()
 		return fmt.Errorf("tracestore: shard %s: %w: chunk %d at offset %d (crc %08x, want %08x)",
 			s.path, ErrChecksum, it.chunkIdx, meta.offset, got, crc)
 	}
+	mChunksDecoded.Inc()
+	mBytesDecoded.Add(int64(chunkHdrSize + len(it.buf)))
 	it.chunkIdx++
 	it.bufPos = 0
 	return nil

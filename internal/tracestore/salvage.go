@@ -63,6 +63,7 @@ func Salvage(path string) (*SalvageReport, error) {
 		Chunks:       len(chunks),
 		DroppedBytes: st.Size() - end,
 	}
+	mShardsSalvaged.Inc()
 	for _, c := range chunks {
 		rep.Observations += int(c.count)
 	}

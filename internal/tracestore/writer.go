@@ -215,6 +215,7 @@ func (w *Writer) flushChunk() error {
 	written := int64(chunkHdrSize + len(w.chunk))
 	w.offset += written
 	w.bytes += written
+	mBytesWritten.Add(written)
 	w.chunk = w.chunk[:0]
 	w.chunkCnt = 0
 	if w.opts.OnProgress != nil {
@@ -258,6 +259,7 @@ func (w *Writer) finishShard() error {
 	}
 	d.Obs = int(obs)
 	w.digests = append(w.digests, d)
+	mShardsWritten.Inc()
 	if w.opts.OnShard != nil {
 		w.opts.OnShard(path, int(obs), w.offset+int64(len(idx)+trailerSize))
 	}

@@ -32,8 +32,23 @@
 #      one worker is diskless; the attack serves authoritative shards by
 #      content digest (-blob-addr), both workers repair/bootstrap from
 #      the push, cross-checking is on, no node is quarantined, and the
-#      key is cmp-identical to the fleetless CLI key.
+#      key is cmp-identical to the fleetless CLI key;
+#  12. observability (woven through 9-11): campaignd's /metrics serves
+#      Prometheus text with nonzero sweep counters, /healthz and the
+#      clusterd workers' /healthz answer JSON with build identity, the
+#      campaign directory holds an obs.json flight record, campaignctl
+#      top renders the live registry, and the chaos fleet attack writes
+#      a -obs-json flight record of its own.
 set -euo pipefail
+
+# fetch URL: plain HTTP GET with whichever of curl/wget the host has.
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS "$1"
+	else
+		wget -qO- "$1"
+	fi
+}
 
 cd "$(dirname "$0")/.."
 GO="${GO:-go}"
@@ -170,6 +185,26 @@ grep -q "adopted 1 in-flight" "$tmp/campaignd.log" \
 "$tmp/campaignctl" -server "$url" wait "$id" \
 	|| { echo "FAIL: re-adopted campaign did not finish"; cat "$tmp/campaignd.log"; exit 1; }
 
+echo "== observability: /metrics is Prometheus text with the campaign's traffic"
+metrics=$(fetch "$url/metrics")
+echo "$metrics" | grep -q '^# TYPE falcon_sweep_traces_total counter$' \
+	|| { echo "FAIL: /metrics lacks the sweep counter TYPE header"; exit 1; }
+echo "$metrics" | grep -Eq '^falcon_sweep_traces_total [1-9][0-9]*' \
+	|| { echo "FAIL: falcon_sweep_traces_total is zero after a finished campaign"; exit 1; }
+echo "$metrics" | grep -Eq '^falcon_campaign_queue_depth [0-9]' \
+	|| { echo "FAIL: /metrics lacks the queue-depth gauge"; exit 1; }
+echo "$metrics" | grep -Eq '^falcon_campaign_phase_seconds_bucket\{phase="attack",le="\+Inf"\} [1-9]' \
+	|| { echo "FAIL: the attack phase histogram recorded nothing"; exit 1; }
+health=$(fetch "$url/healthz")
+echo "$health" | grep -q '"go_version"' && echo "$health" | grep -q '"uptime_seconds"' \
+	|| { echo "FAIL: /healthz lacks build identity: $health"; exit 1; }
+[ -s "$store/$id/obs.json" ] \
+	|| { echo "FAIL: campaign left no obs.json flight record"; exit 1; }
+grep -q '"command": "campaignd"' "$store/$id/obs.json" \
+	|| { echo "FAIL: obs.json is not a campaignd flight record"; exit 1; }
+"$tmp/campaignctl" -server "$url" top | grep -q '^sweep: passes' \
+	|| { echo "FAIL: campaignctl top did not render the registry"; exit 1; }
+
 echo "== campaign corpus and recovered key must match the direct CLI run"
 cmp "$tmp/ref.fdt2" "$store/$id/traces.fdt2" \
 	|| { echo "FAIL: campaign corpus differs from the tracegen reference"; exit 1; }
@@ -200,12 +235,19 @@ start_worker() {
 }
 start_worker 1
 start_worker 2
+fetch "$w1_url/healthz" | grep -q '"status": "ok"' \
+	|| { echo "FAIL: clusterd /healthz is not the JSON health body"; exit 1; }
+fetch "$w1_url/healthz" | grep -q '"go_version"' \
+	|| { echo "FAIL: clusterd /healthz lacks build identity"; exit 1; }
 
 # Mid-sweep node loss: the fleet attack runs against both workers while
 # worker 1 is SIGKILLed under it. The coordinator must re-lease the torn
-# tasks and finish with the fleetless CLI key, byte for byte.
+# tasks and finish with the fleetless CLI key, byte for byte. The run
+# also flight-records itself (-obs-json) — chaos is exactly when the
+# metric snapshot earns its keep.
 "$tmp/attack" -traces "$tmp/ref.fdt2" -pub "$tmp/victim.pub" \
 	-cluster "$w1_url,$w2_url" -cluster-corpus ref.fdt2 \
+	-obs-json "$tmp/flight.json" \
 	-sig "$tmp/fleet.sig" -key "$tmp/fleet.key.json" >"$tmp/fleet.log" 2>&1 &
 attack_pid=$!
 sleep 0.1
@@ -216,6 +258,11 @@ grep -q "fleet report:" "$tmp/fleet.log" \
 	|| { echo "FAIL: fleet attack printed no fleet report"; cat "$tmp/fleet.log"; exit 1; }
 cmp "$tmp/cli.key.json" "$tmp/fleet.key.json" \
 	|| { echo "FAIL: fleet-recovered key differs from the CLI-recovered key"; exit 1; }
+[ -s "$tmp/flight.json" ] \
+	|| { echo "FAIL: chaos fleet attack wrote no flight record"; exit 1; }
+grep -q '"command": "attack"' "$tmp/flight.json" \
+	&& grep -q '"falcon_fleet_tasks_total"' "$tmp/flight.json" \
+	|| { echo "FAIL: flight record is missing the fleet task counter"; exit 1; }
 echo "   $(grep 'fleet report:' "$tmp/fleet.log")"
 
 # Deterministic re-lease: the corpse stays in the fleet list, so ring
