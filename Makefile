@@ -43,5 +43,6 @@ smoke:
 fuzz:
 	$(GO) test -fuzz FuzzOpen -fuzztime 30s ./internal/tracestore
 	$(GO) test -fuzz FuzzSignatureCodec -fuzztime 30s ./internal/codec
+	$(GO) test -fuzz FuzzMatrixEngineState -fuzztime 30s ./internal/cpa
 
 check: build vet test race-short

@@ -336,10 +336,11 @@ func BenchmarkTVLA(b *testing.B) {
 
 func BenchmarkAttack(b *testing.B) {
 	// The parallel attack engine on a FALCON-64 campaign. The sub-benchmarks
-	// differ ONLY in worker count — the recovered values are bit-identical
-	// (the differential suite in internal/core proves it), so the ratio of
-	// their ns/op is a pure scheduling speedup. EXPERIMENTS.md records the
-	// PARALLEL table measured from this benchmark.
+	// differ ONLY in worker count and execution kernel — the recovered
+	// values are bit-identical (the differential suites in internal/core
+	// and internal/cpa prove it), so the ratio of their ns/op is a pure
+	// scheduling/codegen speedup. EXPERIMENTS.md records the PARALLEL and
+	// KERNEL tables measured from this benchmark.
 	priv, _, err := falcon.GenerateKey(64, rng.New(51))
 	if err != nil {
 		b.Fatal(err)
@@ -351,14 +352,17 @@ func BenchmarkAttack(b *testing.B) {
 		b.Fatal(err)
 	}
 	src := tracestore.NewSliceSource(64, obs)
-	for _, workers := range []int{1, 2, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, _, err := core.AttackFFTfFrom(src, core.Config{Workers: workers}); err != nil {
-					b.Fatal(err)
+	for _, kern := range []core.Kernel{core.KernelScalar, core.KernelBlocked, core.KernelFixed} {
+		for _, workers := range []int{1, 2, 8} {
+			b.Run(fmt.Sprintf("kernel=%s/workers=%d", kern, workers), func(b *testing.B) {
+				cfg := core.Config{Workers: workers, Kernel: kern}
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.AttackFFTfFrom(src, cfg); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

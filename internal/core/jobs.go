@@ -61,15 +61,17 @@ func feedSlice(obs []emleak.Observation, jobs ...passJob) {
 type signJob struct {
 	coeff   int
 	part    Part
+	kern    cpa.Kernel
 	engines [2]*cpa.Engine
 	h       []float64
 }
 
-func newSignJob(coeff int, part Part) *signJob {
+func newSignJob(coeff int, part Part, kern cpa.Kernel) *signJob {
 	return &signJob{
 		coeff:   coeff,
 		part:    part,
-		engines: [2]*cpa.Engine{cpa.NewEngine(2), cpa.NewEngine(2)},
+		kern:    kern,
+		engines: [2]*cpa.Engine{cpa.NewEngineKernel(2, kern), cpa.NewEngineKernel(2, kern)},
 		h:       make([]float64, 2),
 	}
 }
@@ -84,7 +86,12 @@ func (j *signJob) observe(o emleak.Observation) {
 	}
 }
 
-func (j *signJob) clone() mergeJob { return newSignJob(j.coeff, j.part) }
+func (j *signJob) clone() mergeJob { return newSignJob(j.coeff, j.part, j.kern) }
+
+// Two hypotheses per engine leave no tile to block; the scalar loop is
+// the batch path. kernel/cells feed the sweep throughput metrics.
+func (j *signJob) kernel() cpa.Kernel { return j.kern }
+func (j *signJob) cells() int         { return 2 * 2 }
 
 func (j *signJob) merge(o mergeJob) {
 	for w, e := range o.(*signJob).engines {
@@ -110,17 +117,19 @@ func (j *signJob) result() (sign int, corr float64) {
 type expJob struct {
 	coeff   int
 	part    Part
+	kern    cpa.Kernel
 	engines [2]*cpa.Engine
 	h       []float64
 }
 
 const nExpHyp = 2047 // biased exponents 1..2046 plus index 0 unused
 
-func newExpJob(coeff int, part Part) *expJob {
+func newExpJob(coeff int, part Part, kern cpa.Kernel) *expJob {
 	return &expJob{
 		coeff:   coeff,
 		part:    part,
-		engines: [2]*cpa.Engine{cpa.NewEngine(nExpHyp), cpa.NewEngine(nExpHyp)},
+		kern:    kern,
+		engines: [2]*cpa.Engine{cpa.NewEngineKernel(nExpHyp, kern), cpa.NewEngineKernel(nExpHyp, kern)},
 		h:       make([]float64, nExpHyp),
 	}
 }
@@ -136,7 +145,42 @@ func (j *expJob) observe(o emleak.Observation) {
 	}
 }
 
-func (j *expJob) clone() mergeJob { return newExpJob(j.coeff, j.part) }
+// observeBatch is the blocked path over one shard: the per-trace biased
+// exponent and trace sample are hoisted once per window, then the engine
+// runs its tiled update with the hypothesis row regenerated per tile.
+// Windows use distinct engines, so batching a whole shard per window
+// preserves each engine's per-cell add order — byte-identical to observe.
+func (j *expJob) observeBatch(shard []emleak.Observation) {
+	if j.kern != cpa.KernelBlocked {
+		for _, o := range shard {
+			j.observe(o)
+		}
+		return
+	}
+	becs := make([]int, len(shard))
+	ts := make([]float64, len(shard))
+	for w, slot := range j.part.mulSlots() {
+		for tr, o := range shard {
+			becs[tr] = knownFor(slot, o.CFFT[j.coeff]).BiasedExp()
+			ts[tr] = o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(fpr.OpMulExp))]
+		}
+		j.engines[w].UpdateBatchFunc(ts, func(tr, lo, hi int, dst []float64) {
+			bec := becs[tr]
+			for hyp := lo; hyp < hi; hyp++ {
+				if hyp == 0 {
+					dst[0] = 0 // index 0 unused; scalar path never writes it
+					continue
+				}
+				dst[hyp-lo] = float64(bits.OnesCount64(uint64(bec + hyp - 1023)))
+			}
+		})
+	}
+}
+
+func (j *expJob) clone() mergeJob { return newExpJob(j.coeff, j.part, j.kern) }
+
+func (j *expJob) kernel() cpa.Kernel { return j.kern }
+func (j *expJob) cells() int         { return 2 * nExpHyp }
 
 func (j *expJob) merge(o mergeJob) {
 	for w, e := range o.(*expJob).engines {
@@ -276,12 +320,13 @@ func (s *extendState) beginRound() *extendRoundJob {
 	targets := extendTargets(s.part, s.high)
 	engines := make([]*cpa.Engine, len(targets))
 	for i := range engines {
-		engines[i] = cpa.NewEngine(len(next))
+		engines[i] = cpa.NewEngineKernel(len(next), s.cfg.Kernel)
 	}
 	s.round = &extendRoundJob{
 		coeff:   s.coeff,
 		part:    s.part,
 		high:    s.high,
+		kern:    s.cfg.Kernel,
 		targets: targets,
 		next:    next,
 		mask:    mask,
@@ -317,6 +362,7 @@ type extendRoundJob struct {
 	coeff   int
 	part    Part
 	high    bool
+	kern    cpa.Kernel
 	targets []extendTarget
 	next    []uint64
 	mask    uint64
@@ -339,17 +385,50 @@ func (j *extendRoundJob) observe(o emleak.Observation) {
 	}
 }
 
+// observeBatch hoists the per-trace known half and trace sample per
+// target, then regenerates hypothesis rows tile-by-tile inside the
+// blocked engine update. Per-target engines keep per-cell add order
+// identical to the scalar per-observation loop.
+func (j *extendRoundJob) observeBatch(shard []emleak.Observation) {
+	if j.kern != cpa.KernelBlocked {
+		for _, o := range shard {
+			j.observe(o)
+		}
+		return
+	}
+	kns := make([]uint64, len(shard))
+	ts := make([]float64, len(shard))
+	for ti, tg := range j.targets {
+		for tr, o := range shard {
+			a, b := knownFor(tg.window, o.CFFT[j.coeff]).MantissaHalves()
+			if tg.useHi {
+				kns[tr] = a
+			} else {
+				kns[tr] = b
+			}
+			ts[tr] = o.Trace.Samples[emleak.SampleIndex(j.coeff, tg.window, int(tg.op))]
+		}
+		j.engines[ti].UpdateBatchFunc(ts, func(tr, lo, hi int, dst []float64) {
+			kn := kns[tr]
+			for i := lo; i < hi; i++ {
+				dst[i-lo] = float64(bits.OnesCount64((kn * j.next[i]) & j.mask))
+			}
+		})
+	}
+}
+
 // clone shares the round's candidate expansion (targets, next, mask —
 // all read-only during the pass) and gets fresh engines and scratch.
 func (j *extendRoundJob) clone() mergeJob {
 	engines := make([]*cpa.Engine, len(j.engines))
 	for i := range engines {
-		engines[i] = cpa.NewEngine(len(j.next))
+		engines[i] = cpa.NewEngineKernel(len(j.next), j.kern)
 	}
 	return &extendRoundJob{
 		coeff:   j.coeff,
 		part:    j.part,
 		high:    j.high,
+		kern:    j.kern,
 		targets: j.targets,
 		next:    j.next,
 		mask:    j.mask,
@@ -364,6 +443,9 @@ func (j *extendRoundJob) merge(o mergeJob) {
 	}
 }
 
+func (j *extendRoundJob) kernel() cpa.Kernel { return j.kern }
+func (j *extendRoundJob) cells() int         { return len(j.targets) * len(j.next) }
+
 // pruneJob is the prune phase: every surviving (D, C) pair is scored
 // against the intermediate additions mid = lh+hl, sum1 = mid+(ll>>25) and
 // sum2 = hh+(sum1>>25) in both windows, whose values the adversary can
@@ -374,6 +456,7 @@ func (j *extendRoundJob) merge(o mergeJob) {
 type pruneJob struct {
 	coeff   int
 	part    Part
+	kern    cpa.Kernel
 	pairs   []mantPair
 	ops     []fpr.Op
 	engines []*cpa.Engine
@@ -382,31 +465,32 @@ type pruneJob struct {
 
 type mantPair struct{ d, c uint64 }
 
-func newPruneJob(coeff int, part Part, dCands, cCands []candidate) *pruneJob {
+func newPruneJob(coeff int, part Part, dCands, cCands []candidate, kern cpa.Kernel) *pruneJob {
 	pairs := make([]mantPair, 0, len(dCands)*len(cCands))
 	for _, dc := range dCands {
 		for _, cc := range cCands {
 			pairs = append(pairs, mantPair{dc.value, cc.value})
 		}
 	}
-	return pruneJobFromPairs(coeff, part, pairs)
+	return pruneJobFromPairs(coeff, part, pairs, kern)
 }
 
 // pruneJobFromPairs builds the prune accumulator over an explicit pair
 // list — the constructor a worker uses when the pairs arrive by wire.
-func pruneJobFromPairs(coeff int, part Part, pairs []mantPair) *pruneJob {
+func pruneJobFromPairs(coeff int, part Part, pairs []mantPair, kern cpa.Kernel) *pruneJob {
 	ops := []fpr.Op{fpr.OpMulMid, fpr.OpMulSum1, fpr.OpMulSum2}
 	nEng := len(ops) * 2
 	j := &pruneJob{
 		coeff:   coeff,
 		part:    part,
+		kern:    kern,
 		pairs:   pairs,
 		ops:     ops,
 		engines: make([]*cpa.Engine, nEng),
 		h:       make([][]float64, nEng),
 	}
 	for i := range j.engines {
-		j.engines[i] = cpa.NewEngine(len(pairs))
+		j.engines[i] = cpa.NewEngineKernel(len(pairs), kern)
 		j.h[i] = make([]float64, len(pairs))
 	}
 	return j
@@ -435,18 +519,62 @@ func (j *pruneJob) observe(o emleak.Observation) {
 	}
 }
 
+// observeBatch replays the shard through the blocked engines: operand
+// halves and per-op trace samples are hoisted per window, and each op's
+// fill recomputes the product chain up to that op for its tile — more
+// multiplies than the scalar path's shared chain, but the accumulator
+// tile stays register/L1-resident across the whole shard. One engine per
+// (window, op) keeps per-cell add order identical to observe.
+func (j *pruneJob) observeBatch(shard []emleak.Observation) {
+	if j.kern != cpa.KernelBlocked {
+		for _, o := range shard {
+			j.observe(o)
+		}
+		return
+	}
+	as := make([]uint64, len(shard))
+	bs := make([]uint64, len(shard))
+	ts := make([]float64, len(shard))
+	for wi, slot := range j.part.mulSlots() {
+		for tr, o := range shard {
+			as[tr], bs[tr] = knownFor(slot, o.CFFT[j.coeff]).MantissaHalves()
+		}
+		for oi, op := range j.ops {
+			for tr, o := range shard {
+				ts[tr] = o.Trace.Samples[emleak.SampleIndex(j.coeff, slot, int(op))]
+			}
+			j.engines[wi*len(j.ops)+oi].UpdateBatchFunc(ts, func(tr, lo, hi int, dst []float64) {
+				a, b := as[tr], bs[tr]
+				for i := lo; i < hi; i++ {
+					p := j.pairs[i]
+					mid := b*p.c + a*p.d
+					v := mid
+					if oi >= 1 {
+						v = mid + ((b * p.d) >> loBits) // sum1
+					}
+					if oi == 2 {
+						v = a*p.c + (v >> loBits) // sum2
+					}
+					dst[i-lo] = float64(bits.OnesCount64(v))
+				}
+			})
+		}
+	}
+}
+
 // clone shares the pair list and op table and gets fresh engines.
 func (j *pruneJob) clone() mergeJob {
 	c := &pruneJob{
 		coeff:   j.coeff,
 		part:    j.part,
+		kern:    j.kern,
 		pairs:   j.pairs,
 		ops:     j.ops,
 		engines: make([]*cpa.Engine, len(j.engines)),
 		h:       make([][]float64, len(j.engines)),
 	}
 	for i := range c.engines {
-		c.engines[i] = cpa.NewEngine(len(j.pairs))
+		c.engines[i] = cpa.NewEngineKernel(len(j.pairs), j.kern)
 		c.h[i] = make([]float64, len(j.pairs))
 	}
 	return c
@@ -457,6 +585,9 @@ func (j *pruneJob) merge(o mergeJob) {
 		j.engines[i].Merge(e)
 	}
 }
+
+func (j *pruneJob) kernel() cpa.Kernel { return j.kern }
+func (j *pruneJob) cells() int         { return len(j.engines) * len(j.pairs) }
 
 func (j *pruneJob) result() (d, c uint64, corr, gap float64) {
 	// Combined score: the mean correlation across additions and windows.
@@ -485,6 +616,7 @@ func (j *pruneJob) result() (d, c uint64, corr, gap float64) {
 // signs never vary.
 type jointSignJob struct {
 	coeff         int
+	kern          cpa.Kernel
 	cands         [4]fft.Cplx
 	sampleOffsets []int
 	eng           *cpa.MatrixEngine
@@ -493,8 +625,8 @@ type jointSignJob struct {
 	t             []float64
 }
 
-func newJointSignJob(coeff int, absRe, absIm fpr.FPR) *jointSignJob {
-	j := &jointSignJob{coeff: coeff}
+func newJointSignJob(coeff int, absRe, absIm fpr.FPR, kern cpa.Kernel) *jointSignJob {
+	j := &jointSignJob{coeff: coeff, kern: kern}
 	// Candidate secrets under the four hypotheses.
 	for i := 0; i < 4; i++ {
 		re := absRe
@@ -515,7 +647,7 @@ func newJointSignJob(coeff int, absRe, absIm fpr.FPR) *jointSignJob {
 	for s := emleak.MulsPerCoeff * emleak.OpsPerMul; s < emleak.SamplesPerCoeff; s++ {
 		j.sampleOffsets = append(j.sampleOffsets, s)
 	}
-	j.eng = cpa.NewMatrixEngine(4, len(j.sampleOffsets))
+	j.eng = cpa.NewMatrixEngineKernel(4, len(j.sampleOffsets), kern)
 	j.hs = make([]float64, 4*len(j.sampleOffsets))
 	j.t = make([]float64, len(j.sampleOffsets))
 	return j
@@ -543,14 +675,50 @@ func (j *jointSignJob) observe(o emleak.Observation) {
 	j.eng.Update(j.hs, j.t)
 }
 
+// observeBatch materializes the shard's replayed hypothesis matrices and
+// trace windows, then hands the whole batch to the matrix engine, whose
+// blocked update walks each accumulator cell once across all traces.
+func (j *jointSignJob) observeBatch(shard []emleak.Observation) {
+	if j.kern != cpa.KernelBlocked {
+		for _, o := range shard {
+			j.observe(o)
+		}
+		return
+	}
+	ns := len(j.sampleOffsets)
+	base := j.coeff * emleak.SamplesPerCoeff
+	hs := make([][]float64, len(shard))
+	ts := make([][]float64, len(shard))
+	for tr, o := range shard {
+		h := make([]float64, 4*ns)
+		t := make([]float64, ns)
+		for i, cand := range j.cands {
+			j.rec.Reset()
+			fft.MulTraced(o.CFFT[j.coeff], cand, &j.rec)
+			if j.rec.Len() != emleak.SamplesPerCoeff {
+				continue // degenerate replay (zero operand); predict flat
+			}
+			for k, off := range j.sampleOffsets {
+				h[i*ns+k] = float64(bits.OnesCount64(j.rec.Values[off]))
+			}
+		}
+		for k, off := range j.sampleOffsets {
+			t[k] = o.Trace.Samples[base+off]
+		}
+		hs[tr], ts[tr] = h, t
+	}
+	j.eng.UpdateBatch(hs, ts)
+}
+
 // clone shares the candidate table and sample offsets and gets a fresh
 // matrix engine plus its own replay recorder and scratch.
 func (j *jointSignJob) clone() mergeJob {
 	return &jointSignJob{
 		coeff:         j.coeff,
+		kern:          j.kern,
 		cands:         j.cands,
 		sampleOffsets: j.sampleOffsets,
-		eng:           cpa.NewMatrixEngine(4, len(j.sampleOffsets)),
+		eng:           cpa.NewMatrixEngineKernel(4, len(j.sampleOffsets), j.kern),
 		hs:            make([]float64, 4*len(j.sampleOffsets)),
 		t:             make([]float64, len(j.sampleOffsets)),
 	}
@@ -559,6 +727,9 @@ func (j *jointSignJob) clone() mergeJob {
 func (j *jointSignJob) merge(o mergeJob) {
 	j.eng.Merge(o.(*jointSignJob).eng)
 }
+
+func (j *jointSignJob) kernel() cpa.Kernel { return j.kern }
+func (j *jointSignJob) cells() int         { return 4 * len(j.sampleOffsets) }
 
 func (j *jointSignJob) result() (sRe, sIm int, corr float64) {
 	// Score: mean correlation across sign-dependent samples.

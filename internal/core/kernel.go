@@ -1,0 +1,24 @@
+package core
+
+// Re-exports of the correlation-kernel selector, so CLI and service
+// layers configure the sweep kernel without importing internal/cpa.
+
+import "falcondown/internal/cpa"
+
+// Kernel selects how the CPA accumulators execute (scalar, blocked,
+// fixed-point). Every kernel produces bit-identical results on every
+// corpus; the choice is pure performance strategy.
+type Kernel = cpa.Kernel
+
+// The available kernels; the zero value is the scalar reference path.
+const (
+	KernelScalar  = cpa.KernelScalar
+	KernelBlocked = cpa.KernelBlocked
+	KernelFixed   = cpa.KernelFixed
+)
+
+// ParseKernel parses a kernel name ("", "scalar", "blocked", "fixed").
+func ParseKernel(s string) (Kernel, error) { return cpa.ParseKernel(s) }
+
+// Kernels enumerates every kernel, for differential tests and benchmarks.
+func Kernels() []Kernel { return cpa.Kernels() }

@@ -87,15 +87,36 @@ func effectiveWorkers(w int) int {
 	return w
 }
 
+// batchObserver is a passJob that can consume a whole shard at once —
+// the hook the blocked kernel uses to run its tiled update over a batch
+// of traces. Implementations MUST be bit-identical to calling observe on
+// each observation in order (the blocked engines guarantee this because
+// tiling never reorders the adds hitting any one accumulator cell).
+type batchObserver interface {
+	observeBatch(shard []emleak.Observation)
+}
+
+// accumulateShard feeds one shard into one accumulator through its batch
+// path when it has one, else observation by observation — the single
+// entry point every reduction path (serial fold, parallel tiles, fleet
+// shard partials) funnels through.
+func accumulateShard(c passJob, shard []emleak.Observation) {
+	if b, ok := c.(batchObserver); ok {
+		b.observeBatch(shard)
+		return
+	}
+	for _, o := range shard {
+		c.observe(o)
+	}
+}
+
 // foldShard accumulates one shard into fresh clones and merges them into
 // the jobs — the canonical per-shard step shared by every path.
 func foldShard(jobs []mergeJob, shard []emleak.Observation) {
 	sp := obs.StartSpan(mSweepShardSeconds)
 	for _, j := range jobs {
 		c := j.clone()
-		for _, o := range shard {
-			c.observe(o)
-		}
+		accumulateShard(c, shard)
 		j.merge(c)
 	}
 	sp.End()
@@ -161,7 +182,7 @@ func runPass(src Source, jobs []passJob, workers int) error {
 	}
 	if obs.Enabled() {
 		start := time.Now()
-		defer func() { observePass(src.Count(), len(jobs), time.Since(start)) }()
+		defer func() { observePass(src.Count(), jobs, time.Since(start)) }()
 	}
 	mjobs := make([]mergeJob, len(jobs))
 	for i, j := range jobs {
@@ -260,9 +281,7 @@ func parallelPass(src Source, jobs []mergeJob, workers int) error {
 				partial := make([]mergeJob, len(f.jobs))
 				for i, j := range f.jobs {
 					c := j.clone()
-					for _, o := range t.obs {
-						c.observe(o)
-					}
+					accumulateShard(c, t.obs)
 					partial[i] = c
 				}
 				f.deposit(t.shard, partial)

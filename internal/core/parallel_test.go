@@ -195,6 +195,86 @@ func TestDifferentialResumeSwitchesWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestDifferentialKernelsBitIdenticalAcrossWorkers(t *testing.T) {
+	// The execution kernel is a pure scheduling choice, exactly like the
+	// worker count: scalar, blocked and fixed-point runs must produce
+	// byte-identical keys, reports and sidecars at every worker count.
+	// The reference is the scalar serial run.
+	dev, _, _ := deviceFor(t, 8, 2.0, 41)
+	obs := collect(t, dev, 400, 42)
+	src := tracestore.NewSliceSource(8, obs)
+
+	refOut, refVals, refSidecar := runAttackAt(t, src, Config{}, 1)
+	for _, k := range []Kernel{KernelScalar, KernelBlocked, KernelFixed} {
+		for _, w := range []int{1, 2, 8} {
+			out, vals, sidecar := runAttackAt(t, src, Config{Kernel: k}, w)
+			sameAttackOutput(t, fmt.Sprintf("kernel=%s workers=%d", k, w),
+				refOut, refVals, refSidecar, out, vals, sidecar)
+		}
+	}
+}
+
+func TestDifferentialRobustKernelsBitIdentical(t *testing.T) {
+	// The robust preprocessing plan must also be kernel-independent: a
+	// kernel-dependent trim or resync decision would poison every later
+	// stage, so the dirty corpus gets its own kernel sweep.
+	if testing.Short() {
+		t.Skip("robust kernel differential covered by the full suite")
+	}
+	dev, _, _ := deviceFor(t, 8, 1.5, 43)
+	obs := dirtyCorpus(t, dev, 500)
+	src := tracestore.NewSliceSource(8, obs)
+	robust := RobustConfig{TrimSigmas: 4, ResyncShift: 2, Winsorize: 4}
+
+	refOut, refVals, refSidecar := runAttackAt(t, src, Config{Robust: robust}, 1)
+	for _, k := range []Kernel{KernelBlocked, KernelFixed} {
+		out, vals, sidecar := runAttackAt(t, src, Config{Robust: robust, Kernel: k}, 8)
+		sameAttackOutput(t, fmt.Sprintf("robust kernel=%s", k),
+			refOut, refVals, refSidecar, out, vals, sidecar)
+	}
+}
+
+func TestDifferentialResumeSwitchesKernels(t *testing.T) {
+	// A campaign checkpointed under one kernel must resume under any
+	// other and still land bit-identical to the uninterrupted scalar
+	// serial run: the sidecar records kernel-independent state only
+	// (Config.Kernel is zeroed out of the binding, like Workers).
+	dev, _, _ := deviceFor(t, 8, 2.0, 45)
+	obs := collect(t, dev, 400, 46)
+	src := tracestore.NewSliceSource(8, obs)
+
+	refOut, refVals, refSidecar := runAttackAt(t, src, Config{}, 1)
+
+	for _, sw := range []struct {
+		first, second Kernel
+		stages        int
+	}{
+		{first: KernelScalar, second: KernelBlocked, stages: 2},
+		{first: KernelBlocked, second: KernelFixed, stages: 2},
+		{first: KernelFixed, second: KernelScalar, stages: 4},
+	} {
+		store := &FileCheckpoint{Path: filepath.Join(t.TempDir(), "attack.ckpt")}
+		cfg := Config{Kernel: sw.first, Workers: 2}
+		_, _, err := AttackFFTfResumable(src, cfg, &failingStore{inner: store, remaining: sw.stages})
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("kernel %s→%s: interrupted run returned %v, want simulated crash",
+				sw.first, sw.second, err)
+		}
+
+		cfg.Kernel = sw.second
+		out, vals, err := AttackFFTfResumable(src, cfg, store)
+		if err != nil {
+			t.Fatalf("kernel %s→%s: resume: %v", sw.first, sw.second, err)
+		}
+		sidecar, err := os.ReadFile(store.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameAttackOutput(t, fmt.Sprintf("resume kernel %s→%s", sw.first, sw.second),
+			refOut, refVals, refSidecar, out, vals, sidecar)
+	}
+}
+
 func TestParallelMapIndexesMatchSerial(t *testing.T) {
 	// parallelMap keys results by corpus index, so any worker count
 	// reproduces the serial pass exactly.

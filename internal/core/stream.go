@@ -104,7 +104,7 @@ func runMantissa(src Source, items []mantItem, workers int) ([]mantOut, error) {
 	pjobs := make([]*pruneJob, len(items))
 	jobs := make([]passJob, len(items))
 	for i, it := range items {
-		pjobs[i] = newPruneJob(it.idx/2, Part(it.idx%2), los[i].cands, his[i].cands)
+		pjobs[i] = newPruneJob(it.idx/2, Part(it.idx%2), los[i].cands, his[i].cands, it.cfg.Kernel)
 		jobs[i] = pjobs[i]
 	}
 	if err := runPass(src, jobs, workers); err != nil {
@@ -271,6 +271,7 @@ func (a *attackRun) save(stage string) error {
 	// of its json:"-" exclusion.
 	cfg := a.cfg
 	cfg.Workers = 0
+	cfg.Kernel = 0
 	ck := &Checkpoint{
 		Format: checkpointFormat,
 		N:      a.n,
@@ -296,7 +297,7 @@ func (a *attackRun) stageExponents() error {
 	expJobs := make([]*expJob, a.nVals)
 	jobs := make([]passJob, a.nVals)
 	for v := range expJobs {
-		expJobs[v] = newExpJob(v/2, Part(v%2))
+		expJobs[v] = newExpJob(v/2, Part(v%2), a.cfg.Kernel)
 		jobs[v] = expJobs[v]
 	}
 	if err := runPass(a.src, jobs, a.workers); err != nil {
@@ -367,7 +368,7 @@ func (a *attackRun) stageSigns() error {
 	jjobs := make([]*jointSignJob, a.half)
 	jobs := make([]passJob, a.half)
 	for k := 0; k < a.half; k++ {
-		jjobs[k] = newJointSignJob(k, a.mags[2*k].abs(), a.mags[2*k+1].abs())
+		jjobs[k] = newJointSignJob(k, a.mags[2*k].abs(), a.mags[2*k+1].abs(), a.cfg.Kernel)
 		jobs[k] = jjobs[k]
 	}
 	if err := runPass(a.src, jobs, a.workers); err != nil {
@@ -456,7 +457,7 @@ func retryMaxBeam(src Source, cfg Config, out []fft.Cplx, results []ValueResult,
 		}
 		absRe := fpr.Abs(out[k].Re)
 		absIm := fpr.Abs(out[k].Im)
-		jj := newJointSignJob(k, absRe, absIm)
+		jj := newJointSignJob(k, absRe, absIm, retry.Kernel)
 		if err := runPass(src, []passJob{jj}, workers); err != nil {
 			return improved, err
 		}

@@ -246,7 +246,7 @@ func (j *expJob) fromState(st JobState) (mergeJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &expJob{coeff: j.coeff, part: j.part, engines: [2]*cpa.Engine{engines[0], engines[1]}}, nil
+	return &expJob{coeff: j.coeff, part: j.part, kern: j.kern, engines: [2]*cpa.Engine{engines[0], engines[1]}}, nil
 }
 
 func (j *signJob) spec() JobSpec {
@@ -262,7 +262,7 @@ func (j *signJob) fromState(st JobState) (mergeJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &signJob{coeff: j.coeff, part: j.part, engines: [2]*cpa.Engine{engines[0], engines[1]}}, nil
+	return &signJob{coeff: j.coeff, part: j.part, kern: j.kern, engines: [2]*cpa.Engine{engines[0], engines[1]}}, nil
 }
 
 func (j *extendRoundJob) spec() JobSpec {
@@ -374,21 +374,24 @@ func (j *welfordJob) fromState(st JobState) (mergeJob, error) {
 // jobFromSpec rebuilds a zero-state job from its wire description. The
 // rebuilt job's observe() performs the identical arithmetic as the
 // coordinator's live job because every piece of read-only configuration
-// is either shipped verbatim or a pure function of the spec fields.
-func jobFromSpec(s JobSpec) (wireJob, error) {
+// is either shipped verbatim or a pure function of the spec fields. kern
+// selects the local execution kernel only — it never appears in the spec
+// because every kernel accumulates identical bits, so a worker is free to
+// run whichever kernel its operator configured.
+func jobFromSpec(s JobSpec, kern cpa.Kernel) (wireJob, error) {
 	switch s.Kind {
 	case "exp":
-		return newExpJob(s.Coeff, Part(s.Part)), nil
+		return newExpJob(s.Coeff, Part(s.Part), kern), nil
 	case "sign":
-		return newSignJob(s.Coeff, Part(s.Part)), nil
+		return newSignJob(s.Coeff, Part(s.Part), kern), nil
 	case "extend":
 		targets := extendTargets(Part(s.Part), s.High)
 		engines := make([]*cpa.Engine, len(targets))
 		for i := range engines {
-			engines[i] = cpa.NewEngine(len(s.Next))
+			engines[i] = cpa.NewEngineKernel(len(s.Next), kern)
 		}
 		return &extendRoundJob{
-			coeff: s.Coeff, part: Part(s.Part), high: s.High,
+			coeff: s.Coeff, part: Part(s.Part), high: s.High, kern: kern,
 			targets: targets, next: s.Next, mask: s.Mask,
 			engines: engines, h: make([]float64, len(s.Next)),
 		}, nil
@@ -400,9 +403,9 @@ func jobFromSpec(s JobSpec) (wireJob, error) {
 		for i := range pairs {
 			pairs[i] = mantPair{d: s.D[i], c: s.C[i]}
 		}
-		return pruneJobFromPairs(s.Coeff, Part(s.Part), pairs), nil
+		return pruneJobFromPairs(s.Coeff, Part(s.Part), pairs, kern), nil
 	case "jointsign":
-		return newJointSignJob(s.Coeff, fpr.FPR(s.AbsRe), fpr.FPR(s.AbsIm)), nil
+		return newJointSignJob(s.Coeff, fpr.FPR(s.AbsRe), fpr.FPR(s.AbsIm), kern), nil
 	case "welford":
 		j := &welfordJob{clamp: s.Clamp}
 		if s.Transform != nil {
@@ -428,13 +431,22 @@ var errStopSweep = fmt.Errorf("core: stop sweep")
 // states in shard order. It never folds anything — folding is the
 // coordinator's job, in global shard order.
 func ComputeShardPartials(raw Source, view SourceSpec, specs []JobSpec, shardLo, shardHi int) ([]ShardPartial, error) {
+	return ComputeShardPartialsKernel(raw, view, specs, shardLo, shardHi, KernelScalar)
+}
+
+// ComputeShardPartialsKernel is ComputeShardPartials with an explicit
+// execution kernel. The partial states are byte-identical for every
+// kernel, so a fleet may freely mix kernels across nodes — the
+// cross-check and quarantine machinery (internal/cluster) would flag any
+// kernel that broke this.
+func ComputeShardPartialsKernel(raw Source, view SourceSpec, specs []JobSpec, shardLo, shardHi int, kern Kernel) ([]ShardPartial, error) {
 	src, err := BuildSource(raw, view)
 	if err != nil {
 		return nil, err
 	}
 	jobs := make([]mergeJob, len(specs))
 	for i, s := range specs {
-		if jobs[i], err = jobFromSpec(s); err != nil {
+		if jobs[i], err = jobFromSpec(s, kern); err != nil {
 			return nil, err
 		}
 	}
@@ -618,9 +630,7 @@ func computeLocalPartials(src Source, jobs []mergeJob, shardLo, shardHi int) ([]
 		sp := ShardPartial{Shard: k, States: make([]JobState, len(jobs))}
 		for i, j := range jobs {
 			c := j.clone()
-			for _, o := range shard {
-				c.observe(o)
-			}
+			accumulateShard(c, shard)
 			sp.States[i] = c.(wireJob).state()
 		}
 		out = append(out, sp)

@@ -21,6 +21,10 @@ type Engine struct {
 	sumT, sumT2 float64
 	sumH, sumH2 []float64
 	sumHT       []float64
+	// fx, when attached, mirrors the sums as exact int64 fixed-point
+	// accumulators (KernelFixed; see kernel.go). The float64 fields are
+	// then a cache refreshed by sync(); readers go through it.
+	fx *engineFx
 }
 
 // NewEngine returns an engine for nHyp hypotheses.
@@ -41,6 +45,16 @@ func (e *Engine) Traces() int { return e.d }
 // Update folds in one trace: h[i] is hypothesis i's predicted leakage for
 // this trace's known input, t the measured sample.
 func (e *Engine) Update(h []float64, t float64) {
+	if e.fx != nil {
+		e.updateFixed(h, t)
+		return
+	}
+	e.updateFloat(h, t)
+}
+
+// updateFloat is the scalar float64 reference accumulation — the bit
+// pattern every other kernel is pinned to.
+func (e *Engine) updateFloat(h []float64, t float64) {
 	e.d++
 	e.sumT += t
 	e.sumT2 += t * t
@@ -63,19 +77,30 @@ func (e *Engine) Merge(o *Engine) {
 	if len(e.sumH) != len(o.sumH) {
 		panic("cpa: Merge of engines with different hypothesis counts")
 	}
+	if e.fx != nil {
+		// Fold in the int64 domain when o's sums are exact integers that
+		// keep every combined sum in regime; otherwise leave the regime
+		// first, exactly like the float reference would have accumulated.
+		if e.mergeFixed(o) {
+			return
+		}
+		e.demote()
+	}
+	oT, oT2, oH, oH2, oHT := o.floatView()
 	e.d += o.d
-	e.sumT += o.sumT
-	e.sumT2 += o.sumT2
+	e.sumT += oT
+	e.sumT2 += oT2
 	for i := range e.sumH {
-		e.sumH[i] += o.sumH[i]
-		e.sumH2[i] += o.sumH2[i]
-		e.sumHT[i] += o.sumHT[i]
+		e.sumH[i] += oH[i]
+		e.sumH2[i] += oH2[i]
+		e.sumHT[i] += oHT[i]
 	}
 }
 
 // Corr returns the Pearson correlation per hypothesis. Hypotheses with
 // zero prediction variance (constant predictions) report zero.
 func (e *Engine) Corr() []float64 {
+	e.sync()
 	out := make([]float64, len(e.sumH))
 	d := float64(e.d)
 	if e.d < 2 {
@@ -285,6 +310,9 @@ type MatrixEngine struct {
 	sumH  []float64 // nHyp × nSamp
 	sumH2 []float64
 	sumHT []float64
+	// fx, when attached, mirrors the sums as exact int64 fixed-point
+	// accumulators (KernelFixed; see kernel.go).
+	fx *matrixFx
 }
 
 // NewMatrixEngine returns an engine for nHyp hypotheses over nSamples
@@ -304,6 +332,15 @@ func NewMatrixEngine(nHyp, nSamples int) *MatrixEngine {
 // Update folds in one trace: h is the flattened nHyp×nSamples prediction
 // matrix, t the measured window.
 func (e *MatrixEngine) Update(h []float64, t []float64) {
+	if e.fx != nil {
+		e.updateFixed(h, t)
+		return
+	}
+	e.updateFloat(h, t)
+}
+
+// updateFloat is the scalar float64 reference accumulation.
+func (e *MatrixEngine) updateFloat(h []float64, t []float64) {
 	e.d++
 	for j, tv := range t {
 		e.sumT[j] += tv
@@ -326,20 +363,28 @@ func (e *MatrixEngine) Merge(o *MatrixEngine) {
 	if e.nHyp != o.nHyp || e.nSamp != o.nSamp {
 		panic("cpa: Merge of MatrixEngines with different shapes")
 	}
+	if e.fx != nil {
+		if e.mergeFixed(o) {
+			return
+		}
+		e.demote()
+	}
+	oT, oT2, oH, oH2, oHT := o.floatView()
 	e.d += o.d
 	for j := range e.sumT {
-		e.sumT[j] += o.sumT[j]
-		e.sumT2[j] += o.sumT2[j]
+		e.sumT[j] += oT[j]
+		e.sumT2[j] += oT2[j]
 	}
 	for i := range e.sumH {
-		e.sumH[i] += o.sumH[i]
-		e.sumH2[i] += o.sumH2[i]
-		e.sumHT[i] += o.sumHT[i]
+		e.sumH[i] += oH[i]
+		e.sumH2[i] += oH2[i]
+		e.sumHT[i] += oHT[i]
 	}
 }
 
 // Corr returns the correlation matrix [hypothesis][sample].
 func (e *MatrixEngine) Corr() [][]float64 {
+	e.sync()
 	out := make([][]float64, e.nHyp)
 	d := float64(e.d)
 	for i := range out {

@@ -1,0 +1,654 @@
+package cpa
+
+// Correlation-kernel selection and the two optimized accumulation paths.
+//
+// The Pearson accumulators admit three executions of the *same* arithmetic:
+//
+//   - KernelScalar: the original per-(trace, hypothesis) float64 loop.
+//   - KernelBlocked: a cache-blocked batch kernel. A batch of traces is
+//     accumulated tile by tile over the hypothesis axis, so one tile's
+//     accumulator segment (3 × tileHyp float64s, ~6 KiB at the default
+//     width) stays L1-resident across the whole batch instead of the full
+//     3 × nHyp working set being streamed through cache once per trace.
+//   - KernelFixed: an opt-in int64 fixed-point path for quantized traces.
+//     While every input is an integer with |v| ≤ 2^26 and every running
+//     sum stays within ±2^53, sums and cross-products are accumulated as
+//     exact int64s; the engine converts to float64 only when a sum is
+//     read (Corr, State) or when the exactness regime is left.
+//
+// All three produce bit-identical results on every corpus. That is not an
+// accident to be tested into existence but a designed invariant:
+//
+//   - Floating-point addition is commutative across *distinct* memory
+//     cells but not associative within one. The blocked kernel therefore
+//     never reassociates: each accumulator cell still receives its adds
+//     in strict trace order — tiles partition the cell space, and a
+//     register-held accumulator folded left-to-right over the batch
+//     executes the identical add sequence as per-trace in-place updates.
+//   - In the fixed-point regime every value, product, and prefix sum is an
+//     integer of magnitude ≤ 2^53, all of which float64 represents
+//     exactly; the float64 reference therefore incurs no rounding on such
+//     corpora and the int64 sums equal it bit for bit after conversion.
+//     The first input or sum that would leave the regime triggers an exact
+//     demotion (int64 → float64 conversion of the pre-update sums, which
+//     are in range by construction) and the engine continues on the float
+//     path — so on noisy, non-integer corpora KernelFixed degenerates to
+//     the scalar path after the first observation, still byte-identical.
+//
+// kernel_test.go proves both properties: tile-shape invariance of the
+// blocked kernel and bit-equality of the fixed path against the float64
+// reference, on integer-exact and on demoting corpora.
+
+import "fmt"
+
+// Kernel selects the execution strategy of the correlation accumulators.
+// The zero value is the scalar reference path, so existing callers are
+// untouched.
+type Kernel uint8
+
+const (
+	// KernelScalar is the original per-trace float64 loop.
+	KernelScalar Kernel = iota
+	// KernelBlocked is the tiled, batch-of-traces float64 kernel.
+	KernelBlocked
+	// KernelFixed accumulates int64 fixed-point sums while traces stay
+	// integer-exact, demoting to the float64 path the moment they do not.
+	KernelFixed
+)
+
+// String returns the kernel's CLI / metrics-label name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelScalar:
+		return "scalar"
+	case KernelBlocked:
+		return "blocked"
+	case KernelFixed:
+		return "fixed"
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// ParseKernel parses a kernel name; the empty string means scalar.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "scalar":
+		return KernelScalar, nil
+	case "blocked":
+		return KernelBlocked, nil
+	case "fixed":
+		return KernelFixed, nil
+	}
+	return KernelScalar, fmt.Errorf("cpa: unknown kernel %q (want scalar, blocked or fixed)", s)
+}
+
+// Kernels enumerates every kernel, for differential tests and benchmarks.
+func Kernels() []Kernel { return []Kernel{KernelScalar, KernelBlocked, KernelFixed} }
+
+// defaultTileHyp is the hypothesis-tile width of the blocked kernel: three
+// accumulator planes of 256 float64s are 6 KiB, comfortably L1-resident
+// beside the per-trace prediction row.
+const defaultTileHyp = 256
+
+// tileHyp is a package variable (not a constant) so the tile-invariance
+// property test can sweep shapes; results are bit-identical for every
+// positive value, so it is a pure performance knob.
+var tileHyp = defaultTileHyp
+
+// Fixed-point exactness bounds. Inputs must be integers with |v| ≤ 2^26 so
+// products are ≤ 2^52; running sums must stay within ±2^53 so both the
+// int64 sums and every float64 prefix sum the reference path would compute
+// remain exact (all integers of magnitude ≤ 2^53 are float64-exact).
+const (
+	fxMaxVal  = int64(1) << 26
+	fxMaxSum  = int64(1) << 53
+	fxMaxValF = float64(fxMaxVal)
+	fxMaxSumF = float64(fxMaxSum)
+)
+
+// asFx converts an input value into the fixed-point domain; ok is false
+// for non-integers, NaN/Inf, and magnitudes above 2^26.
+func asFx(v float64) (int64, bool) {
+	if !(v >= -fxMaxValF && v <= fxMaxValF) { // NaN fails both compares
+		return 0, false
+	}
+	i := int64(v)
+	if float64(i) != v {
+		return 0, false
+	}
+	return i, true
+}
+
+// asFxSum converts an already-accumulated float64 sum (e.g. a decoded wire
+// partial) into the fixed-point domain: any integer within ±2^53.
+func asFxSum(v float64) (int64, bool) {
+	if !(v >= -fxMaxSumF && v <= fxMaxSumF) {
+		return 0, false
+	}
+	i := int64(v)
+	if float64(i) != v {
+		return 0, false
+	}
+	return i, true
+}
+
+// fits reports whether a fixed-point sum is still within the exact regime.
+func fits(s int64) bool { return s >= -fxMaxSum && s <= fxMaxSum }
+
+// engineFx mirrors an Engine's accumulators as exact int64 sums. While it
+// is attached, the engine's float64 fields are a stale cache refreshed by
+// sync(); detaching it (demote) is an exact conversion.
+type engineFx struct {
+	sumT, sumT2 int64
+	sumH        []int64
+	sumH2       []int64
+	sumHT       []int64
+}
+
+// NewEngineKernel returns an engine for nHyp hypotheses using the given
+// kernel. KernelScalar and KernelBlocked share the float64 accumulators
+// (they differ only in how batches are driven); KernelFixed attaches the
+// int64 mirror.
+func NewEngineKernel(nHyp int, k Kernel) *Engine {
+	e := NewEngine(nHyp)
+	if k == KernelFixed {
+		e.fx = &engineFx{
+			sumH:  make([]int64, nHyp),
+			sumH2: make([]int64, nHyp),
+			sumHT: make([]int64, nHyp),
+		}
+	}
+	return e
+}
+
+// sync refreshes the float64 accumulators from the int64 mirror. Every
+// mirrored sum is within ±2^53, so the conversion is exact and the synced
+// floats are bit-identical to what the float64 reference path holds.
+func (e *Engine) sync() {
+	fx := e.fx
+	if fx == nil {
+		return
+	}
+	e.sumT = float64(fx.sumT)
+	e.sumT2 = float64(fx.sumT2)
+	for i := range fx.sumH {
+		e.sumH[i] = float64(fx.sumH[i])
+		e.sumH2[i] = float64(fx.sumH2[i])
+		e.sumHT[i] = float64(fx.sumHT[i])
+	}
+}
+
+// demote leaves the fixed-point regime for good: exact conversion of the
+// int64 sums, then plain float64 accumulation from here on.
+func (e *Engine) demote() {
+	e.sync()
+	e.fx = nil
+}
+
+// updateFixed folds one trace in the int64 domain. The adds are applied
+// optimistically; the first input or sum that leaves the exact regime
+// rolls the half-applied update back (int64 subtraction is exact, so the
+// pre-update sums are restored bit-perfectly), demotes, and re-applies the
+// whole update on the float path — exactly where the float64 reference
+// would have been.
+func (e *Engine) updateFixed(h []float64, t float64) {
+	fx := e.fx
+	ft, ok := asFx(t)
+	if !ok {
+		e.demote()
+		e.updateFloat(h, t)
+		return
+	}
+	fx.sumT += ft
+	fx.sumT2 += ft * ft
+	if !fits(fx.sumT) || !fits(fx.sumT2) {
+		fx.sumT -= ft
+		fx.sumT2 -= ft * ft
+		e.demote()
+		e.updateFloat(h, t)
+		return
+	}
+	for i, hv := range h {
+		fh, ok := asFx(hv)
+		if ok {
+			fx.sumH[i] += fh
+			fx.sumH2[i] += fh * fh
+			fx.sumHT[i] += fh * ft
+			if fits(fx.sumH[i]) && fits(fx.sumH2[i]) && fits(fx.sumHT[i]) {
+				continue
+			}
+			fx.sumH[i] -= fh
+			fx.sumH2[i] -= fh * fh
+			fx.sumHT[i] -= fh * ft
+		}
+		// Roll back the hypothesis slots already applied and the trace
+		// sums, then redo the whole observation in float64.
+		for k := 0; k < i; k++ {
+			fk, _ := asFx(h[k])
+			fx.sumH[k] -= fk
+			fx.sumH2[k] -= fk * fk
+			fx.sumHT[k] -= fk * ft
+		}
+		fx.sumT -= ft
+		fx.sumT2 -= ft * ft
+		e.demote()
+		e.updateFloat(h, t)
+		return
+	}
+	e.d++
+}
+
+// fixedFromFloats promotes a float64 engine's sums into the fixed domain,
+// failing if any sum is not an exact integer within ±2^53.
+func fixedFromFloats(o *Engine) (*engineFx, bool) {
+	fx := &engineFx{
+		sumH:  make([]int64, len(o.sumH)),
+		sumH2: make([]int64, len(o.sumH)),
+		sumHT: make([]int64, len(o.sumH)),
+	}
+	var ok bool
+	if fx.sumT, ok = asFxSum(o.sumT); !ok {
+		return nil, false
+	}
+	if fx.sumT2, ok = asFxSum(o.sumT2); !ok {
+		return nil, false
+	}
+	for i := range o.sumH {
+		if fx.sumH[i], ok = asFxSum(o.sumH[i]); !ok {
+			return nil, false
+		}
+		if fx.sumH2[i], ok = asFxSum(o.sumH2[i]); !ok {
+			return nil, false
+		}
+		if fx.sumHT[i], ok = asFxSum(o.sumHT[i]); !ok {
+			return nil, false
+		}
+	}
+	return fx, true
+}
+
+// mergeFixed folds o into e entirely in the int64 domain. It succeeds only
+// when o's sums are exact integers in range and every combined sum stays
+// within the regime; otherwise nothing is modified and the caller demotes.
+func (e *Engine) mergeFixed(o *Engine) bool {
+	ofx := o.fx
+	if ofx == nil {
+		var ok bool
+		if ofx, ok = fixedFromFloats(o); !ok {
+			return false
+		}
+	}
+	fx := e.fx
+	if !fits(fx.sumT+ofx.sumT) || !fits(fx.sumT2+ofx.sumT2) {
+		return false
+	}
+	for i := range fx.sumH {
+		if !fits(fx.sumH[i]+ofx.sumH[i]) ||
+			!fits(fx.sumH2[i]+ofx.sumH2[i]) ||
+			!fits(fx.sumHT[i]+ofx.sumHT[i]) {
+			return false
+		}
+	}
+	e.d += o.d
+	fx.sumT += ofx.sumT
+	fx.sumT2 += ofx.sumT2
+	for i := range fx.sumH {
+		fx.sumH[i] += ofx.sumH[i]
+		fx.sumH2[i] += ofx.sumH2[i]
+		fx.sumHT[i] += ofx.sumHT[i]
+	}
+	return true
+}
+
+// floatView returns the engine's sums as float64s without modifying it —
+// the view Merge uses for the right-hand side, so merging a fixed engine
+// into a float one (or vice versa) stays bit-identical to all-float.
+func (e *Engine) floatView() (sumT, sumT2 float64, sumH, sumH2, sumHT []float64) {
+	if e.fx == nil {
+		return e.sumT, e.sumT2, e.sumH, e.sumH2, e.sumHT
+	}
+	fx := e.fx
+	sumH = make([]float64, len(fx.sumH))
+	sumH2 = make([]float64, len(fx.sumH))
+	sumHT = make([]float64, len(fx.sumH))
+	for i := range fx.sumH {
+		sumH[i] = float64(fx.sumH[i])
+		sumH2[i] = float64(fx.sumH2[i])
+		sumHT[i] = float64(fx.sumHT[i])
+	}
+	return float64(fx.sumT), float64(fx.sumT2), sumH, sumH2, sumHT
+}
+
+// UpdateBatch folds a batch of traces: hs[tr] is trace tr's prediction row,
+// ts[tr] its measured sample. Equivalent to calling Update per trace, but
+// executed through the blocked kernel (or the fixed path when attached).
+func (e *Engine) UpdateBatch(hs [][]float64, ts []float64) {
+	if len(hs) != len(ts) {
+		panic("cpa: UpdateBatch with mismatched batch lengths")
+	}
+	e.UpdateBatchFunc(ts, func(tr, lo, hi int, dst []float64) {
+		copy(dst, hs[tr][lo:hi])
+	})
+}
+
+// UpdateBatchFunc is the allocation-lean batch entry point: instead of a
+// materialized nTraces × nHyp prediction matrix, the caller supplies a
+// generator that fills hypothesis segment [lo, hi) of trace tr into dst
+// (len hi-lo). The blocked kernel calls it once per (trace, tile), so each
+// prediction is computed exactly once — same total work as the scalar
+// path, but the accumulator tile stays cache-hot across the whole batch.
+//
+// Bit-identity with per-trace Update holds because tiles partition the
+// accumulator cells and every cell still receives its adds in trace order;
+// tile shape only permutes work across *distinct* cells.
+func (e *Engine) UpdateBatchFunc(ts []float64, fill func(tr, lo, hi int, dst []float64)) {
+	n := len(ts)
+	if n == 0 {
+		return
+	}
+	nh := len(e.sumH)
+	if e.fx != nil {
+		// The fixed path is about exactness, not blocking: replay the batch
+		// per trace so the demotion point lands exactly where the scalar
+		// reference would demote.
+		row := make([]float64, nh)
+		for tr := 0; tr < n; tr++ {
+			fill(tr, 0, nh, row)
+			e.Update(row, ts[tr])
+		}
+		return
+	}
+	e.d += n
+	sT, sT2 := e.sumT, e.sumT2
+	for _, t := range ts {
+		sT += t
+		sT2 += t * t
+	}
+	e.sumT, e.sumT2 = sT, sT2
+	tw := tileHyp
+	if tw <= 0 {
+		tw = defaultTileHyp
+	}
+	row := make([]float64, min(tw, nh))
+	for lo := 0; lo < nh; lo += tw {
+		hi := min(lo+tw, nh)
+		w := hi - lo
+		sH := e.sumH[lo:hi]
+		sH2 := e.sumH2[lo:hi]
+		sHT := e.sumHT[lo:hi]
+		for tr := 0; tr < n; tr++ {
+			fill(tr, lo, hi, row[:w])
+			t := ts[tr]
+			for c, hv := range row[:w] {
+				sH[c] += hv
+				sH2[c] += hv * hv
+				sHT[c] += hv * t
+			}
+		}
+	}
+}
+
+// matrixFx mirrors a MatrixEngine's accumulators as exact int64 sums.
+type matrixFx struct {
+	sumT, sumT2 []int64
+	sumH        []int64
+	sumH2       []int64
+	sumHT       []int64
+}
+
+// NewMatrixEngineKernel returns a per-sample-prediction engine using the
+// given kernel (see NewEngineKernel).
+func NewMatrixEngineKernel(nHyp, nSamples int, k Kernel) *MatrixEngine {
+	e := NewMatrixEngine(nHyp, nSamples)
+	if k == KernelFixed {
+		e.fx = &matrixFx{
+			sumT:  make([]int64, nSamples),
+			sumT2: make([]int64, nSamples),
+			sumH:  make([]int64, nHyp*nSamples),
+			sumH2: make([]int64, nHyp*nSamples),
+			sumHT: make([]int64, nHyp*nSamples),
+		}
+	}
+	return e
+}
+
+// sync refreshes the float64 accumulators from the int64 mirror (exact;
+// see Engine.sync).
+func (e *MatrixEngine) sync() {
+	fx := e.fx
+	if fx == nil {
+		return
+	}
+	for j := range fx.sumT {
+		e.sumT[j] = float64(fx.sumT[j])
+		e.sumT2[j] = float64(fx.sumT2[j])
+	}
+	for i := range fx.sumH {
+		e.sumH[i] = float64(fx.sumH[i])
+		e.sumH2[i] = float64(fx.sumH2[i])
+		e.sumHT[i] = float64(fx.sumHT[i])
+	}
+}
+
+// demote leaves the fixed-point regime for good.
+func (e *MatrixEngine) demote() {
+	e.sync()
+	e.fx = nil
+}
+
+// updateFixed folds one trace in the int64 domain, with the same
+// optimistic-apply / exact-rollback structure as Engine.updateFixed.
+func (e *MatrixEngine) updateFixed(h []float64, t []float64) {
+	fx := e.fx
+	for j, tv := range t {
+		ft, ok := asFx(tv)
+		if ok {
+			fx.sumT[j] += ft
+			fx.sumT2[j] += ft * ft
+			if fits(fx.sumT[j]) && fits(fx.sumT2[j]) {
+				continue
+			}
+			fx.sumT[j] -= ft
+			fx.sumT2[j] -= ft * ft
+		}
+		e.rollbackTrace(t, j)
+		e.demote()
+		e.updateFloat(h, t)
+		return
+	}
+	for i := 0; i < e.nHyp; i++ {
+		row := i * e.nSamp
+		for j, tv := range t {
+			c := row + j
+			hv := h[c]
+			fh, ok := asFx(hv)
+			if ok {
+				ft, _ := asFx(tv) // in range: validated above
+				fx.sumH[c] += fh
+				fx.sumH2[c] += fh * fh
+				fx.sumHT[c] += fh * ft
+				if fits(fx.sumH[c]) && fits(fx.sumH2[c]) && fits(fx.sumHT[c]) {
+					continue
+				}
+				fx.sumH[c] -= fh
+				fx.sumH2[c] -= fh * fh
+				fx.sumHT[c] -= fh * ft
+			}
+			e.rollbackCells(h, t, i, j)
+			e.rollbackTrace(t, e.nSamp)
+			e.demote()
+			e.updateFloat(h, t)
+			return
+		}
+	}
+	e.d++
+}
+
+// rollbackTrace undoes the trace-sum adds of columns [0, upto).
+func (e *MatrixEngine) rollbackTrace(t []float64, upto int) {
+	fx := e.fx
+	for j := 0; j < upto; j++ {
+		ft, _ := asFx(t[j])
+		fx.sumT[j] -= ft
+		fx.sumT2[j] -= ft * ft
+	}
+}
+
+// rollbackCells undoes the hypothesis-cell adds applied before cell
+// (hyp, samp) in row-major order.
+func (e *MatrixEngine) rollbackCells(h, t []float64, hyp, samp int) {
+	fx := e.fx
+	for i := 0; i <= hyp; i++ {
+		row := i * e.nSamp
+		upto := e.nSamp
+		if i == hyp {
+			upto = samp
+		}
+		for j := 0; j < upto; j++ {
+			c := row + j
+			fh, _ := asFx(h[c])
+			ft, _ := asFx(t[j])
+			fx.sumH[c] -= fh
+			fx.sumH2[c] -= fh * fh
+			fx.sumHT[c] -= fh * ft
+		}
+	}
+}
+
+// matrixFixedFromFloats promotes a float64 matrix engine's sums into the
+// fixed domain (see fixedFromFloats).
+func matrixFixedFromFloats(o *MatrixEngine) (*matrixFx, bool) {
+	fx := &matrixFx{
+		sumT:  make([]int64, o.nSamp),
+		sumT2: make([]int64, o.nSamp),
+		sumH:  make([]int64, len(o.sumH)),
+		sumH2: make([]int64, len(o.sumH)),
+		sumHT: make([]int64, len(o.sumH)),
+	}
+	var ok bool
+	for j := range o.sumT {
+		if fx.sumT[j], ok = asFxSum(o.sumT[j]); !ok {
+			return nil, false
+		}
+		if fx.sumT2[j], ok = asFxSum(o.sumT2[j]); !ok {
+			return nil, false
+		}
+	}
+	for i := range o.sumH {
+		if fx.sumH[i], ok = asFxSum(o.sumH[i]); !ok {
+			return nil, false
+		}
+		if fx.sumH2[i], ok = asFxSum(o.sumH2[i]); !ok {
+			return nil, false
+		}
+		if fx.sumHT[i], ok = asFxSum(o.sumHT[i]); !ok {
+			return nil, false
+		}
+	}
+	return fx, true
+}
+
+// mergeFixed folds o into e in the int64 domain, or reports false without
+// modifying anything (see Engine.mergeFixed).
+func (e *MatrixEngine) mergeFixed(o *MatrixEngine) bool {
+	ofx := o.fx
+	if ofx == nil {
+		var ok bool
+		if ofx, ok = matrixFixedFromFloats(o); !ok {
+			return false
+		}
+	}
+	fx := e.fx
+	for j := range fx.sumT {
+		if !fits(fx.sumT[j]+ofx.sumT[j]) || !fits(fx.sumT2[j]+ofx.sumT2[j]) {
+			return false
+		}
+	}
+	for i := range fx.sumH {
+		if !fits(fx.sumH[i]+ofx.sumH[i]) ||
+			!fits(fx.sumH2[i]+ofx.sumH2[i]) ||
+			!fits(fx.sumHT[i]+ofx.sumHT[i]) {
+			return false
+		}
+	}
+	e.d += o.d
+	for j := range fx.sumT {
+		fx.sumT[j] += ofx.sumT[j]
+		fx.sumT2[j] += ofx.sumT2[j]
+	}
+	for i := range fx.sumH {
+		fx.sumH[i] += ofx.sumH[i]
+		fx.sumH2[i] += ofx.sumH2[i]
+		fx.sumHT[i] += ofx.sumHT[i]
+	}
+	return true
+}
+
+// floatView returns the engine's sums as float64s without modifying it.
+func (e *MatrixEngine) floatView() (sumT, sumT2, sumH, sumH2, sumHT []float64) {
+	if e.fx == nil {
+		return e.sumT, e.sumT2, e.sumH, e.sumH2, e.sumHT
+	}
+	fx := e.fx
+	sumT = make([]float64, len(fx.sumT))
+	sumT2 = make([]float64, len(fx.sumT))
+	for j := range fx.sumT {
+		sumT[j] = float64(fx.sumT[j])
+		sumT2[j] = float64(fx.sumT2[j])
+	}
+	sumH = make([]float64, len(fx.sumH))
+	sumH2 = make([]float64, len(fx.sumH))
+	sumHT = make([]float64, len(fx.sumH))
+	for i := range fx.sumH {
+		sumH[i] = float64(fx.sumH[i])
+		sumH2[i] = float64(fx.sumH2[i])
+		sumHT[i] = float64(fx.sumHT[i])
+	}
+	return
+}
+
+// UpdateBatch folds a batch of traces through the blocked kernel: hs[tr]
+// is trace tr's flattened nHyp×nSamp prediction matrix, ts[tr] its
+// measured window. Each accumulator cell is folded over the batch in a
+// register, in trace order — bit-identical to per-trace Update, with the
+// cell's three sums touched once per batch instead of once per trace.
+func (e *MatrixEngine) UpdateBatch(hs, ts [][]float64) {
+	n := len(ts)
+	if len(hs) != n {
+		panic("cpa: UpdateBatch with mismatched batch lengths")
+	}
+	if n == 0 {
+		return
+	}
+	if e.fx != nil {
+		for tr := 0; tr < n; tr++ {
+			e.Update(hs[tr], ts[tr])
+		}
+		return
+	}
+	e.d += n
+	for j := 0; j < e.nSamp; j++ {
+		sT, sT2 := e.sumT[j], e.sumT2[j]
+		for tr := 0; tr < n; tr++ {
+			tv := ts[tr][j]
+			sT += tv
+			sT2 += tv * tv
+		}
+		e.sumT[j], e.sumT2[j] = sT, sT2
+	}
+	for i := 0; i < e.nHyp; i++ {
+		row := i * e.nSamp
+		for j := 0; j < e.nSamp; j++ {
+			c := row + j
+			sH, sH2, sHT := e.sumH[c], e.sumH2[c], e.sumHT[c]
+			for tr := 0; tr < n; tr++ {
+				hv := hs[tr][c]
+				tv := ts[tr][j]
+				sH += hv
+				sH2 += hv * hv
+				sHT += hv * tv
+			}
+			e.sumH[c], e.sumH2[c], e.sumHT[c] = sH, sH2, sHT
+		}
+	}
+}

@@ -1,0 +1,475 @@
+package cpa
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The kernel battery proves the designed invariant stated at the top of
+// kernel.go: every kernel — scalar, blocked at any tile shape, fixed-point
+// before and after demotion — produces bit-identical accumulators. The
+// comparisons are on Float64bits throughout; "close" is a bug here.
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/kernel_golden.json from the current kernel output")
+
+// quantSeries generates d traces of integer-valued predictions and
+// samples — the exactness regime of the fixed-point kernel (quantized
+// ADC output correlated against Hamming-weight predictions).
+func quantSeries(r *rand.Rand, nHyp, d int) (h [][]float64, t []float64) {
+	h = make([][]float64, d)
+	t = make([]float64, d)
+	for i := range h {
+		h[i] = make([]float64, nHyp)
+		for j := range h[i] {
+			h[i][j] = float64(r.Intn(65))
+		}
+		t[i] = float64(r.Intn(4096) - 2048) // signed 12-bit quantized sample
+	}
+	return h, t
+}
+
+// noisySeries generates non-integer traces — outside the fixed regime from
+// the first observation.
+func noisySeries(r *rand.Rand, nHyp, d int) (h [][]float64, t []float64) {
+	h = make([][]float64, d)
+	t = make([]float64, d)
+	for i := range h {
+		h[i] = make([]float64, nHyp)
+		for j := range h[i] {
+			h[i][j] = float64(r.Intn(65))
+		}
+		t[i] = 20*r.NormFloat64() + float64(r.Intn(57))
+	}
+	return h, t
+}
+
+func TestParseKernelRoundTrip(t *testing.T) {
+	for _, k := range Kernels() {
+		got, err := ParseKernel(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKernel(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if k, err := ParseKernel(""); err != nil || k != KernelScalar {
+		t.Fatalf("empty kernel name = %v, %v; want scalar", k, err)
+	}
+	if _, err := ParseKernel("turbo"); err == nil {
+		t.Fatal("unknown kernel name accepted")
+	}
+}
+
+func TestFixedMatchesFloatBitForBitOnQuantizedCorpus(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	const nHyp, d = 9, 500
+	h, tr := quantSeries(r, nHyp, d)
+	ref := NewEngine(nHyp)
+	fx := NewEngineKernel(nHyp, KernelFixed)
+	for i := 0; i < d; i++ {
+		ref.Update(h[i], tr[i])
+		fx.Update(h[i], tr[i])
+	}
+	if fx.fx == nil {
+		t.Fatal("fixed engine demoted on an integer-exact corpus")
+	}
+	if !sameBits(fx.Corr(), ref.Corr()) {
+		t.Fatal("fixed-point correlations differ from the float64 reference")
+	}
+	// The wire format is shared: a fixed engine's snapshot must be
+	// byte-identical to the float engine's at the same logical point.
+	a, _ := json.Marshal(fx.State())
+	b, _ := json.Marshal(ref.State())
+	if string(a) != string(b) {
+		t.Fatal("fixed and float engines serialize differently")
+	}
+}
+
+func TestFixedDemotesExactlyMidStream(t *testing.T) {
+	// A non-integer trace arriving mid-corpus must land the fixed engine
+	// exactly where the float64 reference is — before, at, and after the
+	// demotion point.
+	r := rand.New(rand.NewSource(62))
+	const nHyp, d = 7, 300
+	h, tr := quantSeries(r, nHyp, d)
+	tr[137] = 3.25        // exact in float64, not an integer
+	tr[200] = math.NaN()  // pathological sample
+	tr[250] = math.Inf(1) // saturated sample
+	h[260][3] = 1.0e300   // pathological prediction
+	ref := NewEngine(nHyp)
+	fx := NewEngineKernel(nHyp, KernelFixed)
+	for i := 0; i < d; i++ {
+		ref.Update(h[i], tr[i])
+		fx.Update(h[i], tr[i])
+		if !sameBits(fx.Corr(), ref.Corr()) {
+			t.Fatalf("trace %d: fixed engine diverged from reference", i)
+		}
+	}
+	if fx.fx != nil {
+		t.Fatal("fixed engine still attached after a non-integer trace")
+	}
+}
+
+func TestFixedDemotesOnSumOverflow(t *testing.T) {
+	// Inputs at the ±2^26 magnitude bound: each t² add is 2^52, so the
+	// third observation pushes sumT2 past 2^53 and must trigger an exact
+	// rollback-and-demote, not a wrong int64 sum.
+	big := float64(int64(1) << 26)
+	h := []float64{big, -big}
+	ref := NewEngine(2)
+	fx := NewEngineKernel(2, KernelFixed)
+	for i := 0; i < 6; i++ {
+		ref.Update(h, big)
+		fx.Update(h, big)
+		if !sameBits(fx.Corr(), ref.Corr()) {
+			t.Fatalf("observation %d: overflow handling diverged from reference", i)
+		}
+	}
+	if fx.fx != nil {
+		t.Fatal("engine still fixed after its sums left ±2^53")
+	}
+	if fx.Traces() != ref.Traces() {
+		t.Fatalf("trace counts diverged: %d vs %d", fx.Traces(), ref.Traces())
+	}
+}
+
+func TestFixedRejectsOutOfRangeInputs(t *testing.T) {
+	// |v| > 2^26 inputs (products could exceed 2^52) must demote even
+	// though they are integers.
+	ref := NewEngine(1)
+	fx := NewEngineKernel(1, KernelFixed)
+	h := []float64{float64(int64(1)<<26 + 1)}
+	ref.Update(h, 3)
+	fx.Update(h, 3)
+	if fx.fx != nil {
+		t.Fatal("engine accepted an input above the 2^26 bound")
+	}
+	if !sameBits(fx.Corr(), ref.Corr()) {
+		t.Fatal("out-of-range demotion diverged from reference")
+	}
+}
+
+func TestFixedNegativeZeroInput(t *testing.T) {
+	// -0.0 is an integer-valued float; folding it through the int path
+	// (as +0) must match the float path bit-for-bit, including the sign
+	// bit of every accumulator.
+	ref := NewEngine(1)
+	fx := NewEngineKernel(1, KernelFixed)
+	for i := 0; i < 4; i++ {
+		ref.Update([]float64{math.Copysign(0, -1)}, 5)
+		fx.Update([]float64{math.Copysign(0, -1)}, 5)
+	}
+	ref.sync()
+	fx.sync()
+	if math.Float64bits(ref.sumH[0]) != math.Float64bits(fx.sumH[0]) {
+		t.Fatalf("sumH bits differ: %x vs %x",
+			math.Float64bits(ref.sumH[0]), math.Float64bits(fx.sumH[0]))
+	}
+}
+
+func TestBlockedTileShapeInvariance(t *testing.T) {
+	// Every positive tile width must yield byte-identical correlations:
+	// tiles partition the accumulator cells, so shape never reorders the
+	// adds within any one cell. Sweeps widths below, at, straddling, and
+	// above the hypothesis count.
+	r := rand.New(rand.NewSource(63))
+	const nHyp, d = 331, 400
+	h, tr := noisySeries(r, nHyp, d)
+	ref := NewEngine(nHyp)
+	for i := 0; i < d; i++ {
+		ref.Update(h[i], tr[i])
+	}
+	refCorr := ref.Corr()
+	defer func(w int) { tileHyp = w }(tileHyp)
+	for _, w := range []int{1, 2, 3, 7, 64, 100, 256, 330, 331, 332, 1024, 1 << 20} {
+		tileHyp = w
+		eng := NewEngineKernel(nHyp, KernelBlocked)
+		// Feed in uneven batches so batch boundaries move with the tile
+		// width test, not in lockstep with it.
+		for lo := 0; lo < d; {
+			hi := min(lo+1+(lo%91), d)
+			eng.UpdateBatch(h[lo:hi], tr[lo:hi])
+			lo = hi
+		}
+		if !sameBits(eng.Corr(), refCorr) {
+			t.Fatalf("tile width %d: blocked kernel differs from scalar reference", w)
+		}
+		if eng.Traces() != d {
+			t.Fatalf("tile width %d: %d traces, want %d", w, eng.Traces(), d)
+		}
+	}
+}
+
+func TestBlockedBatchFuncMatchesScalar(t *testing.T) {
+	// The generator-based entry point (what the attack jobs use) against
+	// per-trace Update, on noisy data, across batch sizes including 0 and 1.
+	r := rand.New(rand.NewSource(64))
+	const nHyp, d = 300, 257
+	h, tr := noisySeries(r, nHyp, d)
+	ref := NewEngine(nHyp)
+	for i := 0; i < d; i++ {
+		ref.Update(h[i], tr[i])
+	}
+	for _, batch := range []int{1, 2, 63, 64, 65, d} {
+		eng := NewEngineKernel(nHyp, KernelBlocked)
+		for lo := 0; lo < d; lo += batch {
+			hi := min(lo+batch, d)
+			base := lo
+			eng.UpdateBatchFunc(tr[lo:hi], func(i, tlo, thi int, dst []float64) {
+				copy(dst, h[base+i][tlo:thi])
+			})
+		}
+		eng.UpdateBatchFunc(nil, func(i, tlo, thi int, dst []float64) {
+			t.Fatal("fill called for an empty batch")
+		})
+		if !sameBits(eng.Corr(), ref.Corr()) {
+			t.Fatalf("batch size %d: UpdateBatchFunc differs from scalar updates", batch)
+		}
+	}
+}
+
+func TestFixedUpdateBatchMatchesScalarAcrossDemotion(t *testing.T) {
+	// Batching through a fixed engine must demote at exactly the same
+	// observation as scalar feeding, even when the demoting trace sits in
+	// the middle of a batch.
+	r := rand.New(rand.NewSource(65))
+	const nHyp, d = 17, 200
+	h, tr := quantSeries(r, nHyp, d)
+	tr[101] = 0.5
+	ref := NewEngineKernel(nHyp, KernelFixed)
+	for i := 0; i < d; i++ {
+		ref.Update(h[i], tr[i])
+	}
+	eng := NewEngineKernel(nHyp, KernelFixed)
+	for lo := 0; lo < d; lo += 64 {
+		hi := min(lo+64, d)
+		eng.UpdateBatch(h[lo:hi], tr[lo:hi])
+	}
+	if eng.fx != nil || ref.fx != nil {
+		t.Fatal("engines did not demote")
+	}
+	if !sameBits(eng.Corr(), ref.Corr()) {
+		t.Fatal("batched fixed engine differs from scalar fixed engine")
+	}
+}
+
+func TestMergeAcrossKernels(t *testing.T) {
+	// Every (left kernel, right kernel) pairing of a split corpus must
+	// merge to the bits of the all-scalar merge at the same split — the
+	// kernel choice must be invisible to the pinned reduction, whatever
+	// its shape. (On noisy data a merged pair legitimately differs from
+	// the *unsplit* sequential engine — float addition is not associative —
+	// which is exactly why the engine pins a reduction; on integer-exact
+	// data both must also equal the unsplit engine, asserted separately.)
+	r := rand.New(rand.NewSource(66))
+	const nHyp, d, split = 11, 400, 260
+	build := func(k Kernel, h [][]float64, tr []float64, lo, hi int) *Engine {
+		e := NewEngineKernel(nHyp, k)
+		for i := lo; i < hi; i++ {
+			e.Update(h[i], tr[i])
+		}
+		return e
+	}
+	for _, corpus := range []string{"quantized", "noisy"} {
+		var h [][]float64
+		var tr []float64
+		if corpus == "quantized" {
+			h, tr = quantSeries(r, nHyp, d)
+		} else {
+			h, tr = noisySeries(r, nHyp, d)
+		}
+		ref := build(KernelScalar, h, tr, 0, split)
+		ref.Merge(build(KernelScalar, h, tr, split, d))
+		if corpus == "quantized" {
+			unsplit := NewEngine(nHyp)
+			for i := 0; i < d; i++ {
+				unsplit.Update(h[i], tr[i])
+			}
+			if !sameBits(ref.Corr(), unsplit.Corr()) {
+				t.Fatal("quantized corpus: split merge differs from unsplit updates")
+			}
+		}
+		for _, kl := range Kernels() {
+			for _, kr := range Kernels() {
+				a := build(kl, h, tr, 0, split)
+				b := build(kr, h, tr, split, d)
+				a.Merge(b)
+				if !sameBits(a.Corr(), ref.Corr()) {
+					t.Fatalf("%s corpus: merge %s<-%s differs from the all-scalar merge", corpus, kl, kr)
+				}
+				if a.Traces() != d {
+					t.Fatalf("%s corpus: merge %s<-%s folded %d traces, want %d", corpus, kl, kr, a.Traces(), d)
+				}
+			}
+		}
+		// A decoded wire partial (always a plain float engine) merged into a
+		// fixed engine — the fleet's fold path.
+		a := build(KernelFixed, h, tr, 0, split)
+		wire, err := EngineFromState(build(KernelScalar, h, tr, split, d).State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Merge(wire)
+		if !sameBits(a.Corr(), ref.Corr()) {
+			t.Fatalf("%s corpus: merging a decoded partial into a fixed engine diverged", corpus)
+		}
+	}
+}
+
+func TestMergeDoesNotMutateRightSide(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	const nHyp, d = 5, 100
+	h, tr := quantSeries(r, nHyp, d)
+	mk := func(k Kernel) *Engine {
+		e := NewEngineKernel(nHyp, k)
+		for i := 0; i < d; i++ {
+			e.Update(h[i], tr[i])
+		}
+		return e
+	}
+	for _, kl := range Kernels() {
+		for _, kr := range Kernels() {
+			left, right := mk(kl), mk(kr)
+			before := right.Corr()
+			left.Merge(right)
+			if !sameBits(right.Corr(), before) || right.Traces() != d {
+				t.Fatalf("merge %s<-%s mutated its right-hand side", kl, kr)
+			}
+		}
+	}
+}
+
+func TestMatrixKernelsMatchScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(68))
+	const nHyp, nSamp, d = 4, 18, 300
+	h := make([][]float64, d)
+	tr := make([][]float64, d)
+	for i := range h {
+		h[i] = make([]float64, nHyp*nSamp)
+		tr[i] = make([]float64, nSamp)
+		for j := range h[i] {
+			h[i][j] = float64(r.Intn(65))
+		}
+		for j := range tr[i] {
+			tr[i][j] = float64(r.Intn(1024))
+		}
+	}
+	ref := NewMatrixEngine(nHyp, nSamp)
+	for i := 0; i < d; i++ {
+		ref.Update(h[i], tr[i])
+	}
+	// Fixed path, integer-exact throughout.
+	fx := NewMatrixEngineKernel(nHyp, nSamp, KernelFixed)
+	for i := 0; i < d; i++ {
+		fx.Update(h[i], tr[i])
+	}
+	if fx.fx == nil {
+		t.Fatal("matrix engine demoted on an integer-exact corpus")
+	}
+	if !sameBits(fx.MeanScore(), ref.MeanScore()) {
+		t.Fatal("fixed matrix engine differs from reference")
+	}
+	a, _ := json.Marshal(fx.State())
+	b, _ := json.Marshal(ref.State())
+	if string(a) != string(b) {
+		t.Fatal("fixed and float matrix engines serialize differently")
+	}
+	// Blocked batches of every size.
+	for _, batch := range []int{1, 7, 64, d} {
+		eng := NewMatrixEngineKernel(nHyp, nSamp, KernelBlocked)
+		for lo := 0; lo < d; lo += batch {
+			hi := min(lo+batch, d)
+			eng.UpdateBatch(h[lo:hi], tr[lo:hi])
+		}
+		if !sameBits(eng.MeanScore(), ref.MeanScore()) {
+			t.Fatalf("batch size %d: blocked matrix engine differs from reference", batch)
+		}
+	}
+	// Demotion mid-stream (one non-integer sample in one trace).
+	tr[150][3] = 2.5
+	ref2 := NewMatrixEngine(nHyp, nSamp)
+	fx2 := NewMatrixEngineKernel(nHyp, nSamp, KernelFixed)
+	for i := 0; i < d; i++ {
+		ref2.Update(h[i], tr[i])
+		fx2.Update(h[i], tr[i])
+	}
+	if fx2.fx != nil {
+		t.Fatal("matrix engine still fixed after a non-integer sample")
+	}
+	if !sameBits(fx2.MeanScore(), ref2.MeanScore()) {
+		t.Fatal("demoted matrix engine differs from reference")
+	}
+	// Cross-kernel merges against the unsplit reference.
+	for _, kl := range Kernels() {
+		for _, kr := range Kernels() {
+			a := NewMatrixEngineKernel(nHyp, nSamp, kl)
+			b := NewMatrixEngineKernel(nHyp, nSamp, kr)
+			for i := 0; i < 150; i++ {
+				a.Update(h[i], tr[i])
+			}
+			for i := 150; i < d; i++ {
+				b.Update(h[i], tr[i])
+			}
+			a.Merge(b)
+			if !sameBits(a.MeanScore(), ref2.MeanScore()) {
+				t.Fatalf("matrix merge %s<-%s differs from unsplit reference", kl, kr)
+			}
+		}
+	}
+}
+
+// kernelGolden is the committed regression fixture: the blocked kernel's
+// correlations on a pinned pseudo-random corpus, as IEEE-754 bit patterns.
+// It freezes the exact arithmetic of the kernel — an accidental
+// reassociation (e.g. a "harmless" loop-order tweak) changes these bytes
+// and fails the test, even if every differential test still self-agrees.
+type kernelGolden struct {
+	NHyp   int    `json:"nHyp"`
+	Traces int    `json:"traces"`
+	Corr   string `json:"corr"` // packed float64 bits, see packFloats
+}
+
+func goldenCorr() []float64 {
+	r := rand.New(rand.NewSource(69))
+	const nHyp, d = 129, 333
+	h, tr := noisySeries(r, nHyp, d)
+	eng := NewEngineKernel(nHyp, KernelBlocked)
+	for lo := 0; lo < d; lo += 64 {
+		hi := min(lo+64, d)
+		eng.UpdateBatch(h[lo:hi], tr[lo:hi])
+	}
+	return eng.Corr()
+}
+
+func TestBlockedKernelGoldenRegression(t *testing.T) {
+	path := filepath.Join("testdata", "kernel_golden.json")
+	corr := goldenCorr()
+	if *updateGolden {
+		g := kernelGolden{NHyp: len(corr), Traces: 333, Corr: packFloats(corr)}
+		raw, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with -update-golden): %v", err)
+	}
+	var g kernelGolden
+	if err := json.Unmarshal(raw, &g); err != nil {
+		t.Fatal(err)
+	}
+	want, err := unpackFloats(g.Corr, g.NHyp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameBits(corr, want) {
+		t.Fatal("blocked kernel output drifted from the committed golden bits")
+	}
+}

@@ -30,18 +30,25 @@ raw="$("$GO" test -run xxx -bench '^BenchmarkAttack$' -benchtime "$BENCHTIME" "$
 
 printf '%s\n' "$raw" | awk -v cores="$cores" '
   /^BenchmarkAttack\// {
-    # "BenchmarkAttack/workers=1-8   3   123456 ns/op" -> name sans
-    # GOMAXPROCS suffix, workers from the subtest label, ns/op value.
+    # "BenchmarkAttack/kernel=blocked/workers=1-8  3  123456 ns/op" ->
+    # name sans GOMAXPROCS suffix, kernel and workers from the subtest
+    # labels (kernel defaults to scalar for older name shapes), ns/op.
     name = $1
     sub(/-[0-9]+$/, "", name)
     workers = name
     sub(/^.*workers=/, "", workers)
+    kernel = "scalar"
+    if (name ~ /kernel=/) {
+      kernel = name
+      sub(/^.*kernel=/, "", kernel)
+      sub(/\/.*$/, "", kernel)
+    }
     for (i = 2; i < NF; i++) {
       if ($(i + 1) == "ns/op") { ns = $i; break }
     }
     if (count++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"workers\": %s, \"host_cores\": %s}", \
-      name, ns, workers, cores
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"workers\": %s, \"kernel\": \"%s\", \"host_cores\": %s}", \
+      name, ns, workers, kernel, cores
   }
   BEGIN { printf "[\n" }
   END {

@@ -1,0 +1,88 @@
+//go:build ignore
+
+// Command benchgate is the benchmark regression gate: it compares a
+// freshly measured BENCH_attack.json against the committed baseline,
+// record by record, keyed by (name, host_cores). A fresh record that is
+// more than the tolerance slower than the committed record of the same
+// name on the same host class fails the gate; records with no committed
+// counterpart (a new host class, a renamed sub-benchmark) are skipped
+// with a note, never failed — the gate only judges like against like.
+//
+// Usage: go run scripts/benchgate.go committed.json fresh.json
+// Env:   BENCH_GATE_TOLERANCE — allowed slowdown ratio (default 1.30)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+type record struct {
+	Name      string `json:"name"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Workers   int    `json:"workers"`
+	Kernel    string `json:"kernel,omitempty"`
+	HostCores int    `json:"host_cores"`
+}
+
+func load(path string) []record {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+	var rs []record
+	if err := json.Unmarshal(b, &rs); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return rs
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate committed.json fresh.json")
+		os.Exit(2)
+	}
+	tolerance := 1.30
+	if s := os.Getenv("BENCH_GATE_TOLERANCE"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "benchgate: bad BENCH_GATE_TOLERANCE %q\n", s)
+			os.Exit(2)
+		}
+		tolerance = v
+	}
+	type key struct {
+		name  string
+		cores int
+	}
+	committed := make(map[key]record)
+	for _, r := range load(os.Args[1]) {
+		committed[key{r.Name, r.HostCores}] = r
+	}
+	failed, compared, skipped := 0, 0, 0
+	for _, r := range load(os.Args[2]) {
+		base, ok := committed[key{r.Name, r.HostCores}]
+		if !ok {
+			fmt.Printf("skip  %s (host_cores=%d): no committed baseline\n", r.Name, r.HostCores)
+			skipped++
+			continue
+		}
+		compared++
+		ratio := float64(r.NsPerOp) / float64(base.NsPerOp)
+		verdict := "ok   "
+		if ratio > tolerance {
+			verdict = "FAIL "
+			failed++
+		}
+		fmt.Printf("%s %s (host_cores=%d): %d -> %d ns/op (%.2fx, limit %.2fx)\n",
+			verdict, r.Name, r.HostCores, base.NsPerOp, r.NsPerOp, ratio, tolerance)
+	}
+	fmt.Printf("benchgate: %d compared, %d skipped, %d regression(s)\n", compared, skipped, failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

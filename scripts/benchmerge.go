@@ -22,6 +22,7 @@ type record struct {
 	Name      string `json:"name"`
 	NsPerOp   int64  `json:"ns_per_op"`
 	Workers   int    `json:"workers"`
+	Kernel    string `json:"kernel,omitempty"`
 	HostCores int    `json:"host_cores"`
 }
 
@@ -76,8 +77,12 @@ func main() {
 		if i == len(merged)-1 {
 			comma = ""
 		}
-		fmt.Printf("  {\"name\": %q, \"ns_per_op\": %d, \"workers\": %d, \"host_cores\": %d}%s\n",
-			r.Name, r.NsPerOp, r.Workers, r.HostCores, comma)
+		kernel := ""
+		if r.Kernel != "" {
+			kernel = fmt.Sprintf(", \"kernel\": %q", r.Kernel)
+		}
+		fmt.Printf("  {\"name\": %q, \"ns_per_op\": %d, \"workers\": %d%s, \"host_cores\": %d}%s\n",
+			r.Name, r.NsPerOp, r.Workers, kernel, r.HostCores, comma)
 	}
 	fmt.Println("]")
 }
